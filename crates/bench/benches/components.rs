@@ -1,0 +1,73 @@
+//! Component-model benchmarks: the SAM-style generation chains, the C/L/C
+//! battery, the weather synthesizer and rainflow counting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mgopt_sam::{GenerationModel, PvSystem, WindFarm};
+use mgopt_storage::{rainflow, ClcBattery, Storage};
+use mgopt_units::{Energy, Power, SimDuration};
+use mgopt_weather::{Climate, WeatherGenerator};
+
+fn bench_weather_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weather");
+    group.sample_size(10);
+    group.bench_function("generate_year_hourly", |b| {
+        let gen = WeatherGenerator::new(Climate::houston(), 42);
+        b.iter(|| black_box(gen.generate(SimDuration::from_hours(1.0))))
+    });
+    group.finish();
+}
+
+fn bench_generation_models(c: &mut Criterion) {
+    let weather = WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
+    let mut group = c.benchmark_group("generation_models");
+    group.sample_size(20);
+
+    group.bench_function("pvwatts_year", |b| {
+        let pv = PvSystem::with_capacity_kw(4_000.0, 29.76);
+        b.iter(|| black_box(pv.simulate(black_box(&weather))))
+    });
+    group.bench_function("windpower_year", |b| {
+        let farm = WindFarm::with_turbines(4);
+        b.iter(|| black_box(farm.simulate(black_box(&weather))))
+    });
+    group.finish();
+}
+
+fn bench_battery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("battery");
+    group.bench_function("clc_update_8760_steps", |b| {
+        b.iter(|| {
+            let mut bat = ClcBattery::with_defaults(Energy::from_mwh(7.5));
+            let dt = SimDuration::from_hours(1.0);
+            let mut acc = 0.0;
+            for i in 0..8_760i64 {
+                let p = if i % 24 < 12 { 2_000.0 } else { -2_000.0 };
+                acc += bat.update(Power::from_kw(p), dt).kw();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rainflow(c: &mut Criterion) {
+    // A realistic SoC trace: daily cycling with noise-like jitter.
+    let trace: Vec<f64> = (0..8_760)
+        .map(|i| {
+            let day = (i % 24) as f64 / 24.0;
+            0.55 + 0.4 * (day * std::f64::consts::TAU).sin() * ((i / 24) % 3 + 1) as f64 / 3.0
+        })
+        .collect();
+    c.bench_function("rainflow_count_8760", |b| {
+        b.iter(|| black_box(rainflow::count_cycles(black_box(&trace))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_weather_generation,
+    bench_generation_models,
+    bench_battery,
+    bench_rainflow
+);
+criterion_main!(benches);

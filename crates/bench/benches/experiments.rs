@@ -1,0 +1,73 @@
+//! End-to-end experiment benchmarks: scaled-down versions of every paper
+//! artifact, so `cargo bench` exercises each experiment path. Table 1/2,
+//! Figure 2 and Figure 3 share the sweep path; Figure 4 and the §4.4
+//! comparison have their own.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mgopt_core::experiments::{fig2, fig3, fig4, pruned, search, tables};
+use mgopt_core::{PreparedScenario, ScenarioConfig};
+use mgopt_microgrid::CompositionSpace;
+use mgopt_optimizer::{Nsga2Config, SuccessiveHalvingConfig};
+
+fn reduced_scenario() -> PreparedScenario {
+    ScenarioConfig {
+        space: CompositionSpace {
+            wind_choices: vec![0, 2, 4, 6, 8, 10],
+            solar_choices_kw: (0..=5).map(|i| i as f64 * 8_000.0).collect(),
+            battery_choices_kwh: (0..=3).map(|i| i as f64 * 20_000.0).collect(),
+        },
+        ..ScenarioConfig::paper_houston()
+    }
+    .prepare()
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let scenario = reduced_scenario();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("fig2_and_tables_sweep_144", |b| {
+        b.iter(|| black_box(fig2::run_with_table(black_box(&scenario))))
+    });
+
+    group.bench_function("fig3_projection", |b| {
+        let table = tables::run(&scenario);
+        b.iter(|| black_box(fig3::run(&table.site, black_box(&table.rows), 20)))
+    });
+
+    group.bench_function("fig4_coverage_surface", |b| {
+        b.iter(|| black_box(fig4::run(black_box(&scenario))))
+    });
+
+    group.bench_function("search_perf_nsga2_vs_exhaustive", |b| {
+        b.iter(|| {
+            black_box(search::run_with_config(
+                black_box(&scenario),
+                Nsga2Config {
+                    population_size: 16,
+                    max_trials: 64,
+                    seed: 42,
+                    ..Nsga2Config::default()
+                },
+            ))
+        })
+    });
+
+    group.bench_function("pruned_successive_halving", |b| {
+        b.iter(|| {
+            black_box(pruned::run(
+                black_box(&scenario),
+                &SuccessiveHalvingConfig {
+                    initial_cohort: 64,
+                    eta: 2,
+                    min_fidelity: 0.25,
+                    seed: 42,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

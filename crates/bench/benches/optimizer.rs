@@ -1,0 +1,66 @@
+//! Optimizer benchmarks: non-dominated sorting at the paper's space size,
+//! hypervolume, and NSGA-II overhead on a synthetic objective.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mgopt_optimizer::pareto::{fast_non_dominated_sort, hypervolume_2d, non_dominated_indices};
+use mgopt_optimizer::{FnProblem, Nsga2Config, Nsga2Optimizer};
+
+fn synthetic_points(n: usize) -> Vec<Vec<f64>> {
+    // Deterministic pseudo-random 2-D points.
+    let mut state = 0x2545f4914f6cdd1du64;
+    (0..n)
+        .map(|_| {
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            vec![next() * 16.0, next() * 40_000.0]
+        })
+        .collect()
+}
+
+fn bench_pareto_tools(c: &mut Criterion) {
+    let points = synthetic_points(1_089);
+    let mut group = c.benchmark_group("pareto");
+    group.bench_function("non_dominated_1089", |b| {
+        b.iter(|| black_box(non_dominated_indices(black_box(&points))))
+    });
+    group.bench_function("fast_sort_1089", |b| {
+        b.iter(|| black_box(fast_non_dominated_sort(black_box(&points))))
+    });
+    group.bench_function("hypervolume_1089", |b| {
+        b.iter(|| black_box(hypervolume_2d(black_box(&points), &[20.0, 50_000.0])))
+    });
+    group.finish();
+}
+
+fn bench_nsga2_overhead(c: &mut Criterion) {
+    // A cheap objective isolates the genetic-machinery cost.
+    let problem = FnProblem::new(vec![11, 11, 9], 2, |g| {
+        let wind = g[0] as f64 * 3.0;
+        let solar = g[1] as f64 * 4.0;
+        let battery = g[2] as f64 * 7.5;
+        let op = (16.0 - 0.6 * wind - 0.25 * solar - 0.05 * battery).max(0.0);
+        let embodied = wind * 348.7 + solar * 630.0 + battery * 62.0;
+        vec![op, embodied]
+    });
+    let mut group = c.benchmark_group("nsga2");
+    group.sample_size(20);
+    group.bench_function("paper_settings_350_trials", |b| {
+        b.iter(|| {
+            let opt = Nsga2Optimizer::new(Nsga2Config {
+                population_size: 50,
+                max_trials: 350,
+                seed: 42,
+                ..Nsga2Config::default()
+            });
+            black_box(opt.run(black_box(&problem)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto_tools, bench_nsga2_overhead);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Engine benchmarks: full-year microgrid simulation throughput.
+//!
+//! The paper's framework "performs full-year simulations within minutes";
+//! these benches document what the Rust engine achieves (typically
+//! milliseconds per composition-year at hourly resolution).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgopt_core::ScenarioConfig;
+use mgopt_microgrid::{simulate_year, simulate_year_cosim, Composition, SimConfig};
+
+fn bench_year_simulation(c: &mut Criterion) {
+    let comp = Composition::new(4, 12_000.0, 30_000.0);
+    let cfg = SimConfig::default();
+
+    let mut group = c.benchmark_group("year_simulation");
+    group.sample_size(20);
+
+    for step_minutes in [60u32, 15] {
+        let scenario = ScenarioConfig {
+            step_minutes,
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare();
+        group.bench_with_input(
+            BenchmarkId::new("fast_path", format!("{step_minutes}min")),
+            &scenario,
+            |b, s| {
+                b.iter(|| {
+                    black_box(simulate_year(
+                        black_box(&s.data),
+                        black_box(&s.load),
+                        black_box(&comp),
+                        black_box(&cfg),
+                    ))
+                })
+            },
+        );
+    }
+
+    let scenario = ScenarioConfig::paper_houston().prepare();
+    group.bench_function("cosim_engine_60min", |b| {
+        b.iter(|| {
+            black_box(simulate_year_cosim(
+                black_box(&scenario.data),
+                black_box(&scenario.load),
+                black_box(&comp),
+                black_box(&cfg),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_scenario_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_preparation");
+    group.sample_size(10);
+    group.bench_function("prepare_houston_hourly", |b| {
+        b.iter(|| black_box(ScenarioConfig::paper_houston().prepare()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_year_simulation, bench_scenario_preparation);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates **Figure 2**: Pareto fronts of (embodied tCO2, operational
+//! tCO2/day) for Houston and Berkeley, with candidate compositions.
+//!
+//! ```bash
+//! cargo run --release -p mgopt-bench --bin fig2_pareto
+//! ```
+
+use mgopt_core::experiments::fig2;
+use mgopt_core::report;
+
+fn main() {
+    for scenario in [mgopt_bench::houston(), mgopt_bench::berkeley()] {
+        let out = fig2::run(&scenario);
+        print!("{}", report::render_fig2(&out));
+        println!();
+        // The paper's visual: front points `o`, candidates `^`.
+        print!("{}", report::render_fig2_plot(&out, 72, 20));
+        println!();
+        let name = format!(
+            "fig2_{}",
+            if out.site.starts_with("Houston") { "houston" } else { "berkeley" }
+        );
+        mgopt_bench::write_artifact(&name, &out);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Figure 3**: naive 20-year projection of cumulative
+//! emissions for the five candidates per site, including the year at which
+//! the grid-only baseline becomes the worst configuration (~7 y Houston,
+//! ~12 y Berkeley in the paper).
+//!
+//! ```bash
+//! cargo run --release -p mgopt-bench --bin fig3_projection
+//! ```
+
+use mgopt_core::experiments::{fig3, tables};
+use mgopt_core::report;
+
+fn main() {
+    for scenario in [mgopt_bench::houston(), mgopt_bench::berkeley()] {
+        let table = tables::run(&scenario);
+        let out = fig3::run(&table.site, &table.rows, 20);
+        print!("{}", report::render_fig3(&out));
+        println!();
+        let name = format!(
+            "fig3_{}",
+            if out.site.starts_with("Houston") { "houston" } else { "berkeley" }
+        );
+        mgopt_bench::write_artifact(&name, &out);
+    }
+}

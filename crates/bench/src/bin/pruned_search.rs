@@ -1,0 +1,49 @@
+//! Regenerates the **§4.4 future-work** study: multi-fidelity successive
+//! halving ("dynamic pruning / early stopping for non-promising simulation
+//! runs") vs the exhaustive baseline, on the full paper space.
+//!
+//! ```bash
+//! cargo run --release -p mgopt-bench --bin pruned_search
+//! ```
+
+use mgopt_core::experiments::pruned;
+use mgopt_optimizer::SuccessiveHalvingConfig;
+
+fn main() {
+    let cfg = if mgopt_bench::fast_mode() {
+        SuccessiveHalvingConfig {
+            initial_cohort: 16,
+            eta: 2,
+            min_fidelity: 0.25,
+            seed: 42,
+        }
+    } else {
+        SuccessiveHalvingConfig {
+            initial_cohort: 512,
+            eta: 2,
+            min_fidelity: 1.0 / 8.0,
+            seed: 42,
+        }
+    };
+    for scenario in [mgopt_bench::houston(), mgopt_bench::berkeley()] {
+        let out = pruned::run(&scenario, &cfg);
+        println!("Pruned search — {}", out.site);
+        println!("  space size:                 {}", out.space_size);
+        println!("  initial cohort:             {}", out.initial_cohort);
+        println!("  rung fidelities:            {:?}", out.rung_fidelities);
+        println!("  raw evaluations:            {}", out.raw_evaluations);
+        println!(
+            "  full-year-equivalent cost:  {:.1}",
+            out.equivalent_full_evaluations
+        );
+        println!("  Pareto recovery:            {:.1} %", out.recovery * 100.0);
+        println!("  IGD (normalized):           {:.4}", out.igd);
+        println!("  speed-up (cost):            {:.2}x", out.speedup_by_cost);
+        println!();
+        let name = format!(
+            "pruned_{}",
+            if out.site.starts_with("Houston") { "houston" } else { "berkeley" }
+        );
+        mgopt_bench::write_artifact(&name, &out);
+    }
+}

@@ -1,0 +1,112 @@
+//! Regenerates **every** table and figure of the paper in one run, in
+//! paper order, and writes all JSON artifacts to `results/`.
+//!
+//! ```bash
+//! cargo run --release -p mgopt-bench --bin reproduce_all
+//! ```
+
+use mgopt_core::experiments::{beyond, fig2, fig3, fig4, pruned, robustness, search};
+use mgopt_core::report;
+use mgopt_core::ScenarioConfig;
+use mgopt_microgrid::Composition;
+use mgopt_optimizer::{Nsga2Config, SuccessiveHalvingConfig};
+
+fn main() {
+    let started = std::time::Instant::now();
+    let houston = mgopt_bench::houston();
+    let berkeley = mgopt_bench::berkeley();
+
+    println!("=== Figure 2 + Tables 1/2 ===============================================");
+    let mut tables = Vec::new();
+    for (scenario, slug, table_no) in [(&houston, "houston", 1), (&berkeley, "berkeley", 2)] {
+        let (f2, table) = fig2::run_with_table(scenario);
+        print!("{}", report::render_fig2(&f2));
+        println!();
+        println!("Table {table_no}:");
+        print!("{}", report::render_candidate_table(&table));
+        println!();
+        mgopt_bench::write_artifact(&format!("fig2_{slug}"), &f2);
+        mgopt_bench::write_artifact(&format!("table{table_no}_{slug}"), &table);
+        tables.push(table);
+    }
+
+    println!("=== Figure 3 ============================================================");
+    for table in &tables {
+        let out = fig3::run(&table.site, &table.rows, 20);
+        print!("{}", report::render_fig3(&out));
+        println!();
+        let slug = if table.site.starts_with("Houston") { "houston" } else { "berkeley" };
+        mgopt_bench::write_artifact(&format!("fig3_{slug}"), &out);
+    }
+
+    println!("=== Figure 4 ============================================================");
+    let f4 = fig4::run(&houston);
+    print!("{}", report::render_fig4(&f4));
+    println!();
+    mgopt_bench::write_artifact("fig4_houston", &f4);
+
+    println!("=== §4.4 search performance =============================================");
+    for (scenario, slug) in [(&houston, "houston"), (&berkeley, "berkeley")] {
+        let out = search::run_with_config(
+            scenario,
+            Nsga2Config {
+                population_size: 50,
+                max_trials: 350,
+                seed: 42,
+                ..Nsga2Config::default()
+            },
+        );
+        print!("{}", report::render_search_perf(&out));
+        println!();
+        mgopt_bench::write_artifact(&format!("search_{slug}"), &out);
+    }
+
+    println!("=== §4.4 future work: pruned search =====================================");
+    let sh = pruned::run(
+        &houston,
+        &SuccessiveHalvingConfig {
+            initial_cohort: 512,
+            eta: 2,
+            min_fidelity: 0.125,
+            seed: 42,
+        },
+    );
+    println!(
+        "Houston: recovery {:.1}% at {:.1} full-year equivalents ({:.2}x cost speed-up)",
+        sh.recovery * 100.0,
+        sh.equivalent_full_evaluations,
+        sh.speedup_by_cost
+    );
+    mgopt_bench::write_artifact("pruned_houston", &sh);
+
+    println!("\n=== §4.3 beyond carbon ==================================================");
+    let bc = beyond::run(&houston, Composition::new(4, 8_000.0, 22_500.0), 42);
+    for p in &bc.policies {
+        println!(
+            "  {:<26} {:>7.2} t/d  {:>9.0} $/yr  {:>5.0} cycles  {:>5.1} yrs",
+            p.policy, p.operational_t_per_day, p.energy_cost_usd, p.battery_cycles,
+            p.battery_lifetime_years
+        );
+    }
+    mgopt_bench::write_artifact("beyond_carbon_houston", &bc);
+
+    println!("\n=== robustness (Monte-Carlo) ============================================");
+    let rb = robustness::run(
+        &ScenarioConfig::paper_houston(),
+        Composition::new(4, 0.0, 7_500.0),
+        8,
+    );
+    println!(
+        "  (12,0,7.5): operational {:.2} ± {:.2} t/d, coverage {:.1} ± {:.1} %",
+        rb.operational_t_per_day.mean,
+        rb.operational_t_per_day.std,
+        rb.coverage_pct.mean,
+        rb.coverage_pct.std
+    );
+    mgopt_bench::write_artifact("robustness_houston_12_0_7", &rb);
+
+    println!(
+        "\nall experiments regenerated in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Tables 1 and 2**: five representative candidate
+//! compositions per site (baseline, best ≤5k/≤10k/≤15k tCO2 embodied,
+//! unconstrained best) with embodied, operational, coverage and battery
+//! cycle columns.
+//!
+//! ```bash
+//! cargo run --release -p mgopt-bench --bin table1_2_candidates
+//! ```
+
+use mgopt_core::experiments::tables;
+use mgopt_core::report;
+
+fn main() {
+    for (n, scenario) in [(1, mgopt_bench::houston()), (2, mgopt_bench::berkeley())] {
+        let table = tables::run(&scenario);
+        println!("Table {n}:");
+        print!("{}", report::render_candidate_table(&table));
+        println!();
+        let name = format!(
+            "table{}_{}",
+            n,
+            if n == 1 { "houston" } else { "berkeley" }
+        );
+        mgopt_bench::write_artifact(&name, &table);
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it from scratch and writes a JSON artifact next to the
+//! printed report:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig2_pareto` | Figure 2 (both sites) |
+//! | `table1_2_candidates` | Tables 1 and 2 |
+//! | `fig3_projection` | Figure 3 (both sites) |
+//! | `fig4_coverage` | Figure 4 (Houston) |
+//! | `search_performance` | §4.4 comparison |
+//! | `beyond_carbon` | §4.3 additional objectives |
+//!
+//! Set `MGOPT_FAST=1` to run on a reduced composition space (for smoke
+//! tests); the default regenerates the full 1,089-point studies.
+
+use std::path::PathBuf;
+
+use mgopt_core::{PreparedScenario, ScenarioConfig};
+use mgopt_microgrid::CompositionSpace;
+use serde::Serialize;
+
+/// `true` when `MGOPT_FAST=1` (reduced spaces for smoke runs).
+pub fn fast_mode() -> bool {
+    std::env::var("MGOPT_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The search space for the current mode.
+pub fn space() -> CompositionSpace {
+    if fast_mode() {
+        CompositionSpace::tiny()
+    } else {
+        CompositionSpace::paper()
+    }
+}
+
+/// Prepared Houston scenario (paper configuration).
+pub fn houston() -> PreparedScenario {
+    ScenarioConfig {
+        space: space(),
+        ..ScenarioConfig::paper_houston()
+    }
+    .prepare()
+}
+
+/// Prepared Berkeley scenario (paper configuration).
+pub fn berkeley() -> PreparedScenario {
+    ScenarioConfig {
+        space: space(),
+        ..ScenarioConfig::paper_berkeley()
+    }
+    .prepare()
+}
+
+/// Write a JSON artifact under `results/` (best effort — printing is the
+/// primary output; artifact failures only warn).
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        eprintln!("warning: could not create results dir");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: serialization failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_respects_fast_mode_env() {
+        // Can't mutate the environment safely in parallel tests; just
+        // check both space shapes are available.
+        assert_eq!(CompositionSpace::paper().len(), 1_089);
+        assert_eq!(CompositionSpace::tiny().len(), 27);
+    }
+
+    #[test]
+    fn scenarios_prepare() {
+        std::env::set_var("MGOPT_FAST", "1");
+        let h = houston();
+        assert_eq!(h.site_name(), "Houston, TX");
+        std::env::remove_var("MGOPT_FAST");
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 2: the Pareto front of (embodied tCO2, operational tCO2/day)
+//! per site, with the five candidate compositions highlighted.
+
+use mgopt_microgrid::AnnualResult;
+use mgopt_optimizer::pareto::non_dominated_indices;
+use serde::{Deserialize, Serialize};
+
+use super::tables::{extract_candidates, CandidateTable};
+use super::CandidateRow;
+use crate::scenario::PreparedScenario;
+use crate::sweep::sweep_all;
+
+/// One point of the Figure-2 scatter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Point {
+    /// Embodied emissions, tCO2 (x-axis).
+    pub embodied_t: f64,
+    /// Operational emissions, tCO2/day (y-axis).
+    pub operational_t_per_day: f64,
+    /// The composition label `(wind MW, solar MW, battery MWh)`.
+    pub label: String,
+}
+
+/// Figure-2 output for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Output {
+    /// Site name.
+    pub site: String,
+    /// Pareto-front points, sorted by embodied emissions (red dots).
+    pub front: Vec<Fig2Point>,
+    /// Candidate compositions (red triangles) — the table rows.
+    pub candidates: Vec<CandidateRow>,
+    /// Total compositions evaluated.
+    pub evaluated: usize,
+}
+
+/// Compute the Pareto front of a sweep.
+pub fn pareto_front_of(results: &[AnnualResult]) -> Vec<&AnnualResult> {
+    let points: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| vec![r.metrics.operational_t_per_day, r.metrics.embodied_t])
+        .collect();
+    let mut front: Vec<&AnnualResult> = non_dominated_indices(&points)
+        .into_iter()
+        .map(|i| &results[i])
+        .collect();
+    front.sort_by(|a, b| {
+        a.metrics
+            .embodied_t
+            .partial_cmp(&b.metrics.embodied_t)
+            .expect("NaN embodied")
+    });
+    front
+}
+
+/// Run the Figure-2 experiment for one site.
+pub fn run(scenario: &PreparedScenario) -> Fig2Output {
+    let results = sweep_all(scenario);
+    let front = pareto_front_of(&results)
+        .into_iter()
+        .map(|r| Fig2Point {
+            embodied_t: r.metrics.embodied_t,
+            operational_t_per_day: r.metrics.operational_t_per_day,
+            label: r.composition.label(),
+        })
+        .collect();
+    Fig2Output {
+        site: scenario.site_name().to_string(),
+        front,
+        candidates: extract_candidates(&results),
+        evaluated: results.len(),
+    }
+}
+
+/// Convenience: run Figure 2 and the candidate table in one sweep.
+pub fn run_with_table(scenario: &PreparedScenario) -> (Fig2Output, CandidateTable) {
+    let results = sweep_all(scenario);
+    let front = pareto_front_of(&results)
+        .into_iter()
+        .map(|r| Fig2Point {
+            embodied_t: r.metrics.embodied_t,
+            operational_t_per_day: r.metrics.operational_t_per_day,
+            label: r.composition.label(),
+        })
+        .collect();
+    let candidates = extract_candidates(&results);
+    (
+        Fig2Output {
+            site: scenario.site_name().to_string(),
+            front,
+            candidates: candidates.clone(),
+            evaluated: results.len(),
+        },
+        CandidateTable {
+            site: scenario.site_name().to_string(),
+            rows: candidates,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioConfig, SitePreset};
+    use mgopt_microgrid::CompositionSpace;
+
+    fn output() -> Fig2Output {
+        let scenario = ScenarioConfig {
+            site: SitePreset::Houston,
+            space: CompositionSpace::tiny(),
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare();
+        run(&scenario)
+    }
+
+    #[test]
+    fn front_is_sorted_and_monotone() {
+        let out = output();
+        assert!(!out.front.is_empty());
+        for w in out.front.windows(2) {
+            assert!(w[0].embodied_t <= w[1].embodied_t, "sorted by embodied");
+            assert!(
+                w[0].operational_t_per_day >= w[1].operational_t_per_day - 1e-9,
+                "operational must fall along the front"
+            );
+        }
+    }
+
+    #[test]
+    fn front_contains_baseline_and_is_subset() {
+        let out = output();
+        assert_eq!(out.evaluated, 27);
+        assert!(out.front.len() <= 27);
+        // The zero-investment baseline is always on the front (it has the
+        // minimal embodied emissions).
+        assert_eq!(out.front[0].embodied_t, 0.0);
+    }
+
+    #[test]
+    fn candidates_present() {
+        let out = output();
+        assert_eq!(out.candidates.len(), 5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Figure 3: naive 20-year projection of total (embodied + cumulative
+//! operational) emissions for the five candidate compositions per site.
+//!
+//! Assumptions match the paper: constant daily operational emissions, no
+//! reinvestment, no degradation — embodied paid once up front.
+
+use mgopt_gridcarbon::accounting::{
+    crossover_year, project_cumulative_emissions_t, project_with_battery_reinvestment_t,
+};
+use serde::{Deserialize, Serialize};
+
+use super::CandidateRow;
+
+/// One projected trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProjectionSeries {
+    /// Candidate label `(wind MW, solar MW, battery MWh)`.
+    pub label: String,
+    /// Embodied emissions, tCO2 (the year-0 intercept).
+    pub embodied_t: f64,
+    /// Operational emissions, tCO2/day (the slope).
+    pub operational_t_per_day: f64,
+    /// Cumulative tCO2 at the end of year 0..=horizon.
+    pub cumulative_t: Vec<f64>,
+}
+
+/// Figure-3 output for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Output {
+    /// Site name.
+    pub site: String,
+    /// Projection horizon, years.
+    pub horizon_years: usize,
+    /// One series per candidate (same order as the table rows).
+    pub series: Vec<ProjectionSeries>,
+    /// Year at which the zero-investment baseline becomes the *worst*
+    /// trajectory, if within the horizon (the paper: ~7 y Houston,
+    /// ~12 y Berkeley).
+    pub baseline_becomes_worst_year: Option<f64>,
+}
+
+/// Project candidates over a horizon.
+pub fn run(site: &str, candidates: &[CandidateRow], horizon_years: usize) -> Fig3Output {
+    let series: Vec<ProjectionSeries> = candidates
+        .iter()
+        .map(|c| ProjectionSeries {
+            label: c.label(),
+            embodied_t: c.embodied_t,
+            operational_t_per_day: c.operational_t_per_day,
+            cumulative_t: project_cumulative_emissions_t(
+                c.embodied_t,
+                c.operational_t_per_day,
+                horizon_years,
+            ),
+        })
+        .collect();
+
+    // When does the baseline (first row) overtake the *last* of the other
+    // candidates it is still beating?
+    let baseline_becomes_worst_year = candidates.split_first().and_then(|(base, rest)| {
+        rest.iter()
+            .filter_map(|c| {
+                crossover_year(
+                    (base.embodied_t, base.operational_t_per_day),
+                    (c.embodied_t, c.operational_t_per_day),
+                    horizon_years as f64,
+                )
+            })
+            .fold(None, |acc: Option<f64>, y| {
+                Some(acc.map_or(y, |a| a.max(y)))
+            })
+    });
+
+    Fig3Output {
+        site: site.to_string(),
+        horizon_years,
+        series,
+        baseline_becomes_worst_year,
+    }
+}
+
+/// The reinvestment-aware variant of Figure 3 (the paper's stated
+/// limitation: "batteries may require replacement within 10–15 years").
+/// Battery embodied carbon (62 kg/kWh, the paper's constant) is re-paid
+/// every `battery_lifetime_years`; generation assets persist.
+pub fn run_with_reinvestment(
+    site: &str,
+    candidates: &[CandidateRow],
+    horizon_years: usize,
+    battery_lifetime_years: usize,
+) -> Fig3Output {
+    const BATTERY_KG_PER_KWH: f64 = 62.0;
+    let series: Vec<ProjectionSeries> = candidates
+        .iter()
+        .map(|c| {
+            let battery_t = c.battery_mwh * 1_000.0 * BATTERY_KG_PER_KWH / 1_000.0;
+            let generation_t = (c.embodied_t - battery_t).max(0.0);
+            ProjectionSeries {
+                label: c.label(),
+                embodied_t: c.embodied_t,
+                operational_t_per_day: c.operational_t_per_day,
+                cumulative_t: project_with_battery_reinvestment_t(
+                    generation_t,
+                    battery_t,
+                    c.operational_t_per_day,
+                    horizon_years,
+                    battery_lifetime_years,
+                ),
+            }
+        })
+        .collect();
+
+    // With reinvestment the trajectories are piecewise linear; determine
+    // the "baseline becomes worst" year numerically from the series.
+    let baseline_becomes_worst_year = series.split_first().and_then(|(base, rest)| {
+        (0..=horizon_years)
+            .find(|&y| {
+                rest.iter()
+                    .all(|s| base.cumulative_t[y] > s.cumulative_t[y])
+            })
+            .map(|y| y as f64)
+    });
+
+    Fig3Output {
+        site: site.to_string(),
+        horizon_years,
+        series,
+        baseline_becomes_worst_year,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Houston Table-1 rows, verbatim.
+    fn paper_houston_rows() -> Vec<CandidateRow> {
+        let mk = |w: f64, s: f64, b: f64, e: f64, o: f64| CandidateRow {
+            wind_mw: w,
+            solar_mw: s,
+            battery_mwh: b,
+            embodied_t: e,
+            operational_t_per_day: o,
+            coverage_pct: 0.0,
+            battery_cycles: 0.0,
+        };
+        vec![
+            mk(0.0, 0.0, 0.0, 0.0, 15.54),
+            mk(12.0, 0.0, 7.5, 4_649.0, 5.88),
+            mk(9.0, 8.0, 22.5, 9_573.0, 1.90),
+            mk(12.0, 12.0, 52.5, 14_999.0, 0.24),
+            mk(30.0, 40.0, 60.0, 39_380.0, 0.02),
+        ]
+    }
+
+    #[test]
+    fn paper_houston_crossover_near_seven_years() {
+        let out = run("Houston, TX", &paper_houston_rows(), 20);
+        let y = out.baseline_becomes_worst_year.expect("must cross");
+        // The paper: "becoming the worst-performing configuration after
+        // approximately 7 years in Houston".
+        assert!((6.0..8.5).contains(&y), "crossover at {y} years");
+    }
+
+    #[test]
+    fn series_shapes() {
+        let out = run("Houston, TX", &paper_houston_rows(), 20);
+        assert_eq!(out.series.len(), 5);
+        for s in &out.series {
+            assert_eq!(s.cumulative_t.len(), 21);
+            assert_eq!(s.cumulative_t[0], s.embodied_t);
+            // Monotone non-decreasing accumulation.
+            for w in s.cumulative_t.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_starts_lowest_ends_highest() {
+        let out = run("Houston, TX", &paper_houston_rows(), 20);
+        let base = &out.series[0];
+        for other in &out.series[1..] {
+            assert!(base.cumulative_t[0] <= other.cumulative_t[0]);
+            assert!(
+                base.cumulative_t[20] > other.cumulative_t[20],
+                "baseline must end worst: {} vs {} ({})",
+                base.cumulative_t[20],
+                other.cumulative_t[20],
+                other.label
+            );
+        }
+    }
+
+    #[test]
+    fn no_crossover_without_better_candidates() {
+        // Single-row table: nothing to cross.
+        let out = run("X", &paper_houston_rows()[..1], 20);
+        assert!(out.baseline_becomes_worst_year.is_none());
+    }
+
+    #[test]
+    fn reinvestment_raises_battery_heavy_trajectories() {
+        let rows = paper_houston_rows();
+        let naive = run("Houston, TX", &rows, 20);
+        let reinvested = run_with_reinvestment("Houston, TX", &rows, 20, 12);
+        // Baseline (no battery) unchanged; battery builds end higher.
+        assert_eq!(
+            naive.series[0].cumulative_t, reinvested.series[0].cumulative_t,
+            "baseline has nothing to replace"
+        );
+        for (n, r) in naive.series[1..].iter().zip(&reinvested.series[1..]) {
+            assert!(
+                r.cumulative_t[20] > n.cumulative_t[20],
+                "{}: one battery replacement must land within 20 years",
+                r.label
+            );
+            assert_eq!(r.cumulative_t[0], n.cumulative_t[0], "initial purchase equal");
+        }
+        // Crossover moves earlier (or stays) when investments re-pay
+        // batteries: the baseline has no reinvestment burden.
+        if let (Some(a), Some(b)) = (
+            naive.baseline_becomes_worst_year,
+            reinvested.baseline_becomes_worst_year,
+        ) {
+            assert!(b + 1.5 >= a, "reinvestment should not wildly shift crossover: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reinvestment_step_timing_matches_lifetime() {
+        let rows = vec![CandidateRow {
+            wind_mw: 0.0,
+            solar_mw: 0.0,
+            battery_mwh: 7.5,
+            embodied_t: 465.0,
+            operational_t_per_day: 0.0,
+            coverage_pct: 0.0,
+            battery_cycles: 0.0,
+        }];
+        let out = run_with_reinvestment("X", &rows, 20, 10);
+        let c = &out.series[0].cumulative_t;
+        assert!((c[0] - 465.0).abs() < 1e-9);
+        assert!((c[10] - 465.0).abs() < 1e-9, "no replacement through year 10");
+        assert!((c[11] - 930.0).abs() < 1e-9, "replacement in year 11");
+        assert!((c[20] - 930.0).abs() < 1e-9);
+    }
+}

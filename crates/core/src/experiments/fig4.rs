@@ -1,0 +1,157 @@
+//! Figure 4: on-site renewable coverage over (solar, wind) capacity with
+//! **no battery** — isolating the generation mix. The paper shows Houston:
+//! coverage improves with capacity but with clearly diminishing returns.
+
+use mgopt_microgrid::{simulate_year, Composition};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::PreparedScenario;
+
+/// Figure-4 output: a coverage surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Output {
+    /// Site name.
+    pub site: String,
+    /// Solar capacities swept, kW (columns).
+    pub solar_kw: Vec<f64>,
+    /// Wind capacities swept, kW (rows; turbines × 3,000).
+    pub wind_kw: Vec<f64>,
+    /// `coverage_pct[w][s]` — direct on-site coverage in percent for wind
+    /// row `w`, solar column `s`.
+    pub coverage_pct: Vec<Vec<f64>>,
+}
+
+/// Run the coverage-surface experiment (battery fixed at zero).
+pub fn run(scenario: &PreparedScenario) -> Fig4Output {
+    let space = &scenario.config.space;
+    let winds: Vec<u32> = space.wind_choices.clone();
+    let solars: Vec<f64> = space.solar_choices_kw.clone();
+
+    let coverage_pct: Vec<Vec<f64>> = winds
+        .par_iter()
+        .map(|&w| {
+            solars
+                .iter()
+                .map(|&s| {
+                    let comp = Composition::new(w, s, 0.0);
+                    let r = simulate_year(
+                        &scenario.data,
+                        &scenario.load,
+                        &comp,
+                        &scenario.config.sim,
+                    );
+                    // "This specific analysis excludes battery storage to
+                    // isolate the impact of generation capacity": direct
+                    // coverage, not battery-assisted coverage.
+                    r.metrics.direct_coverage * 100.0
+                })
+                .collect()
+        })
+        .collect();
+
+    Fig4Output {
+        site: scenario.site_name().to_string(),
+        solar_kw: solars,
+        wind_kw: winds.iter().map(|&w| w as f64 * 3_000.0).collect(),
+        coverage_pct,
+    }
+}
+
+impl Fig4Output {
+    /// Coverage at a grid cell.
+    pub fn at(&self, wind_idx: usize, solar_idx: usize) -> f64 {
+        self.coverage_pct[wind_idx][solar_idx]
+    }
+
+    /// Marginal coverage gain of the last solar step at a wind row —
+    /// used to demonstrate diminishing returns.
+    pub fn last_solar_marginal_gain(&self, wind_idx: usize) -> f64 {
+        let row = &self.coverage_pct[wind_idx];
+        if row.len() < 2 {
+            return 0.0;
+        }
+        row[row.len() - 1] - row[row.len() - 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioConfig, SitePreset};
+    use mgopt_microgrid::CompositionSpace;
+
+    fn surface() -> Fig4Output {
+        let scenario = ScenarioConfig {
+            site: SitePreset::Houston,
+            space: CompositionSpace {
+                wind_choices: vec![0, 2, 4, 8],
+                solar_choices_kw: vec![0.0, 8_000.0, 16_000.0, 32_000.0],
+                battery_choices_kwh: vec![0.0],
+            },
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare();
+        run(&scenario)
+    }
+
+    #[test]
+    fn surface_shape_matches_space() {
+        let s = surface();
+        assert_eq!(s.coverage_pct.len(), 4);
+        assert_eq!(s.coverage_pct[0].len(), 4);
+        assert_eq!(s.wind_kw, vec![0.0, 6_000.0, 12_000.0, 24_000.0]);
+    }
+
+    #[test]
+    fn zero_capacity_zero_coverage() {
+        let s = surface();
+        assert_eq!(s.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn coverage_monotone_in_each_axis() {
+        let s = surface();
+        for w in 0..4 {
+            for c in 1..4 {
+                assert!(
+                    s.at(w, c) >= s.at(w, c - 1) - 1e-9,
+                    "solar axis not monotone at ({w},{c})"
+                );
+            }
+        }
+        for c in 0..4 {
+            for w in 1..4 {
+                assert!(
+                    s.at(w, c) >= s.at(w - 1, c) - 1e-9,
+                    "wind axis not monotone at ({w},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diminishing_returns_along_solar() {
+        let s = surface();
+        // First solar step (from zero) gains far more than the last step.
+        let first_gain = s.at(0, 1) - s.at(0, 0);
+        let last_gain = s.at(0, 3) - s.at(0, 2);
+        assert!(
+            first_gain > 1.5 * last_gain,
+            "no diminishing returns: first {first_gain}, last {last_gain}"
+        );
+    }
+
+    #[test]
+    fn coverage_bounded_without_storage() {
+        // Without a battery, a solar-only system cannot exceed the daylight
+        // share of demand.
+        let s = surface();
+        assert!(s.at(0, 3) < 60.0, "solar-only coverage {}", s.at(0, 3));
+        for row in &s.coverage_pct {
+            for &v in row {
+                assert!((0.0..=100.0).contains(&v));
+            }
+        }
+    }
+}

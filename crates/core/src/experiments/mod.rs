@@ -1,0 +1,66 @@
+//! One driver per paper experiment.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`tables`] | Tables 1 & 2 — candidate compositions per site |
+//! | [`fig2`] | Figure 2 — Pareto fronts + candidate markers |
+//! | [`fig3`] | Figure 3 — naive 20-year emission projection |
+//! | [`fig4`] | Figure 4 — coverage surface without batteries |
+//! | [`search`] | §4.4 — NSGA-II vs exhaustive search performance |
+//! | [`beyond`] | §4.3 — objectives beyond carbon (cost, degradation, …) |
+//! | [`pruned`] | §4.4 future work — multi-fidelity successive halving |
+//! | [`robustness`] | related work — Monte-Carlo interannual robustness |
+
+pub mod beyond;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod pruned;
+pub mod robustness;
+pub mod search;
+pub mod tables;
+
+use mgopt_microgrid::AnnualResult;
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's candidate tables (Tables 1 and 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateRow {
+    /// Wind capacity, MW.
+    pub wind_mw: f64,
+    /// Solar capacity, MW.
+    pub solar_mw: f64,
+    /// Battery capacity, MWh.
+    pub battery_mwh: f64,
+    /// Embodied emissions, tCO2.
+    pub embodied_t: f64,
+    /// Operational emissions, tCO2/day.
+    pub operational_t_per_day: f64,
+    /// On-site coverage, percent.
+    pub coverage_pct: f64,
+    /// Battery equivalent full cycles per year.
+    pub battery_cycles: f64,
+}
+
+impl CandidateRow {
+    /// Build a row from a simulation result.
+    pub fn from_result(r: &AnnualResult) -> Self {
+        Self {
+            wind_mw: r.composition.wind_mw(),
+            solar_mw: r.composition.solar_mw(),
+            battery_mwh: r.composition.battery_mwh(),
+            embodied_t: r.metrics.embodied_t,
+            operational_t_per_day: r.metrics.operational_t_per_day,
+            coverage_pct: r.metrics.coverage_pct(),
+            battery_cycles: r.metrics.battery_cycles,
+        }
+    }
+
+    /// The paper's `(wind MW, solar MW, battery MWh)` label.
+    pub fn label(&self) -> String {
+        format!(
+            "({:.0}, {:.0}, {:.0})",
+            self.wind_mw, self.solar_mw, self.battery_mwh
+        )
+    }
+}

@@ -1,0 +1,100 @@
+//! Pruned (multi-fidelity) search — the paper's §4.4 future-work item
+//! ("dynamic pruning or early stopping for non-promising simulation
+//! runs"), implemented as successive halving over partial-year
+//! simulations and compared against the exhaustive ground truth.
+
+use mgopt_optimizer::pareto::{igd, recovery_fraction};
+use mgopt_optimizer::{successive_halving, Sampler, Study, SuccessiveHalvingConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::objectives::ObjectiveSet;
+use crate::problem::CompositionProblem;
+use crate::scenario::PreparedScenario;
+
+/// Pruned-search comparison output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrunedSearchOutput {
+    /// Site name.
+    pub site: String,
+    /// Size of the full space.
+    pub space_size: usize,
+    /// Initial cohort size.
+    pub initial_cohort: usize,
+    /// Rung fidelities visited.
+    pub rung_fidelities: Vec<f64>,
+    /// Raw evaluations at any fidelity.
+    pub raw_evaluations: usize,
+    /// Cost in full-year-simulation equivalents.
+    pub equivalent_full_evaluations: f64,
+    /// Fraction of the true Pareto front recovered.
+    pub recovery: f64,
+    /// IGD of the found front vs the truth (normalized).
+    pub igd: f64,
+    /// Cost speed-up vs exhaustive (space / equivalent evaluations).
+    pub speedup_by_cost: f64,
+}
+
+/// Run successive halving against the exhaustive ground truth.
+pub fn run(scenario: &PreparedScenario, config: &SuccessiveHalvingConfig) -> PrunedSearchOutput {
+    let problem = CompositionProblem::new(scenario, ObjectiveSet::paper());
+
+    let exhaustive = Study::new(Sampler::Exhaustive).optimize(&problem);
+    let truth = exhaustive.pareto_front();
+    let truth_obj: Vec<Vec<f64>> = truth.iter().map(|t| t.objectives.clone()).collect();
+
+    let sh = successive_halving(&problem, config);
+    let found = sh.as_optimization_result().pareto_front();
+    let found_obj: Vec<Vec<f64>> = found.iter().map(|t| t.objectives.clone()).collect();
+
+    PrunedSearchOutput {
+        site: scenario.site_name().to_string(),
+        space_size: exhaustive.sampled_trials,
+        initial_cohort: config.initial_cohort,
+        rung_fidelities: sh.rung_fidelities.clone(),
+        raw_evaluations: sh.raw_evaluations,
+        equivalent_full_evaluations: sh.equivalent_full_evaluations,
+        recovery: recovery_fraction(&sh.full_fidelity_history, &truth),
+        igd: igd(&found_obj, &truth_obj),
+        speedup_by_cost: exhaustive.sampled_trials as f64
+            / sh.equivalent_full_evaluations.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use mgopt_microgrid::CompositionSpace;
+
+    #[test]
+    fn pruning_cheaper_than_exhaustive_with_decent_recovery() {
+        let scenario = ScenarioConfig {
+            space: CompositionSpace {
+                wind_choices: (0..=6).collect(),
+                solar_choices_kw: (0..=6).map(|i| i as f64 * 6_000.0).collect(),
+                battery_choices_kwh: (0..=3).map(|i| i as f64 * 20_000.0).collect(),
+            },
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare();
+        let out = run(
+            &scenario,
+            &SuccessiveHalvingConfig {
+                initial_cohort: 112,
+                eta: 2,
+                min_fidelity: 0.25,
+                seed: 42,
+            },
+        );
+        assert_eq!(out.space_size, 7 * 7 * 4);
+        assert!(
+            out.equivalent_full_evaluations < out.space_size as f64,
+            "cost {} vs space {}",
+            out.equivalent_full_evaluations,
+            out.space_size
+        );
+        assert!(out.speedup_by_cost > 1.5, "speedup {}", out.speedup_by_cost);
+        assert!(out.recovery > 0.3, "recovery {}", out.recovery);
+        assert!(out.igd < 0.25, "igd {}", out.igd);
+    }
+}

@@ -1,0 +1,148 @@
+//! §4.4 — search performance: NSGA-II (350 trials, population 50) vs the
+//! exhaustive 1,089-composition baseline. The paper reports ~80 % Pareto
+//! recovery at a ~2.4× speed-up.
+
+use mgopt_optimizer::pareto::{igd, recovery_fraction};
+use mgopt_optimizer::{Nsga2Config, Sampler, Study};
+use serde::{Deserialize, Serialize};
+
+use crate::objectives::ObjectiveSet;
+use crate::problem::CompositionProblem;
+use crate::scenario::PreparedScenario;
+
+/// Search-performance comparison output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchPerfOutput {
+    /// Site name.
+    pub site: String,
+    /// Size of the full space.
+    pub space_size: usize,
+    /// Trials sampled by NSGA-II (duplicates included; the paper's "350").
+    pub nsga2_sampled: usize,
+    /// Unique simulations NSGA-II actually ran.
+    pub nsga2_unique: usize,
+    /// Size of the true Pareto front.
+    pub true_front_size: usize,
+    /// Size of the front NSGA-II found.
+    pub found_front_size: usize,
+    /// Fraction of true Pareto-optimal compositions recovered.
+    pub recovery: f64,
+    /// Inverted generational distance of the found front (normalized).
+    pub igd: f64,
+    /// Speed-up by unique simulation count (space / unique).
+    pub speedup_by_evaluations: f64,
+    /// Speed-up by wall time (exhaustive seconds / NSGA-II seconds).
+    pub speedup_by_wall_time: f64,
+    /// Exhaustive wall time, seconds.
+    pub exhaustive_seconds: f64,
+    /// NSGA-II wall time, seconds.
+    pub nsga2_seconds: f64,
+}
+
+/// Run the comparison with explicit NSGA-II settings.
+pub fn run_with_config(scenario: &PreparedScenario, cfg: Nsga2Config) -> SearchPerfOutput {
+    let problem = CompositionProblem::new(scenario, ObjectiveSet::paper());
+
+    let exhaustive = Study::new(Sampler::Exhaustive).optimize(&problem);
+    let truth = exhaustive.pareto_front();
+
+    let sampled_target = cfg.max_trials;
+    let nsga2 = Study::new(Sampler::Nsga2(cfg)).optimize(&problem);
+    let found = nsga2.pareto_front();
+
+    let truth_obj: Vec<Vec<f64>> = truth.iter().map(|t| t.objectives.clone()).collect();
+    let found_obj: Vec<Vec<f64>> = found.iter().map(|t| t.objectives.clone()).collect();
+
+    SearchPerfOutput {
+        site: scenario.site_name().to_string(),
+        space_size: exhaustive.sampled_trials,
+        nsga2_sampled: sampled_target,
+        nsga2_unique: nsga2.unique_evaluations,
+        true_front_size: truth.len(),
+        found_front_size: found.len(),
+        recovery: recovery_fraction(&nsga2.history, &truth),
+        igd: igd(&found_obj, &truth_obj),
+        speedup_by_evaluations: exhaustive.sampled_trials as f64
+            / nsga2.unique_evaluations.max(1) as f64,
+        speedup_by_wall_time: if nsga2.wall_seconds > 0.0 {
+            exhaustive.wall_seconds / nsga2.wall_seconds
+        } else {
+            f64::NAN
+        },
+        exhaustive_seconds: exhaustive.wall_seconds,
+        nsga2_seconds: nsga2.wall_seconds,
+    }
+}
+
+/// Run with the paper's settings (350 trials, population 50).
+pub fn run(scenario: &PreparedScenario, seed: u64) -> SearchPerfOutput {
+    run_with_config(
+        scenario,
+        Nsga2Config {
+            population_size: 50,
+            max_trials: 350,
+            seed,
+            ..Nsga2Config::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use mgopt_microgrid::CompositionSpace;
+
+    /// A small-but-not-tiny space so NSGA-II has something to search.
+    fn scenario() -> PreparedScenario {
+        ScenarioConfig {
+            space: CompositionSpace {
+                wind_choices: (0..=5).collect(),
+                solar_choices_kw: (0..=5).map(|i| i as f64 * 8_000.0).collect(),
+                battery_choices_kwh: (0..=3).map(|i| i as f64 * 15_000.0).collect(),
+            },
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare()
+    }
+
+    #[test]
+    fn nsga2_recovers_most_of_the_front() {
+        let out = run_with_config(
+            &scenario(),
+            Nsga2Config {
+                population_size: 24,
+                max_trials: 120,
+                seed: 7,
+                ..Nsga2Config::default()
+            },
+        );
+        assert_eq!(out.space_size, 6 * 6 * 4);
+        assert!(out.nsga2_unique <= 120);
+        assert!(
+            out.recovery >= 0.5,
+            "recovery {} with front {}/{}",
+            out.recovery,
+            out.found_front_size,
+            out.true_front_size
+        );
+        assert!(out.speedup_by_evaluations > 1.0);
+        assert!(out.igd < 0.2, "igd {}", out.igd);
+    }
+
+    #[test]
+    fn found_front_never_larger_than_history() {
+        let out = run_with_config(
+            &scenario(),
+            Nsga2Config {
+                population_size: 16,
+                max_trials: 64,
+                seed: 8,
+                ..Nsga2Config::default()
+            },
+        );
+        assert!(out.found_front_size <= out.nsga2_unique);
+        assert!(out.true_front_size >= 1);
+        assert!((0.0..=1.0).contains(&out.recovery));
+    }
+}

@@ -1,0 +1,123 @@
+//! Tables 1 & 2: five representative candidate compositions per site —
+//! the baseline, the best compositions under embodied budgets of 5,000 /
+//! 10,000 / 15,000 tCO2, and the unconstrained optimum.
+
+use mgopt_microgrid::AnnualResult;
+use serde::{Deserialize, Serialize};
+
+use super::CandidateRow;
+use crate::scenario::PreparedScenario;
+use crate::sweep::sweep_all;
+
+/// The paper's embodied-carbon budgets, tCO2.
+pub const PAPER_BUDGETS_T: [f64; 3] = [5_000.0, 10_000.0, 15_000.0];
+
+/// Output of the candidate-table experiment for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateTable {
+    /// Site name.
+    pub site: String,
+    /// The five rows: baseline, ≤5k, ≤10k, ≤15k, unconstrained best.
+    pub rows: Vec<CandidateRow>,
+}
+
+/// Extract the paper's five candidates from sweep results.
+///
+/// Selection per row: minimal operational emissions among compositions
+/// whose embodied emissions fit the budget; ties break toward lower
+/// embodied. The last row is the unconstrained operational optimum.
+pub fn extract_candidates(results: &[AnnualResult]) -> Vec<CandidateRow> {
+    let baseline = results
+        .iter()
+        .find(|r| r.composition.is_baseline())
+        .expect("sweep must include the baseline");
+
+    let best_under = |budget: f64| -> &AnnualResult {
+        results
+            .iter()
+            .filter(|r| r.metrics.embodied_t <= budget)
+            .min_by(|a, b| {
+                a.metrics
+                    .operational_t_per_day
+                    .partial_cmp(&b.metrics.operational_t_per_day)
+                    .expect("NaN emissions")
+                    .then(
+                        a.metrics
+                            .embodied_t
+                            .partial_cmp(&b.metrics.embodied_t)
+                            .expect("NaN embodied"),
+                    )
+            })
+            .expect("budget always admits the baseline")
+    };
+
+    let mut rows = vec![CandidateRow::from_result(baseline)];
+    for budget in PAPER_BUDGETS_T {
+        rows.push(CandidateRow::from_result(best_under(budget)));
+    }
+    rows.push(CandidateRow::from_result(best_under(f64::INFINITY)));
+    rows
+}
+
+/// Run the full experiment: sweep + extraction.
+pub fn run(scenario: &PreparedScenario) -> CandidateTable {
+    let results = sweep_all(scenario);
+    CandidateTable {
+        site: scenario.site_name().to_string(),
+        rows: extract_candidates(&results),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use mgopt_microgrid::CompositionSpace;
+
+    fn table(cfg: ScenarioConfig) -> CandidateTable {
+        run(&cfg.prepare())
+    }
+
+    fn tiny_scenario(site: crate::scenario::SitePreset) -> ScenarioConfig {
+        ScenarioConfig {
+            site,
+            space: CompositionSpace::tiny(),
+            ..ScenarioConfig::paper_houston()
+        }
+    }
+
+    #[test]
+    fn five_rows_ordered_by_budget() {
+        let t = table(tiny_scenario(crate::scenario::SitePreset::Houston));
+        assert_eq!(t.rows.len(), 5);
+        // Baseline row.
+        assert_eq!(t.rows[0].embodied_t, 0.0);
+        assert_eq!(t.rows[0].coverage_pct, 0.0);
+        // Budgets respected.
+        assert!(t.rows[1].embodied_t <= 5_000.0);
+        assert!(t.rows[2].embodied_t <= 10_000.0);
+        assert!(t.rows[3].embodied_t <= 15_000.0);
+        // Operational emissions monotonically improve down the table.
+        for w in t.rows.windows(2) {
+            assert!(
+                w[1].operational_t_per_day <= w[0].operational_t_per_day + 1e-9,
+                "rows must improve: {} then {}",
+                w[0].operational_t_per_day,
+                w[1].operational_t_per_day
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_rises_with_investment() {
+        let t = table(tiny_scenario(crate::scenario::SitePreset::Berkeley));
+        assert!(t.rows[4].coverage_pct > t.rows[1].coverage_pct);
+        assert!(t.rows[4].coverage_pct > 90.0);
+    }
+
+    #[test]
+    fn site_name_propagates() {
+        let t = table(tiny_scenario(crate::scenario::SitePreset::Berkeley));
+        assert_eq!(t.site, "Berkeley, CA");
+    }
+}

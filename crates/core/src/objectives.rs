@@ -1,0 +1,179 @@
+//! Objective sets over simulation results.
+//!
+//! The paper's default objective pair is (operational tCO2/day, embodied
+//! tCO2); §3.3 and §4.3 describe the framework as "fully extensible" with
+//! alternatives — renewable coverage, battery degradation, electricity
+//! cost, export minimization, reliability. Everything here is expressed as
+//! *minimization* (coverage becomes its shortfall, lifetime becomes wear).
+
+use mgopt_microgrid::AnnualResult;
+use serde::{Deserialize, Serialize};
+
+/// One scalar objective extracted from an [`AnnualResult`]. All minimized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjectiveKind {
+    /// Operational emissions, tCO2/day (paper default #1).
+    OperationalEmissions,
+    /// Embodied emissions, tCO2 (paper default #2).
+    EmbodiedEmissions,
+    /// Coverage shortfall `1 − coverage` (maximizing on-site coverage).
+    CoverageShortfall,
+    /// Battery equivalent full cycles (degradation minimization, §4.3).
+    BatteryCycles,
+    /// Net electricity cost, USD (§4.3).
+    EnergyCost,
+    /// Grid exports, MWh ("reducing excess energy exports", §3.3).
+    GridExport,
+    /// Unserved demand, MWh (reliability/resilience, §4.3).
+    UnmetDemand,
+}
+
+impl ObjectiveKind {
+    /// Extract the objective value.
+    pub fn extract(&self, r: &AnnualResult) -> f64 {
+        let m = &r.metrics;
+        match self {
+            ObjectiveKind::OperationalEmissions => m.operational_t_per_day,
+            ObjectiveKind::EmbodiedEmissions => m.embodied_t,
+            ObjectiveKind::CoverageShortfall => 1.0 - m.coverage,
+            ObjectiveKind::BatteryCycles => m.battery_cycles,
+            ObjectiveKind::EnergyCost => m.energy_cost_usd,
+            ObjectiveKind::GridExport => m.grid_export_mwh,
+            ObjectiveKind::UnmetDemand => m.unmet_mwh,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObjectiveKind::OperationalEmissions => "operational_tCO2_per_day",
+            ObjectiveKind::EmbodiedEmissions => "embodied_tCO2",
+            ObjectiveKind::CoverageShortfall => "coverage_shortfall",
+            ObjectiveKind::BatteryCycles => "battery_cycles",
+            ObjectiveKind::EnergyCost => "energy_cost_usd",
+            ObjectiveKind::GridExport => "grid_export_mwh",
+            ObjectiveKind::UnmetDemand => "unmet_mwh",
+        }
+    }
+}
+
+/// An ordered set of objectives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSet(pub Vec<ObjectiveKind>);
+
+impl ObjectiveSet {
+    /// The paper's default pair.
+    pub fn paper() -> Self {
+        Self(vec![
+            ObjectiveKind::OperationalEmissions,
+            ObjectiveKind::EmbodiedEmissions,
+        ])
+    }
+
+    /// A three-objective carbon + cost set (§4.3 extension).
+    pub fn carbon_and_cost() -> Self {
+        Self(vec![
+            ObjectiveKind::OperationalEmissions,
+            ObjectiveKind::EmbodiedEmissions,
+            ObjectiveKind::EnergyCost,
+        ])
+    }
+
+    /// Number of objectives.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` when no objectives are configured.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Extract the objective vector from a result.
+    pub fn extract(&self, r: &AnnualResult) -> Vec<f64> {
+        self.0.iter().map(|k| k.extract(r)).collect()
+    }
+
+    /// Objective names in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.0.iter().map(|k| k.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgopt_microgrid::{AnnualMetrics, Composition};
+
+    fn result() -> AnnualResult {
+        AnnualResult {
+            composition: Composition::new(4, 0.0, 7_500.0),
+            metrics: AnnualMetrics {
+                demand_mwh: 14_000.0,
+                production_mwh: 9_000.0,
+                grid_import_mwh: 4_000.0,
+                grid_export_mwh: 1_500.0,
+                direct_use_mwh: 8_000.0,
+                battery_charge_mwh: 1_000.0,
+                battery_discharge_mwh: 900.0,
+                unmet_mwh: 12.0,
+                operational_t_per_day: 5.88,
+                operational_t_per_year: 2_146.2,
+                embodied_t: 4_649.0,
+                coverage: 0.7107,
+                direct_coverage: 0.57,
+                battery_cycles: 153.0,
+                self_sufficient_fraction: 0.6,
+                energy_cost_usd: 250_000.0,
+            },
+            soc_trace_hourly: vec![],
+        }
+    }
+
+    #[test]
+    fn paper_set_is_the_headline_pair() {
+        let set = ObjectiveSet::paper();
+        assert_eq!(set.len(), 2);
+        let v = set.extract(&result());
+        assert_eq!(v, vec![5.88, 4_649.0]);
+        assert_eq!(set.names(), vec!["operational_tCO2_per_day", "embodied_tCO2"]);
+    }
+
+    #[test]
+    fn coverage_becomes_shortfall() {
+        let v = ObjectiveKind::CoverageShortfall.extract(&result());
+        assert!((v - (1.0 - 0.7107)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extended_set_extracts_cost() {
+        let set = ObjectiveSet::carbon_and_cost();
+        let v = set.extract(&result());
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2], 250_000.0);
+    }
+
+    #[test]
+    fn every_kind_extracts_finite() {
+        let r = result();
+        for k in [
+            ObjectiveKind::OperationalEmissions,
+            ObjectiveKind::EmbodiedEmissions,
+            ObjectiveKind::CoverageShortfall,
+            ObjectiveKind::BatteryCycles,
+            ObjectiveKind::EnergyCost,
+            ObjectiveKind::GridExport,
+            ObjectiveKind::UnmetDemand,
+        ] {
+            assert!(k.extract(&r).is_finite(), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let set = ObjectiveSet::carbon_and_cost();
+        let json = serde_json::to_string(&set).unwrap();
+        let back: ObjectiveSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(set, back);
+    }
+}

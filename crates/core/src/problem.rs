@@ -1,0 +1,164 @@
+//! The composition space as an optimizer [`Problem`].
+
+use mgopt_microgrid::{simulate_period, simulate_year, Composition, CompositionSpace};
+use mgopt_optimizer::{MultiFidelityProblem, Problem};
+
+use crate::objectives::ObjectiveSet;
+use crate::scenario::PreparedScenario;
+
+/// Adapts a prepared scenario to the optimizer's problem interface.
+///
+/// Genome layout: `[wind index, solar index, battery index]` into the
+/// scenario's [`CompositionSpace`] choice lists.
+pub struct CompositionProblem<'a> {
+    scenario: &'a PreparedScenario,
+    objectives: ObjectiveSet,
+    dims: Vec<usize>,
+}
+
+impl<'a> CompositionProblem<'a> {
+    /// Create a problem over the scenario's space and objective set.
+    pub fn new(scenario: &'a PreparedScenario, objectives: ObjectiveSet) -> Self {
+        let space = &scenario.config.space;
+        let dims = vec![
+            space.wind_choices.len(),
+            space.solar_choices_kw.len(),
+            space.battery_choices_kwh.len(),
+        ];
+        assert!(!objectives.is_empty(), "at least one objective required");
+        Self {
+            scenario,
+            objectives,
+            dims,
+        }
+    }
+
+    /// The composition encoded by a genome.
+    pub fn composition(&self, genome: &[u16]) -> Composition {
+        let space = &self.scenario.config.space;
+        Composition::new(
+            space.wind_choices[genome[0] as usize],
+            space.solar_choices_kw[genome[1] as usize],
+            space.battery_choices_kwh[genome[2] as usize],
+        )
+    }
+
+    /// Genome encoding a composition (must lie on the grid).
+    pub fn genome_of(&self, c: &Composition) -> Option<Vec<u16>> {
+        let space = &self.scenario.config.space;
+        let w = space.wind_choices.iter().position(|&x| x == c.wind_turbines)?;
+        let s = space
+            .solar_choices_kw
+            .iter()
+            .position(|&x| (x - c.solar_kw).abs() < 1e-9)?;
+        let b = space
+            .battery_choices_kwh
+            .iter()
+            .position(|&x| (x - c.battery_kwh).abs() < 1e-9)?;
+        Some(vec![w as u16, s as u16, b as u16])
+    }
+
+    /// The underlying space.
+    pub fn space(&self) -> &CompositionSpace {
+        &self.scenario.config.space
+    }
+
+    /// The objective set.
+    pub fn objective_set(&self) -> &ObjectiveSet {
+        &self.objectives
+    }
+}
+
+impl Problem for CompositionProblem<'_> {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn n_objectives(&self) -> usize {
+        self.objectives.len()
+    }
+
+    fn evaluate(&self, genome: &[u16]) -> Vec<f64> {
+        let comp = self.composition(genome);
+        let result = simulate_year(
+            &self.scenario.data,
+            &self.scenario.load,
+            &comp,
+            &self.scenario.config.sim,
+        );
+        self.objectives.extract(&result)
+    }
+}
+
+impl MultiFidelityProblem for CompositionProblem<'_> {
+    /// Low fidelity = simulate only the first `fidelity` fraction of the
+    /// year. Rates are period-normalized, so low-fidelity objectives are
+    /// noisy (seasonal bias) but unbiased enough for pruning.
+    fn evaluate_at_fidelity(&self, genome: &[u16], fidelity: f64) -> Vec<f64> {
+        let comp = self.composition(genome);
+        let n = ((self.scenario.data.len() as f64 * fidelity).round() as usize)
+            .clamp(1, self.scenario.data.len());
+        let result = simulate_period(
+            &self.scenario.data,
+            &self.scenario.load,
+            &comp,
+            &self.scenario.config.sim,
+            n,
+        );
+        self.objectives.extract(&result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use mgopt_microgrid::CompositionSpace;
+
+    fn scenario() -> PreparedScenario {
+        ScenarioConfig {
+            space: CompositionSpace::tiny(),
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare()
+    }
+
+    #[test]
+    fn dims_match_space() {
+        let s = scenario();
+        let p = CompositionProblem::new(&s, ObjectiveSet::paper());
+        assert_eq!(p.dims(), &[3, 3, 3]);
+        assert_eq!(p.space_size(), 27);
+        assert_eq!(p.n_objectives(), 2);
+    }
+
+    #[test]
+    fn genome_composition_round_trip() {
+        let s = scenario();
+        let p = CompositionProblem::new(&s, ObjectiveSet::paper());
+        for i in 0..p.space_size() {
+            let g = p.genome_at(i);
+            let c = p.composition(&g);
+            assert_eq!(p.genome_of(&c), Some(g));
+        }
+    }
+
+    #[test]
+    fn evaluation_matches_direct_simulation() {
+        let s = scenario();
+        let p = CompositionProblem::new(&s, ObjectiveSet::paper());
+        let genome = vec![1u16, 1, 1];
+        let comp = p.composition(&genome);
+        let direct = simulate_year(&s.data, &s.load, &comp, &s.config.sim);
+        assert_eq!(p.evaluate(&genome), ObjectiveSet::paper().extract(&direct));
+    }
+
+    #[test]
+    fn baseline_genome_has_zero_embodied() {
+        let s = scenario();
+        let p = CompositionProblem::new(&s, ObjectiveSet::paper());
+        let obj = p.evaluate(&[0, 0, 0]);
+        assert_eq!(obj[1], 0.0, "embodied of baseline");
+        assert!(obj[0] > 10.0, "houston baseline emissions");
+    }
+}

@@ -1,0 +1,358 @@
+//! Plain-text renderings of the paper's tables and figures.
+//!
+//! The bench binaries print these; EXPERIMENTS.md embeds them. JSON
+//! serialization of the underlying structs is available via serde for
+//! downstream tooling.
+
+use crate::experiments::fig2::Fig2Output;
+use crate::experiments::fig3::Fig3Output;
+use crate::experiments::fig4::Fig4Output;
+use crate::experiments::search::SearchPerfOutput;
+use crate::experiments::tables::CandidateTable;
+
+/// Render a candidate table in the paper's Table 1/2 layout.
+pub fn render_candidate_table(table: &CandidateTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} candidate solutions\n", table.site));
+    out.push_str(
+        "  Wind(MW)  Solar(MW)  Battery(MWh) |  Embodied(t)  Operat.(t/d)   Cov.(%)  Cycles\n",
+    );
+    out.push_str(
+        "  --------  ---------  ------------ |  -----------  ------------  --------  ------\n",
+    );
+    for r in &table.rows {
+        let cycles = if r.battery_mwh > 0.0 {
+            format!("{:>6.0}", r.battery_cycles)
+        } else {
+            "     -".to_string()
+        };
+        out.push_str(&format!(
+            "  {:>8.0}  {:>9.0}  {:>12.1} |  {:>11.0}  {:>12.2}  {:>8.2}  {}\n",
+            r.wind_mw,
+            r.solar_mw,
+            r.battery_mwh,
+            r.embodied_t,
+            r.operational_t_per_day,
+            r.coverage_pct,
+            cycles
+        ));
+    }
+    out
+}
+
+/// Render the Figure-2 Pareto front as (embodied, operational) pairs.
+pub fn render_fig2(fig: &Fig2Output) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 2 — {} Pareto front ({} compositions evaluated, {} on the front)\n",
+        fig.site,
+        fig.evaluated,
+        fig.front.len()
+    ));
+    out.push_str("  embodied(tCO2)  operational(tCO2/day)  composition\n");
+    for p in &fig.front {
+        out.push_str(&format!(
+            "  {:>14.0}  {:>21.3}  {}\n",
+            p.embodied_t, p.operational_t_per_day, p.label
+        ));
+    }
+    out.push_str("  candidates (red triangles):\n");
+    for c in &fig.candidates {
+        out.push_str(&format!(
+            "    {} -> {:.0} tCO2, {:.2} tCO2/day\n",
+            c.label(),
+            c.embodied_t,
+            c.operational_t_per_day
+        ));
+    }
+    out
+}
+
+/// Render the Figure-3 projection series.
+pub fn render_fig3(fig: &Fig3Output) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 3 — {} naive {}-year projection (cumulative tCO2)\n",
+        fig.site, fig.horizon_years
+    ));
+    out.push_str("  year");
+    for s in &fig.series {
+        out.push_str(&format!("  {:>14}", s.label));
+    }
+    out.push('\n');
+    for y in 0..=fig.horizon_years {
+        out.push_str(&format!("  {:>4}", y));
+        for s in &fig.series {
+            out.push_str(&format!("  {:>14.0}", s.cumulative_t[y]));
+        }
+        out.push('\n');
+    }
+    if let Some(y) = fig.baseline_becomes_worst_year {
+        out.push_str(&format!(
+            "  baseline becomes the worst configuration after ~{y:.1} years\n"
+        ));
+    }
+    out
+}
+
+/// Render the Figure-4 coverage surface.
+pub fn render_fig4(fig: &Fig4Output) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 4 — {} on-site renewable coverage %% (no battery)\n",
+        fig.site
+    ));
+    out.push_str("  wind\\solar(MW)");
+    for &s in &fig.solar_kw {
+        out.push_str(&format!("  {:>6.0}", s / 1_000.0));
+    }
+    out.push('\n');
+    for (w, row) in fig.coverage_pct.iter().enumerate() {
+        out.push_str(&format!("  {:>14.0}", fig.wind_kw[w] / 1_000.0));
+        for &v in row {
+            out.push_str(&format!("  {v:>6.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the Figure-2 Pareto front as an ASCII scatter plot (the paper's
+/// visual: operational emissions on y, embodied on x, front points as `o`,
+/// candidates as `^`).
+pub fn render_fig2_plot(fig: &Fig2Output, width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 8, "plot too small to be readable");
+    let x_max = fig
+        .front
+        .iter()
+        .map(|p| p.embodied_t)
+        .fold(1.0f64, f64::max);
+    let y_max = fig
+        .front
+        .iter()
+        .map(|p| p.operational_t_per_day)
+        .fold(1e-9f64, f64::max);
+
+    let mut grid = vec![vec![' '; width]; height];
+    let place = |grid: &mut Vec<Vec<char>>, x: f64, y: f64, c: char| {
+        let col = ((x / x_max) * (width - 1) as f64).round() as usize;
+        let row = (height - 1) - ((y / y_max) * (height - 1) as f64).round() as usize;
+        let col = col.min(width - 1);
+        let row = row.min(height - 1);
+        grid[row][col] = c;
+    };
+    for p in &fig.front {
+        place(&mut grid, p.embodied_t, p.operational_t_per_day, 'o');
+    }
+    for c in &fig.candidates {
+        place(&mut grid, c.embodied_t, c.operational_t_per_day, '^');
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} — operational tCO2/day (y, 0..{y_max:.1}) vs embodied tCO2 (x, 0..{x_max:.0})\n",
+        fig.site
+    ));
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+/// Render the §4.4 search-performance summary.
+pub fn render_search_perf(s: &SearchPerfOutput) -> String {
+    format!(
+        "Search performance — {}\n\
+         \x20 space size:              {}\n\
+         \x20 NSGA-II sampled trials:  {}\n\
+         \x20 NSGA-II unique sims:     {}\n\
+         \x20 true Pareto front:       {}\n\
+         \x20 found front:             {}\n\
+         \x20 Pareto recovery:         {:.1} %\n\
+         \x20 IGD (normalized):        {:.4}\n\
+         \x20 speed-up (evaluations):  {:.2}x\n\
+         \x20 speed-up (wall time):    {:.2}x  ({:.2}s vs {:.2}s)\n",
+        s.site,
+        s.space_size,
+        s.nsga2_sampled,
+        s.nsga2_unique,
+        s.true_front_size,
+        s.found_front_size,
+        s.recovery * 100.0,
+        s.igd,
+        s.speedup_by_evaluations,
+        s.speedup_by_wall_time,
+        s.exhaustive_seconds,
+        s.nsga2_seconds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig2::Fig2Point;
+    use crate::experiments::fig3;
+    use crate::experiments::CandidateRow;
+
+    fn row(w: f64, s: f64, b: f64, e: f64, o: f64, cov: f64, cyc: f64) -> CandidateRow {
+        CandidateRow {
+            wind_mw: w,
+            solar_mw: s,
+            battery_mwh: b,
+            embodied_t: e,
+            operational_t_per_day: o,
+            coverage_pct: cov,
+            battery_cycles: cyc,
+        }
+    }
+
+    #[test]
+    fn candidate_table_renders_paper_layout() {
+        let table = CandidateTable {
+            site: "Houston, TX".into(),
+            rows: vec![
+                row(0.0, 0.0, 0.0, 0.0, 15.54, 0.0, 0.0),
+                row(12.0, 0.0, 7.5, 4_649.0, 5.88, 71.07, 153.0),
+            ],
+        };
+        let text = render_candidate_table(&table);
+        assert!(text.contains("Houston, TX"));
+        assert!(text.contains("4649"));
+        assert!(text.contains("15.54"));
+        assert!(text.contains("71.07"));
+        // Baseline has no battery: cycles column shows a dash.
+        assert!(text.lines().nth(3).unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn fig2_rendering_lists_front_and_candidates() {
+        let fig = Fig2Output {
+            site: "Berkeley, CA".into(),
+            front: vec![
+                Fig2Point {
+                    embodied_t: 0.0,
+                    operational_t_per_day: 9.33,
+                    label: "(0, 0, 0)".into(),
+                },
+                Fig2Point {
+                    embodied_t: 4_961.0,
+                    operational_t_per_day: 4.65,
+                    label: "(3, 4, 22)".into(),
+                },
+            ],
+            candidates: vec![row(3.0, 4.0, 22.5, 4_961.0, 4.65, 60.11, 82.0)],
+            evaluated: 1_089,
+        };
+        let text = render_fig2(&fig);
+        assert!(text.contains("1089 compositions"));
+        assert!(text.contains("(3, 4, 22)"));
+        assert!(text.contains("4961"));
+    }
+
+    #[test]
+    fn fig3_rendering_has_year_rows() {
+        let rows = vec![
+            row(0.0, 0.0, 0.0, 0.0, 15.54, 0.0, 0.0),
+            row(12.0, 0.0, 7.5, 4_649.0, 5.88, 71.07, 153.0),
+        ];
+        let out = fig3::run("Houston, TX", &rows, 20);
+        let text = render_fig3(&out);
+        assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 21);
+        assert!(text.contains("(12, 0, 7)") || text.contains("(12, 0, 8)"));
+    }
+
+    #[test]
+    fn fig4_rendering_is_a_grid() {
+        let fig = Fig4Output {
+            site: "Houston, TX".into(),
+            solar_kw: vec![0.0, 20_000.0, 40_000.0],
+            wind_kw: vec![0.0, 15_000.0, 30_000.0],
+            coverage_pct: vec![
+                vec![0.0, 20.0, 30.0],
+                vec![35.0, 52.0, 60.0],
+                vec![52.0, 65.0, 71.0],
+            ],
+        };
+        let text = render_fig4(&fig);
+        assert!(text.contains("71.00"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn fig2_plot_renders_points() {
+        let fig = Fig2Output {
+            site: "Houston, TX".into(),
+            front: vec![
+                Fig2Point {
+                    embodied_t: 0.0,
+                    operational_t_per_day: 15.54,
+                    label: "(0, 0, 0)".into(),
+                },
+                Fig2Point {
+                    embodied_t: 20_000.0,
+                    operational_t_per_day: 5.0,
+                    label: "(12, 8, 30)".into(),
+                },
+                Fig2Point {
+                    embodied_t: 39_380.0,
+                    operational_t_per_day: 0.02,
+                    label: "(30, 40, 60)".into(),
+                },
+            ],
+            candidates: vec![],
+            evaluated: 1_089,
+        };
+        let text = render_fig2_plot(&fig, 60, 16);
+        // Count markers in the grid only (the header prose contains 'o's).
+        let grid_markers: usize = text
+            .lines()
+            .skip(1)
+            .map(|l| l.matches('o').count())
+            .sum();
+        assert_eq!(grid_markers, 3);
+        assert_eq!(text.lines().count(), 18, "header + grid + axis");
+        // Top-left point (baseline) and bottom-right (max build) present:
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].contains('o'), "high-operational point at the top");
+        assert!(lines[16].starts_with("  |") && lines[16].contains('o'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn fig2_plot_minimum_size() {
+        let fig = Fig2Output {
+            site: "X".into(),
+            front: vec![],
+            candidates: vec![],
+            evaluated: 0,
+        };
+        render_fig2_plot(&fig, 5, 3);
+    }
+
+    #[test]
+    fn search_perf_rendering() {
+        let s = SearchPerfOutput {
+            site: "Houston, TX".into(),
+            space_size: 1_089,
+            nsga2_sampled: 350,
+            nsga2_unique: 290,
+            true_front_size: 60,
+            found_front_size: 50,
+            recovery: 0.8,
+            igd: 0.01,
+            speedup_by_evaluations: 3.75,
+            speedup_by_wall_time: 2.4,
+            exhaustive_seconds: 24.0,
+            nsga2_seconds: 10.0,
+        };
+        let text = render_search_perf(&s);
+        assert!(text.contains("80.0 %"));
+        assert!(text.contains("2.40x"));
+        assert!(text.contains("1089"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Actors: power producers and consumers on the microgrid bus.
+
+use mgopt_units::{Power, SimDuration, SimTime};
+
+use crate::signal::Signal;
+
+/// A participant on the microgrid bus.
+///
+/// Sign convention (Vessim): production is **positive**, consumption is
+/// **negative**.
+pub trait Actor: Send {
+    /// Human-readable name (used in records and reports).
+    fn name(&self) -> &str;
+
+    /// Power at instant `t`, kW (positive = producing).
+    fn power(&mut self, t: SimTime) -> Power;
+
+    /// The actor's own evaluation cadence for the event-driven engine.
+    ///
+    /// `None` means "evaluate at the engine's bus step". Coarser cadences
+    /// model slow simulators in a mosaik-style co-simulation: between
+    /// evaluations the engine holds the last value.
+    fn step_size(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+/// An actor driven by a [`Signal`].
+pub struct SignalActor {
+    name: String,
+    signal: Box<dyn Signal>,
+    scale: f64,
+    step_size: Option<SimDuration>,
+}
+
+impl SignalActor {
+    /// A producer whose signal is power in kW (≥ 0 expected).
+    pub fn producer(name: impl Into<String>, signal: impl Signal + 'static) -> Self {
+        Self {
+            name: name.into(),
+            signal: Box::new(signal),
+            scale: 1.0,
+            step_size: None,
+        }
+    }
+
+    /// A consumer whose signal is *demand* in kW (≥ 0); the actor reports
+    /// it as negative bus power.
+    pub fn consumer(name: impl Into<String>, signal: impl Signal + 'static) -> Self {
+        Self {
+            name: name.into(),
+            signal: Box::new(signal),
+            scale: -1.0,
+            step_size: None,
+        }
+    }
+
+    /// Set an explicit evaluation cadence (event-driven engine).
+    pub fn with_step_size(mut self, step: SimDuration) -> Self {
+        assert!(step.secs() > 0, "actor step size must be positive");
+        self.step_size = Some(step);
+        self
+    }
+
+    /// Multiply the signal by an extra factor (e.g. fleet scaling).
+    pub fn with_scale(mut self, factor: f64) -> Self {
+        self.scale *= factor;
+        self
+    }
+}
+
+impl Actor for SignalActor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn power(&mut self, t: SimTime) -> Power {
+        Power::from_kw(self.signal.at(t) * self.scale)
+    }
+
+    fn step_size(&self) -> Option<SimDuration> {
+        self.step_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::ConstantSignal;
+    use mgopt_units::TimeSeries;
+
+    #[test]
+    fn producer_positive_consumer_negative() {
+        let mut p = SignalActor::producer("pv", ConstantSignal::new(50.0));
+        let mut c = SignalActor::consumer("dc", ConstantSignal::new(50.0));
+        assert_eq!(p.power(SimTime::START).kw(), 50.0);
+        assert_eq!(c.power(SimTime::START).kw(), -50.0);
+    }
+
+    #[test]
+    fn scaling_composes() {
+        let mut a = SignalActor::consumer("dc", ConstantSignal::new(10.0)).with_scale(3.0);
+        assert_eq!(a.power(SimTime::START).kw(), -30.0);
+    }
+
+    #[test]
+    fn signal_actor_follows_timeseries() {
+        let ts = TimeSeries::new(SimDuration::from_hours(1.0), vec![5.0, 7.0]);
+        let mut a = SignalActor::producer("gen", ts);
+        assert_eq!(a.power(SimTime::from_hours(0.5)).kw(), 5.0);
+        assert_eq!(a.power(SimTime::from_hours(1.0)).kw(), 7.0);
+    }
+
+    #[test]
+    fn step_size_builder() {
+        let a = SignalActor::producer("pv", ConstantSignal::new(1.0))
+            .with_step_size(SimDuration::from_minutes(5.0));
+        assert_eq!(a.step_size(), Some(SimDuration::from_minutes(5.0)));
+        assert_eq!(a.name(), "pv");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_step_size_panics() {
+        SignalActor::producer("pv", ConstantSignal::new(1.0)).with_step_size(SimDuration::ZERO);
+    }
+}

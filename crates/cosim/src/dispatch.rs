@@ -1,0 +1,109 @@
+//! Dispatch strategies: the controller deciding how storage and grid
+//! interact with the bus each step.
+
+use mgopt_units::{Energy, Power, SimDuration, SimTime};
+
+/// Bus conditions presented to a [`DispatchStrategy`].
+#[derive(Debug, Clone, Copy)]
+pub struct BusState {
+    /// Step start time.
+    pub t: SimTime,
+    /// Step length.
+    pub dt: SimDuration,
+    /// Net actor power on the bus (production − consumption), kW.
+    pub p_delta: Power,
+    /// Storage state of charge, `[0, 1]`.
+    pub soc: f64,
+    /// Storage nameplate capacity.
+    pub capacity: Energy,
+}
+
+/// A storage/grid dispatch policy.
+pub trait DispatchStrategy: Send {
+    /// Power to request from the storage for this step (positive charge,
+    /// negative discharge). The storage clamps the request to its envelope.
+    fn storage_request(&mut self, state: &BusState) -> Power;
+
+    /// Maximum grid import allowed this step (`None` = unconstrained).
+    /// Islanded microgrids return `Some(0)`.
+    fn grid_import_limit(&mut self, _state: &BusState) -> Option<Power> {
+        None
+    }
+
+    /// Strategy name for reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// The default policy, matching Vessim's microgrid behaviour: store every
+/// surplus, discharge on every deficit, never charge from the grid.
+#[derive(Debug, Clone, Default)]
+pub struct SelfConsumption {
+    _private: (),
+}
+
+impl DispatchStrategy for SelfConsumption {
+    fn storage_request(&mut self, state: &BusState) -> Power {
+        // Surplus (+) charges, deficit (−) discharges; the battery clamps.
+        state.p_delta
+    }
+
+    fn name(&self) -> &str {
+        "self-consumption"
+    }
+}
+
+/// Islanded operation: like [`SelfConsumption`], but grid import is
+/// forbidden — deficits beyond the battery become unmet load. Used for the
+/// paper's reliability/resilience objective (§4.3).
+#[derive(Debug, Clone, Default)]
+pub struct Islanded {
+    _private: (),
+}
+
+impl DispatchStrategy for Islanded {
+    fn storage_request(&mut self, state: &BusState) -> Power {
+        state.p_delta
+    }
+
+    fn grid_import_limit(&mut self, _state: &BusState) -> Option<Power> {
+        Some(Power::ZERO)
+    }
+
+    fn name(&self) -> &str {
+        "islanded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(p_delta_kw: f64) -> BusState {
+        BusState {
+            t: SimTime::START,
+            dt: SimDuration::from_minutes(15.0),
+            p_delta: Power::from_kw(p_delta_kw),
+            soc: 0.5,
+            capacity: Energy::from_kwh(100.0),
+        }
+    }
+
+    #[test]
+    fn self_consumption_passes_delta_through() {
+        let mut p = SelfConsumption::default();
+        assert_eq!(p.storage_request(&state(42.0)).kw(), 42.0);
+        assert_eq!(p.storage_request(&state(-17.0)).kw(), -17.0);
+        assert!(p.grid_import_limit(&state(0.0)).is_none());
+        assert_eq!(p.name(), "self-consumption");
+    }
+
+    #[test]
+    fn islanded_blocks_grid_import() {
+        let mut p = Islanded::default();
+        assert_eq!(p.grid_import_limit(&state(-10.0)), Some(Power::ZERO));
+        assert_eq!(p.storage_request(&state(-10.0)).kw(), -10.0);
+        assert_eq!(p.name(), "islanded");
+    }
+}

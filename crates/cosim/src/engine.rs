@@ -1,0 +1,343 @@
+//! The mosaik-style event-driven engine.
+//!
+//! In mosaik (and therefore Vessim), each connected simulator advances at
+//! its own step size; the orchestrator holds each simulator's last output
+//! between steps and synchronizes exchanges at event times. This engine
+//! reproduces that: every actor re-evaluates at its own cadence, and the
+//! bus integrates *exactly* over the piecewise-constant intervals between
+//! events.
+//!
+//! With all cadences equal to the bus step, the result is bit-identical to
+//! [`Microgrid::run`] — property-tested in this module.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mgopt_units::{Power, SimDuration, SimTime};
+
+use crate::microgrid::{Microgrid, SimResult};
+use crate::record::Monitor;
+
+/// Event-driven co-simulation engine.
+#[derive(Debug, Clone)]
+pub struct EventEngine {
+    /// Cadence for actors that do not declare their own step size.
+    pub default_step: SimDuration,
+}
+
+impl EventEngine {
+    /// Create an engine with a default actor cadence.
+    pub fn new(default_step: SimDuration) -> Self {
+        assert!(default_step.secs() > 0, "default step must be positive");
+        Self { default_step }
+    }
+
+    /// Run `mg` from `start` for `duration`.
+    ///
+    /// Monitors receive one record per inter-event interval (irregular
+    /// `dt`s when cadences differ).
+    pub fn run(
+        &self,
+        mg: &mut Microgrid,
+        start: SimTime,
+        duration: SimDuration,
+        monitors: &mut [&mut dyn Monitor],
+    ) -> SimResult {
+        let end = start + duration;
+        let n = mg.actors.len();
+
+        // Cached power per actor, refreshed at that actor's events.
+        let mut cached: Vec<Power> = vec![Power::ZERO; n];
+        let mut cadence: Vec<SimDuration> = Vec::with_capacity(n);
+        for a in &mg.actors {
+            cadence.push(a.step_size().unwrap_or(self.default_step));
+        }
+
+        // Event queue: (time, actor index). BinaryHeap is a max-heap, so
+        // wrap in Reverse for earliest-first ordering; ties break by actor
+        // index for determinism. Index `n` is the bus tick: it fires at the
+        // default cadence so monitors always see bus-resolution records
+        // even when every actor is coarser.
+        let mut queue: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::with_capacity(n + 1);
+        for i in 0..n {
+            queue.push(Reverse((start, i)));
+        }
+        queue.push(Reverse((start, n)));
+
+        let mut steps = 0usize;
+        let mut t = start;
+        while t < end {
+            // Fire all events scheduled at t.
+            while let Some(&Reverse((et, idx))) = queue.peek() {
+                if et > t {
+                    break;
+                }
+                queue.pop();
+                if idx < n {
+                    cached[idx] = mg.actors[idx].power(t);
+                    queue.push(Reverse((et + cadence[idx], idx)));
+                } else {
+                    queue.push(Reverse((et + self.default_step, idx)));
+                }
+            }
+
+            // Advance to the next event (or the end of the run).
+            let next_t = queue
+                .peek()
+                .map(|&Reverse((et, _))| et.min(end))
+                .unwrap_or(end);
+            debug_assert!(next_t > t, "event engine must make progress");
+            let dt = next_t - t;
+
+            let mut production = Power::ZERO;
+            let mut consumption = Power::ZERO;
+            for &p in &cached {
+                if p.kw() >= 0.0 {
+                    production += p;
+                } else {
+                    consumption += p;
+                }
+            }
+            let rec = mg.resolve(t, dt, production, consumption);
+            for m in monitors.iter_mut() {
+                m.record(&rec);
+            }
+            steps += 1;
+            t = next_t;
+        }
+
+        SimResult {
+            steps,
+            final_soc: mg.storage.soc(),
+            storage_charged_kwh: mg.storage.charged_total().kwh(),
+            storage_discharged_kwh: mg.storage.discharged_total().kwh(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::SignalActor;
+    use crate::dispatch::SelfConsumption;
+    use crate::record::MemoryMonitor;
+    use crate::signal::FnSignal;
+    use mgopt_storage::{NullStorage, SimpleBattery};
+    use mgopt_units::{Energy, TimeSeries};
+
+    fn ramp_producer(step: Option<SimDuration>) -> SignalActor {
+        let a = SignalActor::producer("ramp", FnSignal::new(|t: SimTime| t.hours() * 10.0));
+        match step {
+            Some(s) => a.with_step_size(s),
+            None => a,
+        }
+    }
+
+    fn make_mg(actors: Vec<Box<dyn crate::Actor>>) -> Microgrid {
+        Microgrid::new(
+            actors,
+            Box::new(NullStorage::new()),
+            Box::new(SelfConsumption::default()),
+        )
+    }
+
+    #[test]
+    fn equal_cadence_matches_fixed_step_engine() {
+        let dt = SimDuration::from_minutes(30.0);
+        let load = TimeSeries::new(
+            SimDuration::from_hours(1.0),
+            (0..48).map(|i| 100.0 + (i % 7) as f64 * 13.0).collect(),
+        );
+        let build = || -> Microgrid {
+            make_mg(vec![
+                Box::new(ramp_producer(None)),
+                Box::new(SignalActor::consumer("load", load.clone())),
+            ])
+        };
+
+        let mut fixed = build();
+        let mut mon_fixed = MemoryMonitor::new();
+        fixed.run(
+            SimTime::START,
+            SimDuration::from_hours(48.0),
+            dt,
+            &mut [&mut mon_fixed],
+        );
+
+        let mut eventful = build();
+        let mut mon_event = MemoryMonitor::new();
+        EventEngine::new(dt).run(
+            &mut eventful,
+            SimTime::START,
+            SimDuration::from_hours(48.0),
+            &mut [&mut mon_event],
+        );
+
+        assert_eq!(mon_fixed.records(), mon_event.records());
+    }
+
+    #[test]
+    fn equal_cadence_matches_with_battery() {
+        let dt = SimDuration::from_minutes(15.0);
+        let build = || -> Microgrid {
+            Microgrid::new(
+                vec![
+                    Box::new(ramp_producer(None)),
+                    Box::new(SignalActor::consumer(
+                        "load",
+                        crate::signal::ConstantSignal::new(120.0),
+                    )),
+                ],
+                Box::new(SimpleBattery::new(
+                    Energy::from_kwh(500.0),
+                    0.5,
+                    0.1,
+                    mgopt_units::Power::from_kw(100.0),
+                    mgopt_units::Power::from_kw(100.0),
+                    0.9,
+                )),
+                Box::new(SelfConsumption::default()),
+            )
+        };
+
+        let mut fixed = build();
+        let mut a = MemoryMonitor::new();
+        fixed.run(SimTime::START, SimDuration::from_hours(24.0), dt, &mut [&mut a]);
+
+        let mut eventful = build();
+        let mut b = MemoryMonitor::new();
+        EventEngine::new(dt).run(
+            &mut eventful,
+            SimTime::START,
+            SimDuration::from_hours(24.0),
+            &mut [&mut b],
+        );
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn coarse_actor_holds_value_between_events() {
+        // Producer evaluated every 2 h, bus default 1 h: its power must be
+        // held constant within each 2 h window.
+        let mut mg = make_mg(vec![Box::new(ramp_producer(Some(SimDuration::from_hours(2.0))))]);
+        let mut mon = MemoryMonitor::new();
+        EventEngine::new(SimDuration::from_hours(1.0)).run(
+            &mut mg,
+            SimTime::START,
+            SimDuration::from_hours(6.0),
+            &mut [&mut mon],
+        );
+        let recs = mon.records();
+        // Events at 0,2,4 (producer) and hourly bus records.
+        assert_eq!(recs.len(), 6);
+        assert_eq!(recs[0].p_production.kw(), 0.0);
+        assert_eq!(recs[1].p_production.kw(), 0.0, "held from t=0 eval");
+        assert_eq!(recs[2].p_production.kw(), 20.0, "re-evaluated at t=2h");
+        assert_eq!(recs[3].p_production.kw(), 20.0);
+        assert_eq!(recs[4].p_production.kw(), 40.0);
+    }
+
+    #[test]
+    fn energy_integration_is_exact_over_intervals() {
+        // A single coarse actor: total energy = sum over hold intervals.
+        let mut mg = make_mg(vec![Box::new(ramp_producer(Some(SimDuration::from_hours(3.0))))]);
+        let mut mon = MemoryMonitor::new();
+        EventEngine::new(SimDuration::from_hours(3.0)).run(
+            &mut mg,
+            SimTime::START,
+            SimDuration::from_hours(9.0),
+            &mut [&mut mon],
+        );
+        let total_kwh: f64 = mon
+            .records()
+            .iter()
+            .map(|r| r.p_production.kw() * r.dt.hours())
+            .sum();
+        // Holds: [0,3)h at 0 kW, [3,6) at 30, [6,9) at 60 => 270 kWh.
+        assert_eq!(total_kwh, 270.0);
+    }
+
+    #[test]
+    fn mixed_cadences_produce_irregular_records() {
+        let mut mg = make_mg(vec![
+            Box::new(ramp_producer(Some(SimDuration::from_hours(2.0)))),
+            Box::new(
+                SignalActor::consumer("load", crate::signal::ConstantSignal::new(10.0))
+                    .with_step_size(SimDuration::from_minutes(90.0)),
+            ),
+        ]);
+        let mut mon = MemoryMonitor::new();
+        EventEngine::new(SimDuration::from_hours(1.0)).run(
+            &mut mg,
+            SimTime::START,
+            SimDuration::from_hours(6.0),
+            &mut [&mut mon],
+        );
+        // Events: hourly bus ticks + actor events at 1.5h, 4.5h — records
+        // are the intervals between consecutive distinct event times.
+        let dts: Vec<i64> = mon.records().iter().map(|r| r.dt.secs()).collect();
+        assert_eq!(dts.iter().sum::<i64>(), 6 * 3_600);
+        assert!(dts.contains(&1_800), "expected a 0.5h interval: {dts:?}");
+        assert!(dts.iter().all(|&d| d <= 3_600), "bus tick caps intervals: {dts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_default_step_panics() {
+        EventEngine::new(SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::actor::SignalActor;
+    use crate::dispatch::SelfConsumption;
+    use crate::record::MemoryMonitor;
+    use crate::signal::FnSignal;
+    use mgopt_storage::SimpleBattery;
+    use mgopt_units::Energy;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn event_engine_agrees_with_fixed_step(
+            step_minutes in prop::sample::select(vec![5i64, 15, 30, 60]),
+            load_kw in 10.0f64..500.0,
+            phase in 0.1f64..4.0,
+        ) {
+            let dt = SimDuration::from_secs(step_minutes * 60);
+            let build = || -> Microgrid {
+                Microgrid::new(
+                    vec![
+                        Box::new(SignalActor::producer(
+                            "gen",
+                            FnSignal::new(move |t: SimTime| {
+                                200.0 * (t.hours() / phase).sin().max(0.0)
+                            }),
+                        )),
+                        Box::new(SignalActor::consumer(
+                            "load",
+                            crate::signal::ConstantSignal::new(load_kw),
+                        )),
+                    ],
+                    Box::new(SimpleBattery::new(
+                        Energy::from_kwh(200.0),
+                        0.5,
+                        0.1,
+                        mgopt_units::Power::from_kw(80.0),
+                        mgopt_units::Power::from_kw(80.0),
+                        0.92,
+                    )),
+                    Box::new(SelfConsumption::default()),
+                )
+            };
+            let mut m1 = MemoryMonitor::new();
+            build().run(SimTime::START, SimDuration::from_hours(12.0), dt, &mut [&mut m1]);
+            let mut m2 = MemoryMonitor::new();
+            EventEngine::new(dt).run(&mut build(), SimTime::START, SimDuration::from_hours(12.0), &mut [&mut m2]);
+            prop_assert_eq!(m1.records(), m2.records());
+        }
+    }
+}

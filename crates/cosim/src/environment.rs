@@ -1,0 +1,218 @@
+//! The simulation environment: several microgrids advancing on one clock.
+//!
+//! Vessim's `Environment` owns a set of microgrids and steps them together
+//! — the abstraction behind geo-distributed data-center studies (multiple
+//! sites, one fleet-level carbon account). Records are delivered to a
+//! per-step callback tagged with the microgrid index, plus fleet-level
+//! aggregates.
+
+use mgopt_units::{Power, SimDuration, SimTime};
+
+use crate::microgrid::{Microgrid, SimResult};
+use crate::record::StepRecord;
+
+/// A named microgrid inside an environment.
+pub struct Member {
+    /// Display name ("houston-dc-1").
+    pub name: String,
+    /// The microgrid.
+    pub microgrid: Microgrid,
+}
+
+/// Fleet-level totals of one synchronized step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRecord {
+    /// Step start.
+    pub t: SimTime,
+    /// Step length.
+    pub dt: SimDuration,
+    /// Sum of members' grid imports, kW.
+    pub total_import: Power,
+    /// Sum of members' grid exports, kW.
+    pub total_export: Power,
+    /// Sum of members' production, kW.
+    pub total_production: Power,
+    /// Sum of members' consumption (≤ 0), kW.
+    pub total_consumption: Power,
+}
+
+/// A multi-microgrid co-simulation environment.
+#[derive(Default)]
+pub struct Environment {
+    members: Vec<Member>,
+}
+
+impl Environment {
+    /// Create an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a microgrid; returns its index.
+    pub fn add_microgrid(&mut self, name: impl Into<String>, microgrid: Microgrid) -> usize {
+        self.members.push(Member {
+            name: name.into(),
+            microgrid,
+        });
+        self.members.len() - 1
+    }
+
+    /// Number of member microgrids.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no microgrids have been added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member names in index order.
+    pub fn names(&self) -> Vec<&str> {
+        self.members.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    /// Run all members on a shared fixed-step clock.
+    ///
+    /// `on_step(member_index, record)` fires for every member every step
+    /// (members in index order), then `on_fleet(fleet_record)` once per
+    /// step. Returns one [`SimResult`] per member.
+    ///
+    /// # Panics
+    /// Panics when the environment is empty, `dt` is non-positive, or `dt`
+    /// does not divide `duration`.
+    pub fn run(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        dt: SimDuration,
+        mut on_step: impl FnMut(usize, &StepRecord),
+        mut on_fleet: impl FnMut(&FleetRecord),
+    ) -> Vec<SimResult> {
+        assert!(!self.members.is_empty(), "environment has no microgrids");
+        assert!(dt.secs() > 0, "dt must be positive");
+        assert_eq!(duration.secs() % dt.secs(), 0, "dt must divide duration");
+
+        let steps = (duration.secs() / dt.secs()) as usize;
+        let mut t = start;
+        for _ in 0..steps {
+            let mut fleet = FleetRecord {
+                t,
+                dt,
+                total_import: Power::ZERO,
+                total_export: Power::ZERO,
+                total_production: Power::ZERO,
+                total_consumption: Power::ZERO,
+            };
+            for (i, member) in self.members.iter_mut().enumerate() {
+                let rec = member.microgrid.step(t, dt);
+                fleet.total_import += rec.grid_import();
+                fleet.total_export += rec.grid_export();
+                fleet.total_production += rec.p_production;
+                fleet.total_consumption += rec.p_consumption;
+                on_step(i, &rec);
+            }
+            on_fleet(&fleet);
+            t += dt;
+        }
+
+        self.members
+            .iter()
+            .map(|m| SimResult {
+                steps,
+                final_soc: m.microgrid.storage().soc(),
+                storage_charged_kwh: m.microgrid.storage().charged_total().kwh(),
+                storage_discharged_kwh: m.microgrid.storage().discharged_total().kwh(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::SignalActor;
+    use crate::dispatch::SelfConsumption;
+    use crate::signal::ConstantSignal;
+    use mgopt_storage::NullStorage;
+
+    fn grid(load_kw: f64, gen_kw: f64) -> Microgrid {
+        Microgrid::new(
+            vec![
+                Box::new(SignalActor::producer("gen", ConstantSignal::new(gen_kw))),
+                Box::new(SignalActor::consumer("load", ConstantSignal::new(load_kw))),
+            ],
+            Box::new(NullStorage::new()),
+            Box::new(SelfConsumption::default()),
+        )
+    }
+
+    const DT: SimDuration = SimDuration(3_600);
+
+    #[test]
+    fn two_sites_step_in_lockstep() {
+        let mut env = Environment::new();
+        env.add_microgrid("houston", grid(100.0, 30.0)); // imports 70
+        env.add_microgrid("berkeley", grid(50.0, 90.0)); // exports 40
+        assert_eq!(env.len(), 2);
+        assert_eq!(env.names(), vec!["houston", "berkeley"]);
+
+        let mut per_member = vec![0usize; 2];
+        let mut fleet_imports = Vec::new();
+        let results = env.run(
+            SimTime::START,
+            SimDuration::from_hours(6.0),
+            DT,
+            |i, rec| {
+                per_member[i] += 1;
+                assert_eq!(rec.balance_residual().kw(), 0.0);
+            },
+            |fleet| fleet_imports.push(fleet.total_import.kw()),
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].steps, 6);
+        assert_eq!(per_member, vec![6, 6]);
+        // Fleet import: only houston imports (70); berkeley's export does
+        // not offset it at the fleet level (separate sites).
+        assert_eq!(fleet_imports, vec![70.0; 6]);
+    }
+
+    #[test]
+    fn fleet_totals_sum_members() {
+        let mut env = Environment::new();
+        env.add_microgrid("a", grid(100.0, 0.0));
+        env.add_microgrid("b", grid(200.0, 0.0));
+        let mut total = 0.0;
+        env.run(
+            SimTime::START,
+            SimDuration::from_hours(1.0),
+            DT,
+            |_, _| {},
+            |fleet| {
+                total = fleet.total_import.kw();
+                assert_eq!(fleet.total_consumption.kw(), -300.0);
+                assert_eq!(fleet.total_production.kw(), 0.0);
+            },
+        );
+        assert_eq!(total, 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no microgrids")]
+    fn empty_environment_panics() {
+        Environment::new().run(
+            SimTime::START,
+            SimDuration::from_hours(1.0),
+            DT,
+            |_, _| {},
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn empty_checks() {
+        let env = Environment::new();
+        assert!(env.is_empty());
+        assert_eq!(env.len(), 0);
+    }
+}

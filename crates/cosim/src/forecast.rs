@@ -1,0 +1,381 @@
+//! Signal forecasting.
+//!
+//! Vessim feeds controllers both *historical* and *forecasted* traces
+//! (§3.1 of the paper). This module provides the forecaster abstraction
+//! and the three standard baselines used in energy-systems work:
+//!
+//! * [`PerfectForecast`] — oracle access (upper bound for policy studies);
+//! * [`PersistenceForecast`] — "tomorrow looks like today", the standard
+//!   naive baseline;
+//! * [`NoisyForecast`] — the true future plus horizon-growing error, the
+//!   usual model of a numerical weather prediction product.
+//!
+//! [`ForecastPrecharge`] is a dispatch strategy consuming a forecast:
+//! it pre-charges the battery from the grid ahead of forecast deficits —
+//! a forecast-aware refinement of plain self-consumption.
+
+use mgopt_units::{Power, SimDuration, SimTime};
+
+use crate::dispatch::{BusState, DispatchStrategy};
+use crate::signal::Signal;
+
+/// A forecaster answers: standing at `t_now`, what will the signal be at
+/// `t_target`?
+pub trait Forecaster: Send + Sync {
+    /// Forecast the signal at `t_target` using information available at
+    /// `t_now`. `t_target < t_now` may return the realized value.
+    fn forecast(&self, t_now: SimTime, t_target: SimTime) -> f64;
+}
+
+/// Oracle forecast: returns the true future value.
+pub struct PerfectForecast<S: Signal> {
+    signal: S,
+}
+
+impl<S: Signal> PerfectForecast<S> {
+    /// Wrap a signal.
+    pub fn new(signal: S) -> Self {
+        Self { signal }
+    }
+}
+
+impl<S: Signal> Forecaster for PerfectForecast<S> {
+    fn forecast(&self, _t_now: SimTime, t_target: SimTime) -> f64 {
+        self.signal.at(t_target)
+    }
+}
+
+/// Persistence forecast: the value one period earlier (default 24 h) —
+/// "tomorrow at 3pm will look like today at 3pm".
+pub struct PersistenceForecast<S: Signal> {
+    signal: S,
+    period: SimDuration,
+}
+
+impl<S: Signal> PersistenceForecast<S> {
+    /// Wrap a signal with a daily period.
+    pub fn daily(signal: S) -> Self {
+        Self {
+            signal,
+            period: SimDuration::from_days(1),
+        }
+    }
+
+    /// Wrap a signal with an explicit period.
+    pub fn with_period(signal: S, period: SimDuration) -> Self {
+        assert!(period.secs() > 0, "persistence period must be positive");
+        Self { signal, period }
+    }
+}
+
+impl<S: Signal> Forecaster for PersistenceForecast<S> {
+    fn forecast(&self, _t_now: SimTime, t_target: SimTime) -> f64 {
+        self.signal.at(SimTime::from_secs(t_target.secs() - self.period.secs()))
+    }
+}
+
+/// The true future plus multiplicative error growing with the forecast
+/// horizon (deterministic per `(seed, t_target)`, so repeated queries
+/// agree — like re-reading the same NWP product).
+pub struct NoisyForecast<S: Signal> {
+    signal: S,
+    /// Relative error standard-ish deviation per hour of horizon.
+    error_per_hour: f64,
+    seed: u64,
+}
+
+impl<S: Signal> NoisyForecast<S> {
+    /// Wrap a signal; `error_per_hour` ~ 0.01-0.05 models day-ahead NWP.
+    pub fn new(signal: S, error_per_hour: f64, seed: u64) -> Self {
+        assert!(error_per_hour >= 0.0);
+        Self {
+            signal,
+            error_per_hour,
+            seed,
+        }
+    }
+
+    /// Deterministic pseudo-noise in `[-1, 1]` for a target instant.
+    fn noise(&self, t_target: SimTime) -> f64 {
+        let mut x = (t_target.secs() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ self.seed;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+impl<S: Signal> Forecaster for NoisyForecast<S> {
+    fn forecast(&self, t_now: SimTime, t_target: SimTime) -> f64 {
+        let truth = self.signal.at(t_target);
+        let horizon_h = (t_target.secs() - t_now.secs()).max(0) as f64 / 3_600.0;
+        let rel = 1.0 + self.error_per_hour * horizon_h * self.noise(t_target);
+        (truth * rel.max(0.0)).max(0.0)
+    }
+}
+
+/// Forecast-aware dispatch: self-consumption plus grid pre-charging ahead
+/// of forecast deficits.
+///
+/// Each step it scans the net-power forecast over `lookahead`. When the
+/// cumulative forecast deficit exceeds the battery's usable energy *and*
+/// the current hour is materially better than the worst forecast hour, it
+/// charges from the grid at `precharge_kw` so the coming deficit can be
+/// served from storage instead of peak-time imports. During the deficit
+/// itself it falls back to plain self-consumption (discharge) — charging
+/// through the peak would defeat the purpose.
+pub struct ForecastPrecharge {
+    /// Forecaster of bus net power (production − load), kW.
+    pub net_forecast: Box<dyn Forecaster>,
+    /// Grid-charging rate during pre-charge windows, kW. Choose it below
+    /// the forecast peak deficit or pre-charging creates a new peak.
+    pub precharge_kw: f64,
+    /// How far ahead to look.
+    pub lookahead: SimDuration,
+    /// Forecast sampling resolution.
+    pub resolution: SimDuration,
+}
+
+impl ForecastPrecharge {
+    /// Create a strategy with daily lookahead at hourly resolution.
+    pub fn new(net_forecast: Box<dyn Forecaster>, precharge_kw: f64) -> Self {
+        assert!(precharge_kw > 0.0, "pre-charge rate must be positive");
+        Self {
+            net_forecast,
+            precharge_kw,
+            lookahead: SimDuration::from_days(1),
+            resolution: SimDuration::from_hours(1.0),
+        }
+    }
+
+    /// Cumulative forecast deficit (kWh) over the lookahead window.
+    pub fn forecast_deficit_kwh(&self, t_now: SimTime) -> f64 {
+        let mut deficit = 0.0;
+        let mut t = t_now;
+        let end = t_now + self.lookahead;
+        let step_h = self.resolution.hours();
+        while t < end {
+            let net = self.net_forecast.forecast(t_now, t);
+            if net < 0.0 {
+                deficit += -net * step_h;
+            }
+            t += self.resolution;
+        }
+        deficit
+    }
+
+    /// The worst (most negative) forecast net power over the window, kW.
+    pub fn worst_forecast_net_kw(&self, t_now: SimTime) -> f64 {
+        let mut worst = f64::INFINITY;
+        let mut t = t_now;
+        let end = t_now + self.lookahead;
+        while t < end {
+            worst = worst.min(self.net_forecast.forecast(t_now, t));
+            t += self.resolution;
+        }
+        worst
+    }
+}
+
+impl DispatchStrategy for ForecastPrecharge {
+    fn storage_request(&mut self, state: &BusState) -> Power {
+        let usable_kwh = state.capacity.kwh() * state.soc;
+        let deficit = self.forecast_deficit_kwh(state.t);
+        if deficit > usable_kwh && state.soc < 0.95 {
+            let worst = self.worst_forecast_net_kw(state.t);
+            // Only pre-charge in hours clearly better than the coming
+            // trough; otherwise serve the bus (discharge on deficit).
+            if state.p_delta.kw() > worst + 1.0 {
+                return Power::from_kw(self.precharge_kw.max(state.p_delta.kw()));
+            }
+        }
+        state.p_delta
+    }
+
+    fn name(&self) -> &str {
+        "forecast-precharge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{ConstantSignal, FnSignal};
+    use mgopt_units::TimeSeries;
+
+    fn ramp() -> FnSignal<impl Fn(SimTime) -> f64 + Send + Sync> {
+        FnSignal::new(|t: SimTime| t.hours())
+    }
+
+    #[test]
+    fn perfect_forecast_is_the_truth() {
+        let f = PerfectForecast::new(ramp());
+        assert_eq!(f.forecast(SimTime::START, SimTime::from_hours(5.0)), 5.0);
+        assert_eq!(f.forecast(SimTime::from_hours(100.0), SimTime::from_hours(5.0)), 5.0);
+    }
+
+    #[test]
+    fn persistence_looks_one_period_back() {
+        let f = PersistenceForecast::daily(ramp());
+        // Forecast for t=30h is the value at t=6h.
+        assert_eq!(f.forecast(SimTime::from_hours(25.0), SimTime::from_hours(30.0)), 6.0);
+        let f2 = PersistenceForecast::with_period(ramp(), SimDuration::from_hours(2.0));
+        assert_eq!(f2.forecast(SimTime::START, SimTime::from_hours(10.0)), 8.0);
+    }
+
+    #[test]
+    fn persistence_exact_for_periodic_signals() {
+        let daily = TimeSeries::from_fn_year(SimDuration::from_hours(1.0), |t| {
+            (t.calendar().hour_of_day() * std::f64::consts::TAU / 24.0).sin() + 2.0
+        });
+        let f = PersistenceForecast::daily(daily.clone());
+        for h in [30i64, 50, 75] {
+            let t = SimTime::from_hours(h as f64);
+            assert!((f.forecast(SimTime::START, t) - daily.at(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noisy_forecast_error_grows_with_horizon() {
+        let f = NoisyForecast::new(ConstantSignal::new(100.0), 0.02, 7);
+        let now = SimTime::START;
+        let mut short_err = 0.0;
+        let mut long_err = 0.0;
+        for k in 0..48 {
+            let near = SimTime::from_hours(1.0 + k as f64 * 0.01);
+            let far = SimTime::from_hours(24.0 + k as f64 * 0.01);
+            short_err += (f.forecast(now, near) - 100.0).abs();
+            long_err += (f.forecast(now, far) - 100.0).abs();
+        }
+        assert!(long_err > 5.0 * short_err, "near {short_err} far {long_err}");
+    }
+
+    #[test]
+    fn noisy_forecast_is_repeatable_and_nonnegative() {
+        let f = NoisyForecast::new(ConstantSignal::new(50.0), 0.5, 3);
+        let a = f.forecast(SimTime::START, SimTime::from_hours(48.0));
+        let b = f.forecast(SimTime::START, SimTime::from_hours(48.0));
+        assert_eq!(a, b);
+        for h in 0..200 {
+            assert!(f.forecast(SimTime::START, SimTime::from_hours(h as f64)) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn precharge_strategy_acts_on_forecast_deficit() {
+        use mgopt_units::Energy;
+        // Net power: +100 kW for 6 h, then −500 kW for 18 h.
+        let net = FnSignal::new(|t: SimTime| {
+            if t.hours() % 24.0 < 6.0 {
+                100.0
+            } else {
+                -500.0
+            }
+        });
+        let mut strategy =
+            ForecastPrecharge::new(Box::new(PerfectForecast::new(net)), 250.0);
+        // Deficit over next 24 h: 18 h * 500 kW = 9,000 kWh.
+        let deficit = strategy.forecast_deficit_kwh(SimTime::START);
+        assert!((deficit - 9_000.0).abs() < 1e-9);
+        assert_eq!(strategy.worst_forecast_net_kw(SimTime::START), -500.0);
+
+        // Small battery (soc covers less than the deficit) during a good
+        // hour: pre-charge at the configured rate.
+        let state = BusState {
+            t: SimTime::START,
+            dt: SimDuration::from_hours(1.0),
+            p_delta: Power::from_kw(100.0),
+            soc: 0.5,
+            capacity: Energy::from_kwh(2_000.0),
+        };
+        let req = strategy.storage_request(&state);
+        assert_eq!(req.kw(), 250.0, "grid pre-charge at the configured rate");
+
+        // Same forecast, but currently in the trough: discharge instead.
+        let state_trough = BusState {
+            t: SimTime::from_hours(8.0),
+            p_delta: Power::from_kw(-500.0),
+            ..state
+        };
+        let req = strategy.storage_request(&state_trough);
+        assert_eq!(req.kw(), -500.0, "no charging through the peak");
+
+        // Huge battery: plain self-consumption.
+        let state_big = BusState {
+            capacity: Energy::from_kwh(50_000.0),
+            ..state
+        };
+        let req = strategy.storage_request(&state_big);
+        assert_eq!(req.kw(), 100.0);
+        assert_eq!(strategy.name(), "forecast-precharge");
+    }
+
+    #[test]
+    fn precharge_reduces_peak_imports_end_to_end() {
+        use crate::actor::SignalActor;
+        use crate::microgrid::Microgrid;
+        use crate::record::MemoryMonitor;
+        use mgopt_storage::SimpleBattery;
+        use mgopt_units::Energy;
+
+        // Load: 50 kW baseline with a 4 h / 400 kW evening peak — small
+        // enough for the battery to carry entirely once pre-charged.
+        let day_load = |t: SimTime| {
+            let h = t.hours() % 24.0;
+            if (12.0..16.0).contains(&h) {
+                400.0
+            } else {
+                50.0
+            }
+        };
+        let build = |strategy: Box<dyn DispatchStrategy>| -> Microgrid {
+            Microgrid::new(
+                vec![Box::new(SignalActor::consumer(
+                    "dc",
+                    FnSignal::new(day_load),
+                ))],
+                Box::new(SimpleBattery::new(
+                    Energy::from_kwh(2_500.0),
+                    0.5,
+                    0.1,
+                    Power::from_kw(400.0),
+                    Power::from_kw(400.0),
+                    0.95,
+                )),
+                strategy,
+            )
+        };
+
+        let run = |mut mg: Microgrid| -> f64 {
+            let mut mon = MemoryMonitor::new();
+            mg.run(
+                SimTime::START,
+                SimDuration::from_days(4),
+                SimDuration::from_hours(1.0),
+                &mut [&mut mon],
+            );
+            // Peak import after the first (warm-up) day.
+            mon.records()[24..]
+                .iter()
+                .map(|r| r.grid_import().kw())
+                .fold(0.0, f64::max)
+        };
+
+        // Plain self-consumption: the battery drains on day one and there
+        // is never surplus to recharge it, so evenings import 400 kW.
+        let plain_peak = run(build(Box::new(crate::dispatch::SelfConsumption::default())));
+        // Pre-charge at 150 kW during off-peak hours: evening rides on the
+        // battery; peak import becomes 50 + 150 = 200 kW.
+        let forecast_net = FnSignal::new(move |t: SimTime| -day_load(t));
+        let precharge_peak = run(build(Box::new(ForecastPrecharge::new(
+            Box::new(PerfectForecast::new(forecast_net)),
+            150.0,
+        ))));
+        assert!(
+            precharge_peak < 0.6 * plain_peak,
+            "pre-charging should shave the evening import peak: {precharge_peak} vs {plain_peak}"
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! The microgrid bus: power-balance resolution and the fixed-step engine.
+
+use mgopt_storage::Storage;
+use mgopt_units::{Power, SimDuration, SimTime};
+
+use crate::actor::Actor;
+use crate::dispatch::{BusState, DispatchStrategy};
+use crate::record::{Monitor, StepRecord};
+
+/// A microgrid: actors + storage + dispatch strategy on one bus.
+pub struct Microgrid {
+    pub(crate) actors: Vec<Box<dyn Actor>>,
+    pub(crate) storage: Box<dyn Storage + Send>,
+    pub(crate) strategy: Box<dyn DispatchStrategy>,
+}
+
+/// Aggregate outcome of a run (mirrors the fields of
+/// [`crate::record::AggregateMonitor`]; produced by [`Microgrid::run`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimResult {
+    /// Steps resolved.
+    pub steps: usize,
+    /// Final storage state of charge.
+    pub final_soc: f64,
+    /// Total storage terminal charge throughput, kWh.
+    pub storage_charged_kwh: f64,
+    /// Total storage terminal discharge throughput, kWh.
+    pub storage_discharged_kwh: f64,
+}
+
+impl Microgrid {
+    /// Assemble a microgrid.
+    pub fn new(
+        actors: Vec<Box<dyn Actor>>,
+        storage: Box<dyn Storage + Send>,
+        strategy: Box<dyn DispatchStrategy>,
+    ) -> Self {
+        Self {
+            actors,
+            storage,
+            strategy,
+        }
+    }
+
+    /// Immutable access to the storage (SoC inspection etc.).
+    pub fn storage(&self) -> &(dyn Storage + Send) {
+        self.storage.as_ref()
+    }
+
+    /// Number of actors on the bus.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Resolve one step at `t` over `dt` and report the record.
+    pub fn step(&mut self, t: SimTime, dt: SimDuration) -> StepRecord {
+        let mut production = Power::ZERO;
+        let mut consumption = Power::ZERO;
+        for a in self.actors.iter_mut() {
+            let p = a.power(t);
+            if p.kw() >= 0.0 {
+                production += p;
+            } else {
+                consumption += p;
+            }
+        }
+        self.resolve(t, dt, production, consumption)
+    }
+
+    /// Resolve the bus balance given already-collected actor powers.
+    ///
+    /// Exposed for the event-driven engine, which caches actor powers
+    /// between their evaluation events.
+    pub fn resolve(
+        &mut self,
+        t: SimTime,
+        dt: SimDuration,
+        production: Power,
+        consumption: Power,
+    ) -> StepRecord {
+        let p_delta = production + consumption;
+        let state = BusState {
+            t,
+            dt,
+            p_delta,
+            soc: self.storage.soc(),
+            capacity: self.storage.capacity(),
+        };
+        let request = self.strategy.storage_request(&state);
+        let p_storage = self.storage.update(request, dt);
+
+        // Residual after storage: positive = surplus to export,
+        // negative = deficit to import.
+        let residual = p_delta - p_storage;
+        let (p_grid, p_unmet) = match self.strategy.grid_import_limit(&state) {
+            Some(limit) if residual < -limit => {
+                // Import capped: the rest is unmet load.
+                let unmet = -residual - limit;
+                (-limit, unmet)
+            }
+            _ => (residual, Power::ZERO),
+        };
+
+        StepRecord {
+            t,
+            dt,
+            p_production: production,
+            p_consumption: consumption,
+            p_delta,
+            p_storage,
+            p_grid,
+            p_unmet,
+            soc: self.storage.soc(),
+        }
+    }
+
+    /// Fixed-step run from `start` for `duration`, reporting every step to
+    /// the monitors.
+    ///
+    /// # Panics
+    /// Panics when `dt` is non-positive or does not divide `duration`.
+    pub fn run(
+        &mut self,
+        start: SimTime,
+        duration: SimDuration,
+        dt: SimDuration,
+        monitors: &mut [&mut dyn Monitor],
+    ) -> SimResult {
+        assert!(dt.secs() > 0, "dt must be positive");
+        assert_eq!(
+            duration.secs() % dt.secs(),
+            0,
+            "dt must divide the run duration"
+        );
+        let steps = (duration.secs() / dt.secs()) as usize;
+        let mut t = start;
+        for _ in 0..steps {
+            let rec = self.step(t, dt);
+            for m in monitors.iter_mut() {
+                m.record(&rec);
+            }
+            t += dt;
+        }
+        SimResult {
+            steps,
+            final_soc: self.storage.soc(),
+            storage_charged_kwh: self.storage.charged_total().kwh(),
+            storage_discharged_kwh: self.storage.discharged_total().kwh(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::SignalActor;
+    use crate::dispatch::{Islanded, SelfConsumption};
+    use crate::record::MemoryMonitor;
+    use crate::signal::ConstantSignal;
+    use mgopt_storage::{NullStorage, SimpleBattery};
+    use mgopt_units::Energy;
+
+    fn grid_only(load_kw: f64, gen_kw: f64) -> Microgrid {
+        Microgrid::new(
+            vec![
+                Box::new(SignalActor::producer("gen", ConstantSignal::new(gen_kw))),
+                Box::new(SignalActor::consumer("load", ConstantSignal::new(load_kw))),
+            ],
+            Box::new(NullStorage::new()),
+            Box::new(SelfConsumption::default()),
+        )
+    }
+
+    const DT: SimDuration = SimDuration(3_600);
+
+    #[test]
+    fn deficit_imports_from_grid() {
+        let mut mg = grid_only(100.0, 30.0);
+        let rec = mg.step(SimTime::START, DT);
+        assert_eq!(rec.p_grid.kw(), -70.0);
+        assert_eq!(rec.grid_import().kw(), 70.0);
+        assert_eq!(rec.p_unmet, Power::ZERO);
+        assert_eq!(rec.balance_residual().kw(), 0.0);
+    }
+
+    #[test]
+    fn surplus_exports_to_grid() {
+        let mut mg = grid_only(30.0, 100.0);
+        let rec = mg.step(SimTime::START, DT);
+        assert_eq!(rec.p_grid.kw(), 70.0);
+        assert_eq!(rec.grid_export().kw(), 70.0);
+    }
+
+    #[test]
+    fn battery_absorbs_surplus_before_export() {
+        let battery = SimpleBattery::new(
+            Energy::from_kwh(1_000.0),
+            0.5,
+            0.1,
+            Power::from_kw(50.0),
+            Power::from_kw(50.0),
+            1.0,
+        );
+        let mut mg = Microgrid::new(
+            vec![
+                Box::new(SignalActor::producer("gen", ConstantSignal::new(100.0))),
+                Box::new(SignalActor::consumer("load", ConstantSignal::new(30.0))),
+            ],
+            Box::new(battery),
+            Box::new(SelfConsumption::default()),
+        );
+        let rec = mg.step(SimTime::START, DT);
+        // Surplus 70, battery takes its 50 kW limit, 20 exported.
+        assert_eq!(rec.p_storage.kw(), 50.0);
+        assert_eq!(rec.p_grid.kw(), 20.0);
+        assert_eq!(rec.balance_residual().kw(), 0.0);
+    }
+
+    #[test]
+    fn battery_covers_deficit_before_import() {
+        let battery = SimpleBattery::new(
+            Energy::from_kwh(1_000.0),
+            0.9,
+            0.1,
+            Power::from_kw(50.0),
+            Power::from_kw(50.0),
+            1.0,
+        );
+        let mut mg = Microgrid::new(
+            vec![
+                Box::new(SignalActor::producer("gen", ConstantSignal::new(30.0))),
+                Box::new(SignalActor::consumer("load", ConstantSignal::new(100.0))),
+            ],
+            Box::new(battery),
+            Box::new(SelfConsumption::default()),
+        );
+        let rec = mg.step(SimTime::START, DT);
+        assert_eq!(rec.p_storage.kw(), -50.0);
+        assert_eq!(rec.p_grid.kw(), -20.0);
+    }
+
+    #[test]
+    fn islanded_sheds_load_when_battery_empty() {
+        let battery = SimpleBattery::new(
+            Energy::from_kwh(100.0),
+            0.1,
+            0.1,
+            Power::from_kw(50.0),
+            Power::from_kw(50.0),
+            1.0,
+        );
+        let mut mg = Microgrid::new(
+            vec![
+                Box::new(SignalActor::consumer("load", ConstantSignal::new(80.0))),
+            ],
+            Box::new(battery),
+            Box::new(Islanded::default()),
+        );
+        let rec = mg.step(SimTime::START, DT);
+        assert_eq!(rec.p_grid, Power::ZERO, "no import when islanded");
+        assert_eq!(rec.p_unmet.kw(), 80.0);
+        assert_eq!(rec.balance_residual().kw(), 0.0);
+    }
+
+    #[test]
+    fn run_reports_every_step() {
+        let mut mg = grid_only(10.0, 0.0);
+        let mut mon = MemoryMonitor::new();
+        let result = mg.run(
+            SimTime::START,
+            SimDuration::from_hours(24.0),
+            DT,
+            &mut [&mut mon],
+        );
+        assert_eq!(result.steps, 24);
+        assert_eq!(mon.records().len(), 24);
+        assert_eq!(result.final_soc, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must divide")]
+    fn non_dividing_dt_panics() {
+        grid_only(1.0, 0.0).run(
+            SimTime::START,
+            SimDuration::from_hours(1.0),
+            SimDuration::from_minutes(7.0),
+            &mut [],
+        );
+    }
+
+    #[test]
+    fn actor_count_reported() {
+        assert_eq!(grid_only(1.0, 1.0).actor_count(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Step records and monitors.
+
+use mgopt_units::{Power, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The resolved power balance of one simulation step.
+///
+/// Invariant: `p_delta = p_storage + p_grid − p_unmet`, where `p_grid` > 0
+/// is export and < 0 is import. Unmet load enters with a minus sign
+/// because shedding reduces the consumption that must be balanced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step start.
+    pub t: SimTime,
+    /// Step length.
+    pub dt: SimDuration,
+    /// Total production on the bus (≥ 0), kW.
+    pub p_production: Power,
+    /// Total consumption on the bus (≤ 0), kW.
+    pub p_consumption: Power,
+    /// Net actor power (production + consumption), kW.
+    pub p_delta: Power,
+    /// Storage terminal power (positive = charging), kW.
+    pub p_storage: Power,
+    /// Grid exchange (positive = export, negative = import), kW.
+    pub p_grid: Power,
+    /// Load shed due to a grid-import limit (≥ 0), kW.
+    pub p_unmet: Power,
+    /// Storage state of charge after the step.
+    pub soc: f64,
+}
+
+impl StepRecord {
+    /// Grid import as a non-negative number, kW.
+    #[inline]
+    pub fn grid_import(&self) -> Power {
+        (-self.p_grid).max(Power::ZERO)
+    }
+
+    /// Grid export as a non-negative number, kW.
+    #[inline]
+    pub fn grid_export(&self) -> Power {
+        self.p_grid.max(Power::ZERO)
+    }
+
+    /// Bus balance residual, kW — should be ~0.
+    #[inline]
+    pub fn balance_residual(&self) -> Power {
+        self.p_delta - self.p_storage - self.p_grid + self.p_unmet
+    }
+}
+
+/// An observer of simulation steps (Vessim's Monitor).
+pub trait Monitor {
+    /// Called once per resolved bus step, in time order.
+    fn record(&mut self, rec: &StepRecord);
+}
+
+/// A monitor that stores every record in memory.
+#[derive(Debug, Default)]
+pub struct MemoryMonitor {
+    records: Vec<StepRecord>,
+}
+
+impl MemoryMonitor {
+    /// Create an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// Consume into the record list.
+    pub fn into_records(self) -> Vec<StepRecord> {
+        self.records
+    }
+}
+
+impl Monitor for MemoryMonitor {
+    fn record(&mut self, rec: &StepRecord) {
+        self.records.push(*rec);
+    }
+}
+
+/// A monitor that folds records into running aggregates without storing
+/// them — the fast path for optimization sweeps where only annual metrics
+/// matter.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateMonitor {
+    /// Number of steps seen.
+    pub steps: usize,
+    /// Energy produced on the bus, kWh.
+    pub production_kwh: f64,
+    /// Energy consumed (as a positive number), kWh.
+    pub consumption_kwh: f64,
+    /// Energy imported from the grid, kWh.
+    pub grid_import_kwh: f64,
+    /// Energy exported to the grid, kWh.
+    pub grid_export_kwh: f64,
+    /// Energy charged into storage, kWh.
+    pub storage_charge_kwh: f64,
+    /// Energy discharged from storage, kWh.
+    pub storage_discharge_kwh: f64,
+    /// Unserved energy under import limits, kWh.
+    pub unmet_kwh: f64,
+    /// Steps with any unmet load.
+    pub unmet_steps: usize,
+    /// Demand directly covered by concurrent on-site production, kWh.
+    pub direct_selfconsumption_kwh: f64,
+}
+
+impl Monitor for AggregateMonitor {
+    fn record(&mut self, rec: &StepRecord) {
+        let h = rec.dt.hours();
+        self.steps += 1;
+        self.production_kwh += rec.p_production.kw() * h;
+        self.consumption_kwh += -rec.p_consumption.kw() * h;
+        self.grid_import_kwh += rec.grid_import().kw() * h;
+        self.grid_export_kwh += rec.grid_export().kw() * h;
+        if rec.p_storage.kw() > 0.0 {
+            self.storage_charge_kwh += rec.p_storage.kw() * h;
+        } else {
+            self.storage_discharge_kwh += -rec.p_storage.kw() * h;
+        }
+        self.unmet_kwh += rec.p_unmet.kw() * h;
+        if rec.p_unmet.kw() > 1e-9 {
+            self.unmet_steps += 1;
+        }
+        self.direct_selfconsumption_kwh +=
+            rec.p_production.kw().min(-rec.p_consumption.kw()).max(0.0) * h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(p_delta: f64, p_storage: f64, p_grid: f64) -> StepRecord {
+        StepRecord {
+            t: SimTime::START,
+            dt: SimDuration::from_hours(1.0),
+            p_production: Power::from_kw(p_delta.max(0.0)),
+            p_consumption: Power::from_kw(p_delta.min(0.0)),
+            p_delta: Power::from_kw(p_delta),
+            p_storage: Power::from_kw(p_storage),
+            p_grid: Power::from_kw(p_grid),
+            p_unmet: Power::from_kw(-(p_delta - p_storage - p_grid)),
+            soc: 0.5,
+        }
+    }
+
+    #[test]
+    fn import_export_split() {
+        let r = rec(-60.0, 0.0, -60.0);
+        assert_eq!(r.grid_import().kw(), 60.0);
+        assert_eq!(r.grid_export().kw(), 0.0);
+        let r = rec(40.0, 0.0, 40.0);
+        assert_eq!(r.grid_import().kw(), 0.0);
+        assert_eq!(r.grid_export().kw(), 40.0);
+    }
+
+    #[test]
+    fn balance_residual_zero_when_consistent() {
+        let r = rec(-60.0, -20.0, -40.0);
+        assert_eq!(r.balance_residual().kw(), 0.0);
+    }
+
+    #[test]
+    fn memory_monitor_collects_in_order() {
+        let mut m = MemoryMonitor::new();
+        m.record(&rec(1.0, 0.0, 1.0));
+        m.record(&rec(2.0, 0.0, 2.0));
+        assert_eq!(m.records().len(), 2);
+        assert_eq!(m.records()[1].p_delta.kw(), 2.0);
+    }
+
+    #[test]
+    fn aggregate_monitor_integrates_energy() {
+        let mut m = AggregateMonitor::default();
+        // One hour of 100 kW import, one hour of 50 kW export + 25 charge.
+        let mut r1 = rec(-100.0, 0.0, -100.0);
+        r1.p_production = Power::ZERO;
+        r1.p_consumption = Power::from_kw(-100.0);
+        m.record(&r1);
+        let mut r2 = rec(75.0, 25.0, 50.0);
+        r2.p_production = Power::from_kw(75.0);
+        r2.p_consumption = Power::ZERO;
+        m.record(&r2);
+        assert_eq!(m.grid_import_kwh, 100.0);
+        assert_eq!(m.grid_export_kwh, 50.0);
+        assert_eq!(m.storage_charge_kwh, 25.0);
+        assert_eq!(m.consumption_kwh, 100.0);
+        assert_eq!(m.production_kwh, 75.0);
+        assert_eq!(m.steps, 2);
+    }
+
+    #[test]
+    fn direct_selfconsumption_is_min_of_prod_and_load() {
+        let mut m = AggregateMonitor::default();
+        let r = StepRecord {
+            t: SimTime::START,
+            dt: SimDuration::from_hours(2.0),
+            p_production: Power::from_kw(30.0),
+            p_consumption: Power::from_kw(-100.0),
+            p_delta: Power::from_kw(-70.0),
+            p_storage: Power::ZERO,
+            p_grid: Power::from_kw(-70.0),
+            p_unmet: Power::ZERO,
+            soc: 0.0,
+        };
+        m.record(&r);
+        assert_eq!(m.direct_selfconsumption_kwh, 60.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Time-indexed data sources.
+//!
+//! A [`Signal`] answers "what is the value at simulation time `t`?" —
+//! Vessim's `Signal` abstraction. The SAM-style generation models and the
+//! synthetic data substrates all emit [`mgopt_units::TimeSeries`], which is
+//! itself a step-hold signal; adapters here add constants, closures and
+//! scaling.
+
+use mgopt_units::{SimTime, TimeSeries};
+
+/// A time-indexed value source.
+pub trait Signal: Send + Sync {
+    /// Value at instant `t`.
+    fn at(&self, t: SimTime) -> f64;
+}
+
+impl Signal for TimeSeries {
+    fn at(&self, t: SimTime) -> f64 {
+        TimeSeries::at(self, t)
+    }
+}
+
+/// A constant-valued signal.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantSignal {
+    value: f64,
+}
+
+impl ConstantSignal {
+    /// Create a constant signal.
+    pub fn new(value: f64) -> Self {
+        Self { value }
+    }
+}
+
+impl Signal for ConstantSignal {
+    fn at(&self, _t: SimTime) -> f64 {
+        self.value
+    }
+}
+
+/// A signal computed from a closure.
+pub struct FnSignal<F: Fn(SimTime) -> f64 + Send + Sync> {
+    f: F,
+}
+
+impl<F: Fn(SimTime) -> f64 + Send + Sync> FnSignal<F> {
+    /// Wrap a closure as a signal.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: Fn(SimTime) -> f64 + Send + Sync> Signal for FnSignal<F> {
+    fn at(&self, t: SimTime) -> f64 {
+        (self.f)(t)
+    }
+}
+
+/// A signal scaled by a constant factor.
+pub struct Scaled<S: Signal> {
+    inner: S,
+    factor: f64,
+}
+
+impl<S: Signal> Scaled<S> {
+    /// Scale `inner` by `factor`.
+    pub fn new(inner: S, factor: f64) -> Self {
+        Self { inner, factor }
+    }
+}
+
+impl<S: Signal> Signal for Scaled<S> {
+    fn at(&self, t: SimTime) -> f64 {
+        self.inner.at(t) * self.factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgopt_units::SimDuration;
+
+    #[test]
+    fn constant_signal_everywhere() {
+        let s = ConstantSignal::new(42.0);
+        assert_eq!(s.at(SimTime::START), 42.0);
+        assert_eq!(s.at(SimTime::from_hours(100.0)), 42.0);
+    }
+
+    #[test]
+    fn timeseries_is_a_signal() {
+        let ts = TimeSeries::new(SimDuration::from_hours(1.0), vec![1.0, 2.0, 3.0]);
+        let s: &dyn Signal = &ts;
+        assert_eq!(s.at(SimTime::from_hours(1.5)), 2.0);
+    }
+
+    #[test]
+    fn fn_signal_evaluates() {
+        let s = FnSignal::new(|t: SimTime| t.hours() * 2.0);
+        assert_eq!(s.at(SimTime::from_hours(3.0)), 6.0);
+    }
+
+    #[test]
+    fn scaled_signal_multiplies() {
+        let s = Scaled::new(ConstantSignal::new(10.0), -1.5);
+        assert_eq!(s.at(SimTime::START), -15.0);
+    }
+
+    #[test]
+    fn signals_are_object_safe() {
+        let signals: Vec<Box<dyn Signal>> = vec![
+            Box::new(ConstantSignal::new(1.0)),
+            Box::new(Scaled::new(ConstantSignal::new(2.0), 2.0)),
+        ];
+        let total: f64 = signals.iter().map(|s| s.at(SimTime::START)).sum();
+        assert_eq!(total, 5.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Operational-emissions accounting (GHG Protocol Scope 2, average CI).
+//!
+//! The paper computes operational emissions as the CO2 released by grid
+//! electricity purchases, in tCO2/day, and embodied emissions as a one-time
+//! Scope-3 investment that is *not* amortized (§3.3 quotes the GHG Protocol
+//! guidance). These helpers implement that accounting on time series.
+
+use mgopt_units::{CarbonIntensity, Emissions, Energy, TimeSeries};
+
+/// Total emissions from a grid-import power series (kW, ≥0 meaning import)
+/// and a carbon-intensity series (gCO2/kWh).
+///
+/// Export (negative import samples) is ignored — selling energy back does
+/// not offset Scope-2 purchases under location-based accounting.
+///
+/// # Panics
+/// Panics when the two series have different shapes.
+pub fn operational_emissions(grid_import_kw: &TimeSeries, ci_g_per_kwh: &TimeSeries) -> Emissions {
+    assert_eq!(
+        grid_import_kw.step(),
+        ci_g_per_kwh.step(),
+        "import and CI series must share a step"
+    );
+    assert_eq!(
+        grid_import_kw.len(),
+        ci_g_per_kwh.len(),
+        "import and CI series must share a length"
+    );
+    let step_h = grid_import_kw.step().hours();
+    let mut kg = 0.0;
+    for (&p, &ci) in grid_import_kw.values().iter().zip(ci_g_per_kwh.values()) {
+        if p > 0.0 {
+            let kwh = p * step_h;
+            kg += Energy::from_kwh(kwh)
+                .emissions_at(CarbonIntensity::from_g_per_kwh(ci))
+                .kg();
+        }
+    }
+    Emissions::from_kg(kg)
+}
+
+/// Average daily emissions (tCO2/day) over the series duration.
+pub fn daily_operational_emissions_t(
+    grid_import_kw: &TimeSeries,
+    ci_g_per_kwh: &TimeSeries,
+) -> f64 {
+    let total = operational_emissions(grid_import_kw, ci_g_per_kwh);
+    let days = grid_import_kw.duration().days();
+    if days <= 0.0 {
+        0.0
+    } else {
+        total.tons() / days
+    }
+}
+
+/// Naive multi-year projection (paper §4.2, Figure 3): embodied emissions
+/// paid up front, operational accumulating at a constant daily rate, no
+/// reinvestment or degradation.
+///
+/// Returns cumulative tCO2 at the end of each year `1..=years` with the
+/// year-0 point (embodied only) prepended, i.e. `years + 1` values.
+pub fn project_cumulative_emissions_t(
+    embodied_t: f64,
+    operational_t_per_day: f64,
+    years: usize,
+) -> Vec<f64> {
+    (0..=years)
+        .map(|y| embodied_t + operational_t_per_day * 365.0 * y as f64)
+        .collect()
+}
+
+/// Projection with battery reinvestment — the refinement the paper names
+/// as missing from its own Figure 3 ("batteries may require replacement
+/// within 10–15 years. Since we do not model reinvestment or degradation,
+/// the analysis represents a conservative baseline").
+///
+/// Generation assets live through the whole horizon; the battery's
+/// embodied emissions are re-paid every `battery_lifetime_years`. Returns
+/// cumulative tCO2 at the end of each year `0..=horizon_years`.
+pub fn project_with_battery_reinvestment_t(
+    generation_embodied_t: f64,
+    battery_embodied_t: f64,
+    operational_t_per_day: f64,
+    horizon_years: usize,
+    battery_lifetime_years: usize,
+) -> Vec<f64> {
+    assert!(battery_lifetime_years > 0, "battery lifetime must be positive");
+    (0..=horizon_years)
+        .map(|y| {
+            // Replacements purchased strictly before the end of year y:
+            // at year 0 (initial), then at battery_lifetime, 2×, …
+            let replacements = if battery_embodied_t > 0.0 {
+                1 + y.saturating_sub(1) / battery_lifetime_years
+            } else {
+                0
+            };
+            generation_embodied_t
+                + battery_embodied_t * replacements as f64
+                + operational_t_per_day * 365.0 * y as f64
+        })
+        .collect()
+}
+
+/// The year (fractional) at which configuration `a` overtakes `b` in
+/// cumulative emissions, or `None` if it never does within `horizon_years`.
+///
+/// "Overtakes" means `a` starts below `b` (or equal) and ends above.
+pub fn crossover_year(
+    a: (f64, f64), // (embodied_t, operational_t_per_day)
+    b: (f64, f64),
+    horizon_years: f64,
+) -> Option<f64> {
+    let (ea, oa) = a;
+    let (eb, ob) = b;
+    let delta_daily = (oa - ob) * 365.0;
+    if delta_daily <= 0.0 {
+        // `a` never gains on `b`.
+        return None;
+    }
+    let year = (eb - ea) / delta_daily;
+    if year >= 0.0 && year <= horizon_years {
+        Some(year)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgopt_units::SimDuration;
+
+    fn flat(step_h: f64, n: usize, v: f64) -> TimeSeries {
+        TimeSeries::new(SimDuration::from_hours(step_h), vec![v; n])
+    }
+
+    #[test]
+    fn constant_import_constant_ci() {
+        // 1620 kW for 24 h at 400 g/kWh = 15.55 t
+        let import = flat(1.0, 24, 1_620.0);
+        let ci = flat(1.0, 24, 400.0);
+        let e = operational_emissions(&import, &ci);
+        assert!((e.tons() - 1_620.0 * 24.0 * 400.0 / 1e9 * 1e3).abs() < 1e-9);
+        let daily = daily_operational_emissions_t(&import, &ci);
+        assert!((daily - 15.552).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_does_not_offset() {
+        let import = TimeSeries::new(SimDuration::from_hours(1.0), vec![100.0, -100.0]);
+        let ci = flat(1.0, 2, 500.0);
+        let e = operational_emissions(&import, &ci);
+        assert!((e.kg() - 50.0).abs() < 1e-12, "only the import hour counts");
+    }
+
+    #[test]
+    fn zero_import_zero_emissions() {
+        let import = flat(1.0, 24, 0.0);
+        let ci = flat(1.0, 24, 400.0);
+        assert_eq!(operational_emissions(&import, &ci).kg(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a length")]
+    fn shape_mismatch_panics() {
+        operational_emissions(&flat(1.0, 3, 1.0), &flat(1.0, 4, 1.0));
+    }
+
+    #[test]
+    fn projection_linear_accumulation() {
+        let proj = project_cumulative_emissions_t(4_649.0, 5.88, 20);
+        assert_eq!(proj.len(), 21);
+        assert_eq!(proj[0], 4_649.0);
+        assert!((proj[1] - (4_649.0 + 5.88 * 365.0)).abs() < 1e-9);
+        assert!((proj[20] - (4_649.0 + 5.88 * 365.0 * 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reinvestment_repays_battery_every_lifetime() {
+        // 10,000 t generation + 465 t battery, 10-year battery life.
+        let proj = project_with_battery_reinvestment_t(10_000.0, 465.0, 1.0, 20, 10);
+        assert_eq!(proj.len(), 21);
+        // Year 0: initial purchase only.
+        assert!((proj[0] - 10_465.0).abs() < 1e-9);
+        // Year 10: still one battery (replacement lands in year 11).
+        let op10 = 1.0 * 365.0 * 10.0;
+        assert!((proj[10] - (10_465.0 + op10)).abs() < 1e-9);
+        // Year 11: second battery bought.
+        let op11 = 1.0 * 365.0 * 11.0;
+        assert!((proj[11] - (10_000.0 + 2.0 * 465.0 + op11)).abs() < 1e-9);
+        // Year 20: replacement before year 21 only at 11; next at 21.
+        let op20 = 1.0 * 365.0 * 20.0;
+        assert!((proj[20] - (10_000.0 + 2.0 * 465.0 + op20)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reinvestment_without_battery_matches_naive() {
+        let naive = project_cumulative_emissions_t(5_000.0, 2.0, 15);
+        let reinvested = project_with_battery_reinvestment_t(5_000.0, 0.0, 2.0, 15, 10);
+        assert_eq!(naive, reinvested);
+    }
+
+    #[test]
+    fn reinvestment_strictly_raises_battery_heavy_builds() {
+        let naive = project_cumulative_emissions_t(4_649.0, 5.88, 20);
+        // (12,0,7.5): 4,184 t wind + 465 t battery.
+        let reinvested =
+            project_with_battery_reinvestment_t(4_184.0, 465.0, 5.88, 20, 12);
+        assert_eq!(naive[0], reinvested[0], "identical initial purchase");
+        assert!(reinvested[20] > naive[20], "one replacement by year 20");
+        assert!((reinvested[20] - naive[20] - 465.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "battery lifetime")]
+    fn zero_lifetime_panics() {
+        project_with_battery_reinvestment_t(1.0, 1.0, 1.0, 5, 0);
+    }
+
+    #[test]
+    fn crossover_baseline_vs_investment() {
+        // Houston-like: baseline (0, 15.54) vs the 14,999 t composition
+        // (14_999, 0.24). Baseline overtakes at about 2.7 years.
+        let year = crossover_year((0.0, 15.54), (14_999.0, 0.24), 20.0).unwrap();
+        let expected = 14_999.0 / ((15.54 - 0.24) * 365.0);
+        assert!((year - expected).abs() < 1e-9);
+        assert!((2.0..4.0).contains(&year));
+    }
+
+    #[test]
+    fn crossover_never_when_cheaper_forever() {
+        // `a` has lower embodied AND lower operational: never overtaken.
+        assert!(crossover_year((0.0, 1.0), (1_000.0, 5.0), 20.0).is_none());
+    }
+
+    #[test]
+    fn crossover_outside_horizon() {
+        // Tiny operational difference: crossover beyond 20 years.
+        assert!(crossover_year((0.0, 1.01), (10_000.0, 1.0), 20.0).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Carbon-intensity trace I/O (Electricity-Maps-style CSV).
+//!
+//! Electricity Maps distributes hourly region CSVs with a timestamp column
+//! and a `carbon_intensity_gco2eq_per_kwh`-style value column. This module
+//! reads/writes the equivalent so users can swap the synthetic traces for
+//! purchased data, exactly like the paper does.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use mgopt_units::{SimDuration, TimeSeries};
+
+/// Errors when reading a carbon-intensity file.
+#[derive(Debug)]
+pub enum CiFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file.
+    Format(String),
+}
+
+impl fmt::Display for CiFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiFileError::Io(e) => write!(f, "carbon-intensity file I/O error: {e}"),
+            CiFileError::Format(m) => write!(f, "carbon-intensity file format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CiFileError {}
+
+impl From<std::io::Error> for CiFileError {
+    fn from(e: std::io::Error) -> Self {
+        CiFileError::Io(e)
+    }
+}
+
+/// Write a CI series as `hour,ci_g_per_kwh` CSV.
+pub fn write_csv(ci: &TimeSeries, mut w: impl Write) -> Result<(), CiFileError> {
+    writeln!(w, "# step_s={}", ci.step().secs())?;
+    writeln!(w, "index,carbon_intensity_g_per_kwh")?;
+    for (i, &v) in ci.values().iter().enumerate() {
+        writeln!(w, "{i},{v}")?;
+    }
+    Ok(())
+}
+
+/// Read a CI series from CSV. Rows must be in index order; the `step_s`
+/// metadata defaults to hourly.
+pub fn read_csv(r: impl Read) -> Result<TimeSeries, CiFileError> {
+    let reader = BufReader::new(r);
+    let mut step_s: i64 = 3_600;
+    let mut values = Vec::new();
+    let mut saw_header = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some((k, v)) = rest.trim().split_once('=') {
+                if k.trim() == "step_s" {
+                    step_s = v.trim().parse().map_err(|e| {
+                        CiFileError::Format(format!("metadata step_s: {e}"))
+                    })?;
+                }
+            }
+            continue;
+        }
+        if !saw_header {
+            if !line.starts_with("index") {
+                return Err(CiFileError::Format(format!(
+                    "line {}: expected header, got {line:?}",
+                    lineno + 1
+                )));
+            }
+            saw_header = true;
+            continue;
+        }
+        let (idx, val) = line.split_once(',').ok_or_else(|| {
+            CiFileError::Format(format!("line {}: expected two fields", lineno + 1))
+        })?;
+        let idx: usize = idx.trim().parse().map_err(|e| {
+            CiFileError::Format(format!("line {}: bad index: {e}", lineno + 1))
+        })?;
+        if idx != values.len() {
+            return Err(CiFileError::Format(format!(
+                "line {}: index {idx} out of order (expected {})",
+                lineno + 1,
+                values.len()
+            )));
+        }
+        let v: f64 = val.trim().parse().map_err(|e| {
+            CiFileError::Format(format!("line {}: bad value: {e}", lineno + 1))
+        })?;
+        if v < 0.0 {
+            return Err(CiFileError::Format(format!(
+                "line {}: negative carbon intensity {v}",
+                lineno + 1
+            )));
+        }
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(CiFileError::Format("no data rows".into()));
+    }
+    if step_s <= 0 {
+        return Err(CiFileError::Format("step_s must be positive".into()));
+    }
+    Ok(TimeSeries::new(SimDuration::from_secs(step_s), values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::{CarbonIntensityModel, GridRegion};
+
+    #[test]
+    fn round_trip_exact() {
+        let ci = CarbonIntensityModel::for_region(GridRegion::Ercot)
+            .generate(SimDuration::from_hours(1.0), 42);
+        let mut buf = Vec::new();
+        write_csv(&ci, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, ci);
+    }
+
+    #[test]
+    fn hand_written_file() {
+        let text = "index,carbon_intensity_g_per_kwh\n0,400.5\n1,380.0\n2,390.25\n";
+        let ci = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(ci.len(), 3);
+        assert_eq!(ci.values()[0], 400.5);
+        assert_eq!(ci.step().secs(), 3_600);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let text = "index,carbon_intensity_g_per_kwh\n0,400\n2,380\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+    }
+
+    #[test]
+    fn negative_ci_rejected() {
+        let text = "index,carbon_intensity_g_per_kwh\n0,-5\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("negative"));
+    }
+
+    #[test]
+    fn custom_step_honored() {
+        let text = "# step_s=900\nindex,carbon_intensity_g_per_kwh\n0,100\n1,110\n";
+        let ci = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(ci.step().secs(), 900);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(read_csv("not a csv".as_bytes()).is_err());
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+}

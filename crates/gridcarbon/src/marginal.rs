@@ -1,0 +1,160 @@
+//! Marginal carbon intensity — the accounting alternative the paper
+//! deliberately does **not** use.
+//!
+//! §4.1: "we calculate operational carbon emissions using average carbon
+//! intensity data … rather than alternative metrics such as marginal
+//! carbon intensity", citing Wiesner & Kao (SIGMETRICS PER 2025), who
+//! argue marginal CI is a poor metric for both carbon accounting and grid
+//! flexibility. This module implements a synthetic marginal-CI estimate
+//! anyway so users can *quantify* how much the metric choice changes the
+//! paper's conclusions (it changes them a lot — which is the point).
+//!
+//! Model: the marginal unit is almost always a gas plant (CCGT ~390
+//! g/kWh) except during renewable-surplus hours (average CI far below its
+//! mean), when curtailed renewables are marginal (~0 g/kWh), and during
+//! scarcity hours (average CI far above its mean), when peakers set the
+//! margin (~650 g/kWh).
+
+use mgopt_units::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic marginal-CI estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginalModel {
+    /// Marginal intensity of the usual price-setting unit (CCGT), g/kWh.
+    pub ccgt_g_per_kwh: f64,
+    /// Marginal intensity during scarcity (peakers/coal), g/kWh.
+    pub peaker_g_per_kwh: f64,
+    /// Average-CI fraction of its mean below which renewables are assumed
+    /// marginal (surplus hours).
+    pub surplus_threshold: f64,
+    /// Average-CI fraction of its mean above which peakers are assumed
+    /// marginal.
+    pub scarcity_threshold: f64,
+}
+
+impl Default for MarginalModel {
+    fn default() -> Self {
+        Self {
+            ccgt_g_per_kwh: 390.0,
+            peaker_g_per_kwh: 650.0,
+            surplus_threshold: 0.45,
+            scarcity_threshold: 1.35,
+        }
+    }
+}
+
+impl MarginalModel {
+    /// Derive a marginal-CI series from an average-CI series.
+    pub fn derive(&self, average_ci: &TimeSeries) -> TimeSeries {
+        let mean = average_ci.mean();
+        average_ci.map(|avg| {
+            let rel = avg / mean;
+            if rel < self.surplus_threshold {
+                0.0
+            } else if rel > self.scarcity_threshold {
+                self.peaker_g_per_kwh
+            } else {
+                self.ccgt_g_per_kwh
+            }
+        })
+    }
+}
+
+/// Compare operational emissions of an import series under average vs
+/// marginal accounting. Returns `(average_kg, marginal_kg)`.
+pub fn compare_accounting(
+    grid_import_kw: &TimeSeries,
+    average_ci: &TimeSeries,
+    model: &MarginalModel,
+) -> (f64, f64) {
+    let marginal_ci = model.derive(average_ci);
+    let avg = crate::accounting::operational_emissions(grid_import_kw, average_ci).kg();
+    let mar = crate::accounting::operational_emissions(grid_import_kw, &marginal_ci).kg();
+    (avg, mar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::{CarbonIntensityModel, GridRegion};
+    use mgopt_units::SimDuration;
+
+    fn caiso_ci() -> TimeSeries {
+        CarbonIntensityModel::for_region(GridRegion::Caiso)
+            .generate(SimDuration::from_hours(1.0), 42)
+    }
+
+    #[test]
+    fn marginal_takes_three_levels() {
+        let ci = caiso_ci();
+        let marginal = MarginalModel::default().derive(&ci);
+        let mut seen = std::collections::BTreeSet::new();
+        for &v in marginal.values() {
+            seen.insert(v as i64);
+        }
+        assert!(seen.contains(&0), "surplus hours exist in CAISO (duck curve)");
+        assert!(seen.contains(&390), "CCGT hours dominate");
+        assert!(seen.len() <= 3);
+    }
+
+    #[test]
+    fn marginal_mostly_ccgt() {
+        let ci = caiso_ci();
+        let marginal = MarginalModel::default().derive(&ci);
+        let ccgt_hours = marginal.values().iter().filter(|&&v| v == 390.0).count();
+        assert!(
+            ccgt_hours as f64 > 0.5 * marginal.len() as f64,
+            "{ccgt_hours} CCGT hours"
+        );
+    }
+
+    #[test]
+    fn flat_load_emissions_differ_substantially_between_metrics() {
+        // The Wiesner & Kao point: metric choice dominates the result.
+        let ci = caiso_ci();
+        let load = TimeSeries::constant_year(SimDuration::from_hours(1.0), 1_620.0);
+        let (avg, mar) = compare_accounting(&load, &ci, &MarginalModel::default());
+        assert!(avg > 0.0 && mar > 0.0);
+        let ratio = mar / avg;
+        assert!(
+            !(0.95..=1.05).contains(&ratio),
+            "marginal accounting should visibly diverge, ratio {ratio}"
+        );
+        // Marginal is higher for a flat load on a low-average grid: most
+        // hours the margin is gas even when the average is clean.
+        assert!(ratio > 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn midday_solar_load_is_free_under_marginal_only() {
+        // A load running only in deep-surplus hours: near-zero marginal
+        // emissions, non-zero average emissions.
+        let ci = caiso_ci();
+        let mean = ci.mean();
+        let load = TimeSeries::new(
+            SimDuration::from_hours(1.0),
+            ci.values()
+                .iter()
+                .map(|&c| if c < 0.45 * mean { 1_000.0 } else { 0.0 })
+                .collect(),
+        );
+        if load.sum() > 0.0 {
+            let (avg, mar) = compare_accounting(&load, &ci, &MarginalModel::default());
+            assert!(avg > 0.0);
+            assert_eq!(mar, 0.0, "surplus hours are marginally free");
+        }
+    }
+
+    #[test]
+    fn thresholds_configurable() {
+        let ci = caiso_ci();
+        let strict = MarginalModel {
+            surplus_threshold: 0.0, // never surplus
+            scarcity_threshold: f64::INFINITY,
+            ..MarginalModel::default()
+        };
+        let marginal = strict.derive(&ci);
+        assert!(marginal.values().iter().all(|&v| v == 390.0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Electricity price signals for the cost-reduction objective (§4.3).
+//!
+//! Two tariff families:
+//! * [`TariffKind::TimeOfUse`] — a fixed three-tier schedule (off-peak /
+//!   mid-peak / on-peak) like a commercial CAISO tariff;
+//! * [`TariffKind::Wholesale`] — volatile ERCOT-style real-time prices with
+//!   AR(1) noise and occasional scarcity spikes.
+
+use mgopt_units::{SimDuration, SimTime, TimeSeries, SECONDS_PER_YEAR};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tariff family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TariffKind {
+    /// Deterministic time-of-use schedule.
+    TimeOfUse,
+    /// Stochastic wholesale real-time prices.
+    Wholesale,
+}
+
+/// Electricity price model, $/MWh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceModel {
+    /// Tariff family.
+    pub kind: TariffKind,
+    /// Mean price, $/MWh.
+    pub mean_usd_per_mwh: f64,
+    /// Off-peak multiplier (TOU) / trough factor (wholesale).
+    pub offpeak_factor: f64,
+    /// On-peak multiplier.
+    pub onpeak_factor: f64,
+    /// On-peak hours `[start, end)` local time.
+    pub onpeak_hours: (u32, u32),
+    /// Wholesale only: probability per hour of a scarcity spike.
+    pub spike_probability: f64,
+    /// Wholesale only: spike multiplier on the mean price.
+    pub spike_factor: f64,
+    /// Wholesale only: relative AR(1) noise std.
+    pub noise_std: f64,
+}
+
+impl PriceModel {
+    /// CAISO-style commercial TOU tariff.
+    pub fn caiso_tou() -> Self {
+        Self {
+            kind: TariffKind::TimeOfUse,
+            mean_usd_per_mwh: 150.0,
+            offpeak_factor: 0.6,
+            onpeak_factor: 1.9,
+            onpeak_hours: (16, 21),
+            spike_probability: 0.0,
+            spike_factor: 1.0,
+            noise_std: 0.0,
+        }
+    }
+
+    /// ERCOT-style volatile wholesale prices.
+    pub fn ercot_wholesale() -> Self {
+        Self {
+            kind: TariffKind::Wholesale,
+            mean_usd_per_mwh: 45.0,
+            offpeak_factor: 0.5,
+            onpeak_factor: 1.6,
+            onpeak_hours: (13, 19),
+            spike_probability: 0.004, // ~35 spike hours/year
+            spike_factor: 40.0,       // $1800/MWh scarcity events
+            noise_std: 0.25,
+        }
+    }
+
+    /// Deterministic tariff value at an instant (no noise/spikes).
+    pub fn base_price(&self, t: SimTime) -> f64 {
+        let cal = t.calendar();
+        let h = cal.hour;
+        let (start, end) = self.onpeak_hours;
+        let factor = if h >= start && h < end {
+            self.onpeak_factor
+        } else if h < 6 || h >= 22 {
+            self.offpeak_factor
+        } else {
+            1.0
+        };
+        self.mean_usd_per_mwh * factor
+    }
+
+    /// Generate a year of prices ($/MWh) at the given step.
+    pub fn generate(&self, step: SimDuration, seed: u64) -> TimeSeries {
+        let step_s = step.secs();
+        assert!(step_s > 0 && SECONDS_PER_YEAR % step_s == 0, "step must divide the year");
+        let n = (SECONDS_PER_YEAR / step_s) as usize;
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x9e1c_e000);
+        let steps_per_hour = 3_600.0 / step_s as f64;
+        let rho = (-1.0 / (4.0 * steps_per_hour)).exp();
+        let innovation = (1.0 - rho * rho).sqrt();
+        let mut g = 0.0f64;
+
+        let values = (0..n)
+            .map(|i| {
+                let t = SimTime::from_secs(i as i64 * step_s);
+                let base = self.base_price(t);
+                match self.kind {
+                    TariffKind::TimeOfUse => base,
+                    TariffKind::Wholesale => {
+                        let u1: f64 = rng.gen_range(1e-12..1.0);
+                        let u2: f64 = rng.gen();
+                        let eps = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        g = rho * g + innovation * eps;
+                        let spike: f64 = rng.gen();
+                        let spike_mul = if spike < self.spike_probability / steps_per_hour {
+                            self.spike_factor
+                        } else {
+                            1.0
+                        };
+                        (base * (1.0 + self.noise_std * g) * spike_mul).max(0.0)
+                    }
+                }
+            })
+            .collect();
+        TimeSeries::new(step, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tou_schedule_tiers() {
+        let m = PriceModel::caiso_tou();
+        // 03:00 off-peak, 12:00 mid, 18:00 on-peak.
+        let off = m.base_price(SimTime::from_secs(3 * 3_600));
+        let mid = m.base_price(SimTime::from_secs(12 * 3_600));
+        let on = m.base_price(SimTime::from_secs(18 * 3_600));
+        assert!(off < mid && mid < on);
+        assert_eq!(off, 150.0 * 0.6);
+        assert_eq!(on, 150.0 * 1.9);
+    }
+
+    #[test]
+    fn tou_generation_is_deterministic() {
+        let m = PriceModel::caiso_tou();
+        let a = m.generate(SimDuration::from_hours(1.0), 1);
+        let b = m.generate(SimDuration::from_hours(1.0), 99);
+        assert_eq!(a, b, "TOU has no stochastic component");
+        assert_eq!(a.len(), 8_760);
+    }
+
+    #[test]
+    fn wholesale_has_spikes() {
+        let m = PriceModel::ercot_wholesale();
+        let ts = m.generate(SimDuration::from_hours(1.0), 3);
+        let max = ts.max();
+        assert!(max > 500.0, "expected scarcity spikes, max {max}");
+        let spikes = ts.values().iter().filter(|&&p| p > 500.0).count();
+        assert!((5..200).contains(&spikes), "{spikes} spike hours");
+    }
+
+    #[test]
+    fn wholesale_mean_near_target() {
+        let m = PriceModel::ercot_wholesale();
+        let ts = m.generate(SimDuration::from_hours(1.0), 4);
+        // Spikes push mean a bit above base; allow generous band.
+        assert!((30.0..90.0).contains(&ts.mean()), "mean {}", ts.mean());
+    }
+
+    #[test]
+    fn prices_nonnegative() {
+        let ts = PriceModel::ercot_wholesale().generate(SimDuration::from_hours(1.0), 5);
+        assert!(ts.min() >= 0.0);
+    }
+
+    #[test]
+    fn wholesale_deterministic_per_seed() {
+        let m = PriceModel::ercot_wholesale();
+        assert_eq!(
+            m.generate(SimDuration::from_hours(1.0), 6),
+            m.generate(SimDuration::from_hours(1.0), 6)
+        );
+        assert_ne!(
+            m.generate(SimDuration::from_hours(1.0), 6),
+            m.generate(SimDuration::from_hours(1.0), 7)
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Calibration probe: prints capacity factors and the paper's Table 1/2
+//! candidate rows for both sites, for comparison against the paper.
+
+use mgopt_microgrid::{simulate_year, Composition, SimConfig, Site};
+use mgopt_units::SimDuration;
+use mgopt_workload::HpcWorkload;
+
+fn main() {
+    let step = SimDuration::from_hours(1.0);
+    let load = HpcWorkload::perlmutter_like(42).generate(step);
+    let cfg = SimConfig::default();
+
+    for (site, rows) in [
+        (
+            Site::houston(),
+            vec![
+                Composition::BASELINE,
+                Composition::new(4, 0.0, 7_500.0),
+                Composition::new(3, 8_000.0, 22_500.0),
+                Composition::new(4, 12_000.0, 52_500.0),
+                Composition::new(10, 40_000.0, 60_000.0),
+            ],
+        ),
+        (
+            Site::berkeley(),
+            vec![
+                Composition::BASELINE,
+                Composition::new(1, 4_000.0, 22_500.0),
+                Composition::new(0, 12_000.0, 37_500.0),
+                Composition::new(3, 12_000.0, 52_500.0),
+                Composition::new(10, 40_000.0, 60_000.0),
+            ],
+        ),
+    ] {
+        let data = site.prepare(step, 42);
+        println!(
+            "== {} | solar CF {:.3} wind CF {:.3} | CI mean {:.1}",
+            data.site.name,
+            data.solar_capacity_factor(),
+            data.wind_capacity_factor(),
+            data.ci_g_per_kwh.mean()
+        );
+        println!(
+            "{:>6} {:>6} {:>8} | {:>9} {:>8} {:>7} {:>7}",
+            "windMW", "solMW", "battMWh", "embodied", "op t/d", "cov%", "cycles"
+        );
+        for c in rows {
+            let r = simulate_year(&data, &load, &c, &cfg);
+            println!(
+                "{:>6.0} {:>6.0} {:>8.1} | {:>9.0} {:>8.2} {:>7.2} {:>7.0}",
+                c.wind_mw(),
+                c.solar_mw(),
+                c.battery_mwh(),
+                r.metrics.embodied_t,
+                r.metrics.operational_t_per_day,
+                r.metrics.coverage_pct(),
+                r.metrics.battery_cycles
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Microgrid compositions and the paper's design space.
+//!
+//! A composition is one point in the search space: number of 3 MW wind
+//! turbines, installed solar DC capacity, and battery capacity. The paper
+//! sweeps solar 0–40 MW in 4 MW increments, wind 0–10 turbines, and battery
+//! 0–60 MWh in 7.5 MWh (Fluence Smartstack) units — 11 × 11 × 9 = 1,089
+//! valid combinations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::embodied::EmbodiedDb;
+
+/// One microgrid composition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Composition {
+    /// Number of 3 MW wind turbines.
+    pub wind_turbines: u32,
+    /// Installed solar DC capacity, kW.
+    pub solar_kw: f64,
+    /// Battery capacity, kWh.
+    pub battery_kwh: f64,
+}
+
+impl Composition {
+    /// The all-zero baseline (fully grid-powered data center).
+    pub const BASELINE: Self = Self {
+        wind_turbines: 0,
+        solar_kw: 0.0,
+        battery_kwh: 0.0,
+    };
+
+    /// Create a composition.
+    pub fn new(wind_turbines: u32, solar_kw: f64, battery_kwh: f64) -> Self {
+        assert!(solar_kw >= 0.0 && battery_kwh >= 0.0);
+        Self {
+            wind_turbines,
+            solar_kw,
+            battery_kwh,
+        }
+    }
+
+    /// Wind capacity in MW (3 MW per turbine).
+    pub fn wind_mw(&self) -> f64 {
+        self.wind_turbines as f64 * 3.0
+    }
+
+    /// Solar capacity in MW.
+    pub fn solar_mw(&self) -> f64 {
+        self.solar_kw / 1_000.0
+    }
+
+    /// Battery capacity in MWh.
+    pub fn battery_mwh(&self) -> f64 {
+        self.battery_kwh / 1_000.0
+    }
+
+    /// Total embodied emissions of this composition, tCO2.
+    pub fn embodied_t(&self, db: &EmbodiedDb) -> f64 {
+        db.total_t(self)
+    }
+
+    /// `true` when no on-site infrastructure is present.
+    pub fn is_baseline(&self) -> bool {
+        self.wind_turbines == 0 && self.solar_kw == 0.0 && self.battery_kwh == 0.0
+    }
+
+    /// The paper's tuple notation: `(wind MW, solar MW, battery MWh)`.
+    pub fn label(&self) -> String {
+        format!(
+            "({:.0}, {:.0}, {:.0})",
+            self.wind_mw(),
+            self.solar_mw(),
+            self.battery_mwh()
+        )
+    }
+}
+
+impl std::fmt::Display for Composition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} turbines / {:.1} MW solar / {:.1} MWh battery",
+            self.wind_turbines,
+            self.solar_mw(),
+            self.battery_mwh()
+        )
+    }
+}
+
+/// The discrete design space swept by the optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositionSpace {
+    /// Allowed turbine counts.
+    pub wind_choices: Vec<u32>,
+    /// Allowed solar capacities, kW.
+    pub solar_choices_kw: Vec<f64>,
+    /// Allowed battery capacities, kWh.
+    pub battery_choices_kwh: Vec<f64>,
+}
+
+impl CompositionSpace {
+    /// The paper's space: wind 0–10 turbines, solar 0–40 MW in 4 MW steps,
+    /// battery 0–60 MWh in 7.5 MWh steps (1,089 combinations).
+    pub fn paper() -> Self {
+        Self {
+            wind_choices: (0..=10).collect(),
+            solar_choices_kw: (0..=10).map(|i| i as f64 * 4_000.0).collect(),
+            battery_choices_kwh: (0..=8).map(|i| i as f64 * 7_500.0).collect(),
+        }
+    }
+
+    /// A reduced space for fast tests/benches (3 × 3 × 3 = 27 points).
+    pub fn tiny() -> Self {
+        Self {
+            wind_choices: vec![0, 4, 10],
+            solar_choices_kw: vec![0.0, 16_000.0, 40_000.0],
+            battery_choices_kwh: vec![0.0, 22_500.0, 60_000.0],
+        }
+    }
+
+    /// Number of compositions in the space.
+    pub fn len(&self) -> usize {
+        self.wind_choices.len() * self.solar_choices_kw.len() * self.battery_choices_kwh.len()
+    }
+
+    /// `true` when the space is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The composition at flat index `i` (row-major: wind, solar, battery).
+    pub fn at(&self, i: usize) -> Composition {
+        assert!(i < self.len(), "index {i} out of bounds");
+        let nb = self.battery_choices_kwh.len();
+        let ns = self.solar_choices_kw.len();
+        let wind = self.wind_choices[i / (ns * nb)];
+        let solar = self.solar_choices_kw[(i / nb) % ns];
+        let battery = self.battery_choices_kwh[i % nb];
+        Composition::new(wind, solar, battery)
+    }
+
+    /// Flat index of a composition, if it lies on the grid.
+    pub fn index_of(&self, c: &Composition) -> Option<usize> {
+        let iw = self.wind_choices.iter().position(|&w| w == c.wind_turbines)?;
+        let is = self
+            .solar_choices_kw
+            .iter()
+            .position(|&s| (s - c.solar_kw).abs() < 1e-9)?;
+        let ib = self
+            .battery_choices_kwh
+            .iter()
+            .position(|&b| (b - c.battery_kwh).abs() < 1e-9)?;
+        let nb = self.battery_choices_kwh.len();
+        let ns = self.solar_choices_kw.len();
+        Some(iw * ns * nb + is * nb + ib)
+    }
+
+    /// Iterate over every composition in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Composition> + '_ {
+        (0..self.len()).map(|i| self.at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_has_1089_points() {
+        let space = CompositionSpace::paper();
+        assert_eq!(space.len(), 1_089);
+        assert_eq!(space.iter().count(), 1_089);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let space = CompositionSpace::paper();
+        for i in [0, 1, 8, 9, 99, 500, 1_088] {
+            let c = space.at(i);
+            assert_eq!(space.index_of(&c), Some(i));
+        }
+    }
+
+    #[test]
+    fn first_and_last_points() {
+        let space = CompositionSpace::paper();
+        assert!(space.at(0).is_baseline());
+        let last = space.at(1_088);
+        assert_eq!(last.wind_turbines, 10);
+        assert_eq!(last.solar_kw, 40_000.0);
+        assert_eq!(last.battery_kwh, 60_000.0);
+    }
+
+    #[test]
+    fn off_grid_composition_has_no_index() {
+        let space = CompositionSpace::paper();
+        let odd = Composition::new(3, 1_234.0, 0.0);
+        assert_eq!(space.index_of(&odd), None);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let c = Composition::new(4, 12_000.0, 52_500.0);
+        assert_eq!(c.wind_mw(), 12.0);
+        assert_eq!(c.solar_mw(), 12.0);
+        assert_eq!(c.battery_mwh(), 52.5);
+        assert_eq!(c.label(), "(12, 12, 52)");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Composition::new(2, 8_000.0, 7_500.0);
+        assert_eq!(format!("{c}"), "2 turbines / 8.0 MW solar / 7.5 MWh battery");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn at_out_of_bounds_panics() {
+        CompositionSpace::tiny().at(27);
+    }
+
+    #[test]
+    fn tiny_space_shape() {
+        let s = CompositionSpace::tiny();
+        assert_eq!(s.len(), 27);
+        assert!(!s.is_empty());
+    }
+}

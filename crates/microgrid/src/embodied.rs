@@ -1,0 +1,133 @@
+//! Embodied-carbon accounting for microgrid infrastructure.
+//!
+//! Constants follow the paper exactly (§4):
+//!
+//! * **Solar:** "low carbon" modules per the Global Electronics Council
+//!   ultra-low-carbon criteria — 630 kgCO2/kW, i.e. 2,520 t per 4 MW step.
+//! * **Wind:** 1,046 tCO2 per 3 MW turbine (Smoucha et al. 2016 life-cycle
+//!   analysis).
+//! * **Battery:** 62 kgCO2/kWh for LFP lithium-ion (Peiseler et al. 2024),
+//!   i.e. 465 t per 7.5 MWh Fluence Smartstack unit.
+//!
+//! Per the GHG Protocol Scope-3 guidance quoted in the paper, embodied
+//! emissions are a one-time investment accounted in the year of
+//! acquisition — never amortized.
+
+use serde::{Deserialize, Serialize};
+
+use crate::composition::Composition;
+
+/// Per-technology embodied-carbon factors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedDb {
+    /// Solar PV embodied carbon, kgCO2 per kW(DC).
+    pub solar_kg_per_kw: f64,
+    /// Wind embodied carbon, kgCO2 per 3 MW turbine.
+    pub wind_kg_per_turbine: f64,
+    /// Battery embodied carbon, kgCO2 per kWh.
+    pub battery_kg_per_kwh: f64,
+}
+
+impl Default for EmbodiedDb {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl EmbodiedDb {
+    /// The paper's constants.
+    pub fn paper() -> Self {
+        Self {
+            solar_kg_per_kw: 630.0,
+            wind_kg_per_turbine: 1_046_000.0,
+            battery_kg_per_kwh: 62.0,
+        }
+    }
+
+    /// Solar embodied emissions, tCO2.
+    pub fn solar_t(&self, solar_kw: f64) -> f64 {
+        solar_kw * self.solar_kg_per_kw / 1e3
+    }
+
+    /// Wind embodied emissions, tCO2.
+    pub fn wind_t(&self, turbines: u32) -> f64 {
+        turbines as f64 * self.wind_kg_per_turbine / 1e3
+    }
+
+    /// Battery embodied emissions, tCO2.
+    pub fn battery_t(&self, battery_kwh: f64) -> f64 {
+        battery_kwh * self.battery_kg_per_kwh / 1e3
+    }
+
+    /// Total embodied emissions of a composition, tCO2.
+    pub fn total_t(&self, c: &Composition) -> f64 {
+        self.solar_t(c.solar_kw) + self.wind_t(c.wind_turbines) + self.battery_t(c.battery_kwh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_increments() {
+        let db = EmbodiedDb::paper();
+        // 4 MW solar step = 2,520 t; one turbine = 1,046 t; one Smartstack
+        // (7.5 MWh) = 465 t.
+        assert_eq!(db.solar_t(4_000.0), 2_520.0);
+        assert_eq!(db.wind_t(1), 1_046.0);
+        assert_eq!(db.battery_t(7_500.0), 465.0);
+    }
+
+    #[test]
+    fn houston_table1_rows_exact() {
+        let db = EmbodiedDb::paper();
+        // Rows of Table 1 (wind MW, solar MW, battery MWh) -> embodied t.
+        let rows = [
+            (Composition::BASELINE, 0.0),
+            (Composition::new(4, 0.0, 7_500.0), 4_649.0),
+            (Composition::new(3, 8_000.0, 22_500.0), 9_573.0),
+            (Composition::new(4, 12_000.0, 52_500.0), 14_999.0),
+            (Composition::new(10, 40_000.0, 60_000.0), 39_380.0),
+        ];
+        for (c, expected) in rows {
+            assert!(
+                (db.total_t(&c) - expected).abs() < 1e-9,
+                "{c}: {} != {expected}",
+                db.total_t(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn berkeley_table2_rows_exact() {
+        let db = EmbodiedDb::paper();
+        let rows = [
+            (Composition::new(1, 4_000.0, 22_500.0), 4_961.0),
+            (Composition::new(0, 12_000.0, 37_500.0), 9_885.0),
+            (Composition::new(3, 12_000.0, 52_500.0), 13_953.0),
+            (Composition::new(10, 40_000.0, 60_000.0), 39_380.0),
+        ];
+        for (c, expected) in rows {
+            assert!(
+                (db.total_t(&c) - expected).abs() < 1e-9,
+                "{c}: {} != {expected}",
+                db.total_t(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_has_zero_embodied() {
+        assert_eq!(EmbodiedDb::paper().total_t(&Composition::BASELINE), 0.0);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let db = EmbodiedDb::paper();
+        let c = Composition::new(5, 20_000.0, 30_000.0);
+        let total = db.total_t(&c);
+        let parts = db.wind_t(5) + db.solar_t(20_000.0) + db.battery_t(30_000.0);
+        assert_eq!(total, parts);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # mgopt-microgrid
+//!
+//! The microgrid domain library: compositions and their embodied carbon,
+//! data-center sites, dispatch policies, the year simulator, and the
+//! sustainability metrics reported in the paper's tables.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use mgopt_microgrid::{Composition, Site, SimConfig, simulate_year};
+//! use mgopt_units::SimDuration;
+//! use mgopt_workload::HpcWorkload;
+//!
+//! // Precompute site data once (weather → SAM models → unit profiles).
+//! let data = Site::houston().prepare(SimDuration::from_hours(1.0), 42);
+//! let load = HpcWorkload::perlmutter_like(42).generate(SimDuration::from_hours(1.0));
+//!
+//! // Simulate one candidate composition.
+//! let comp = Composition::new(4, 0.0, 7_500.0); // 12 MW wind, 7.5 MWh battery
+//! let result = simulate_year(&data, &load, &comp, &SimConfig::default());
+//! assert!(result.metrics.coverage > 0.5);
+//! ```
+
+pub mod composition;
+pub mod embodied;
+pub mod metrics;
+pub mod policy;
+pub mod simulate;
+pub mod site;
+
+pub use composition::{Composition, CompositionSpace};
+pub use embodied::EmbodiedDb;
+pub use metrics::{AnnualMetrics, AnnualResult};
+pub use policy::{shift_load_carbon_aware, DispatchPolicy};
+pub use simulate::{
+    build_cosim_microgrid, simulate_period, simulate_year, simulate_year_cosim, SimConfig,
+};
+pub use site::{Site, SiteData};

@@ -1,0 +1,132 @@
+//! Annual sustainability and reliability metrics.
+//!
+//! These are the columns of the paper's Tables 1 and 2 (embodied tCO2,
+//! operational tCO2/day, on-site coverage %, battery cycles) plus the
+//! additional objectives of §4.3 (cost, degradation, resilience).
+
+use serde::{Deserialize, Serialize};
+
+use crate::composition::Composition;
+
+/// Aggregate metrics of one simulated year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnualMetrics {
+    /// Total demand, MWh.
+    pub demand_mwh: f64,
+    /// Total on-site generation, MWh.
+    pub production_mwh: f64,
+    /// Grid imports, MWh.
+    pub grid_import_mwh: f64,
+    /// Grid exports (curtailed surplus sold/spilled), MWh.
+    pub grid_export_mwh: f64,
+    /// Demand served directly by concurrent on-site generation, MWh.
+    pub direct_use_mwh: f64,
+    /// Battery terminal charge throughput, MWh.
+    pub battery_charge_mwh: f64,
+    /// Battery terminal discharge throughput, MWh.
+    pub battery_discharge_mwh: f64,
+    /// Unserved demand (islanded operation only), MWh.
+    pub unmet_mwh: f64,
+    /// Operational emissions, tCO2 per day (the paper's headline metric).
+    pub operational_t_per_day: f64,
+    /// Operational emissions over the whole year, tCO2.
+    pub operational_t_per_year: f64,
+    /// One-time embodied emissions of the composition, tCO2.
+    pub embodied_t: f64,
+    /// On-site coverage: `1 − import/demand` (the paper's "Cov. %", 0..1).
+    pub coverage: f64,
+    /// Direct coverage excluding storage: `direct_use/demand` (Figure 4).
+    pub direct_coverage: f64,
+    /// Battery equivalent full cycles over the year (throughput-based).
+    pub battery_cycles: f64,
+    /// Fraction of steps with zero grid import (resilience proxy).
+    pub self_sufficient_fraction: f64,
+    /// Net electricity cost: imports at tariff minus exports at the
+    /// configured export factor, USD.
+    pub energy_cost_usd: f64,
+}
+
+impl AnnualMetrics {
+    /// Coverage as the percentage printed in the paper's tables.
+    pub fn coverage_pct(&self) -> f64 {
+        self.coverage * 100.0
+    }
+
+    /// Cumulative emissions after `years` of constant operation, tCO2
+    /// (naive Figure-3 projection: embodied up front, no reinvestment).
+    pub fn cumulative_t_after(&self, years: f64) -> f64 {
+        self.embodied_t + self.operational_t_per_day * 365.0 * years
+    }
+}
+
+/// The result of simulating one composition at one site for one year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnualResult {
+    /// The simulated composition.
+    pub composition: Composition,
+    /// Aggregate metrics.
+    pub metrics: AnnualMetrics,
+    /// Hourly state-of-charge trace (empty unless requested) for rainflow
+    /// and degradation analysis.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub soc_trace_hourly: Vec<f64>,
+}
+
+impl AnnualResult {
+    /// The two paper objectives, both minimized:
+    /// `(operational tCO2/day, embodied tCO2)`.
+    pub fn objectives(&self) -> [f64; 2] {
+        [self.metrics.operational_t_per_day, self.metrics.embodied_t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> AnnualMetrics {
+        AnnualMetrics {
+            demand_mwh: 14_191.2,
+            production_mwh: 10_000.0,
+            grid_import_mwh: 4_105.0,
+            grid_export_mwh: 800.0,
+            direct_use_mwh: 8_000.0,
+            battery_charge_mwh: 1_200.0,
+            battery_discharge_mwh: 1_080.0,
+            unmet_mwh: 0.0,
+            operational_t_per_day: 5.88,
+            operational_t_per_year: 5.88 * 365.0,
+            embodied_t: 4_649.0,
+            coverage: 1.0 - 4_105.0 / 14_191.2,
+            direct_coverage: 8_000.0 / 14_191.2,
+            battery_cycles: 153.0,
+            self_sufficient_fraction: 0.6,
+            energy_cost_usd: 200_000.0,
+        }
+    }
+
+    #[test]
+    fn coverage_pct_scales() {
+        let m = metrics();
+        assert!((m.coverage_pct() - m.coverage * 100.0).abs() < 1e-12);
+        assert!((m.coverage_pct() - 71.07).abs() < 0.2);
+    }
+
+    #[test]
+    fn cumulative_projection() {
+        let m = metrics();
+        assert_eq!(m.cumulative_t_after(0.0), 4_649.0);
+        let at20 = m.cumulative_t_after(20.0);
+        assert!((at20 - (4_649.0 + 5.88 * 365.0 * 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objectives_order() {
+        let r = AnnualResult {
+            composition: Composition::new(4, 0.0, 7_500.0),
+            metrics: metrics(),
+            soc_trace_hourly: vec![],
+        };
+        assert_eq!(r.objectives(), [5.88, 4_649.0]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Dispatch policies beyond plain self-consumption.
+//!
+//! The paper's framework "can also accommodate different operational
+//! strategies such as demand response or carbon-aware scheduling" (§3.3);
+//! §4.3 lists battery-degradation, cost and reliability objectives. The
+//! policies here feed those studies.
+
+use mgopt_units::{Power, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Dispatch policy used by the fast-path year simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Charge on surplus, discharge on deficit, never touch the grid for
+    /// charging (Vessim's default microgrid behaviour).
+    SelfConsumption,
+    /// Like `SelfConsumption` but grid imports are forbidden; deficits
+    /// beyond the battery become unmet load (resilience studies).
+    Islanded,
+    /// Carbon-aware grid charging: when grid carbon intensity drops below
+    /// `ci_threshold_g_per_kwh` and the battery is below `target_soc`,
+    /// charge from the grid in addition to any surplus.
+    CarbonAwareGridCharge {
+        /// Charge from the grid when CI is below this, gCO2/kWh.
+        ci_threshold_g_per_kwh: f64,
+        /// Stop grid-charging at this state of charge.
+        target_soc: f64,
+    },
+    /// Battery-sparing operation: only discharge when the deficit exceeds
+    /// `deficit_threshold_kw`, reducing shallow cycling (degradation
+    /// objective).
+    BatterySparing {
+        /// Deficits smaller than this are served from the grid, kW.
+        deficit_threshold_kw: f64,
+    },
+}
+
+impl DispatchPolicy {
+    /// Storage power request for one step of the fast-path simulation.
+    ///
+    /// * `p_delta` — net bus power (production − load), kW;
+    /// * `soc` — battery state of charge;
+    /// * `ci` — grid carbon intensity this step, g/kWh.
+    #[inline]
+    pub fn storage_request(&self, p_delta: Power, soc: f64, ci: f64) -> Power {
+        match *self {
+            DispatchPolicy::SelfConsumption | DispatchPolicy::Islanded => p_delta,
+            DispatchPolicy::CarbonAwareGridCharge {
+                ci_threshold_g_per_kwh,
+                target_soc,
+            } => {
+                if ci < ci_threshold_g_per_kwh && soc < target_soc {
+                    // Request "as much charge as the battery will take";
+                    // the C/L/C envelope clamps it. Surplus still counts.
+                    Power::from_kw(f64::MAX / 4.0).max(p_delta)
+                } else {
+                    p_delta
+                }
+            }
+            DispatchPolicy::BatterySparing {
+                deficit_threshold_kw,
+            } => {
+                if p_delta.kw() < 0.0 && -p_delta.kw() < deficit_threshold_kw {
+                    Power::ZERO
+                } else {
+                    p_delta
+                }
+            }
+        }
+    }
+
+    /// `true` when grid imports are forbidden.
+    #[inline]
+    pub fn is_islanded(&self) -> bool {
+        matches!(self, DispatchPolicy::Islanded)
+    }
+
+    /// Policy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchPolicy::SelfConsumption => "self-consumption",
+            DispatchPolicy::Islanded => "islanded",
+            DispatchPolicy::CarbonAwareGridCharge { .. } => "carbon-aware-grid-charge",
+            DispatchPolicy::BatterySparing { .. } => "battery-sparing",
+        }
+    }
+}
+
+/// Carbon-aware load shifting (paper §4.3, "load shifting potential").
+///
+/// Moves up to `flexible_fraction` of each day's energy from that day's
+/// highest-CI hours to its lowest-CI hours, bounded by `headroom_factor`
+/// times the day's peak power. Total daily energy is preserved — this
+/// models deferrable batch work rescheduled within the day, the policy
+/// Vessim implements via its carbon-aware scheduling controllers.
+///
+/// # Panics
+/// Panics when the series disagree in shape or the fractions are invalid.
+pub fn shift_load_carbon_aware(
+    load_kw: &TimeSeries,
+    ci_g_per_kwh: &TimeSeries,
+    flexible_fraction: f64,
+    headroom_factor: f64,
+) -> TimeSeries {
+    assert!((0.0..=1.0).contains(&flexible_fraction), "flexible_fraction in [0,1]");
+    assert!(headroom_factor >= 1.0, "headroom must allow at least the peak");
+    assert_eq!(load_kw.step(), ci_g_per_kwh.step(), "step mismatch");
+    assert_eq!(load_kw.len(), ci_g_per_kwh.len(), "length mismatch");
+
+    let steps_per_day = (mgopt_units::SECONDS_PER_DAY / load_kw.step().secs()) as usize;
+    assert!(steps_per_day > 0 && load_kw.len() % steps_per_day == 0, "series must cover whole days");
+
+    let mut out = load_kw.values().to_vec();
+    let days = load_kw.len() / steps_per_day;
+    for d in 0..days {
+        let lo = d * steps_per_day;
+        let hi = lo + steps_per_day;
+        let day_load = &mut out[lo..hi];
+        let day_ci = &ci_g_per_kwh.values()[lo..hi];
+
+        let peak = day_load.iter().copied().fold(0.0f64, f64::max);
+        let cap = peak * headroom_factor;
+
+        // Order hours by CI: move energy from dirtiest to cleanest.
+        let mut order: Vec<usize> = (0..steps_per_day).collect();
+        order.sort_by(|&a, &b| day_ci[a].partial_cmp(&day_ci[b]).expect("NaN CI"));
+
+        let mut movable: f64 = day_load.iter().sum::<f64>() * flexible_fraction;
+        let (mut take_idx, mut give_idx) = (steps_per_day, 0usize);
+        while movable > 1e-9 && give_idx < steps_per_day && take_idx > 0 {
+            let clean = order[give_idx];
+            let room = cap - day_load[clean];
+            if room <= 1e-9 {
+                give_idx += 1;
+                continue;
+            }
+            let dirty = order[take_idx - 1];
+            if dirty == clean || day_ci[dirty] <= day_ci[clean] {
+                break;
+            }
+            let available = day_load[dirty];
+            if available <= 1e-9 {
+                take_idx -= 1;
+                continue;
+            }
+            let moved = room.min(available).min(movable);
+            day_load[dirty] -= moved;
+            day_load[clean] += moved;
+            movable -= moved;
+            if (cap - day_load[clean]) <= 1e-9 {
+                give_idx += 1;
+            }
+            if day_load[dirty] <= 1e-9 {
+                take_idx -= 1;
+            }
+        }
+    }
+    TimeSeries::new(load_kw.step(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgopt_units::SimDuration;
+
+    #[test]
+    fn self_consumption_passes_through() {
+        let p = DispatchPolicy::SelfConsumption;
+        assert_eq!(p.storage_request(Power::from_kw(5.0), 0.5, 300.0).kw(), 5.0);
+        assert_eq!(p.storage_request(Power::from_kw(-5.0), 0.5, 300.0).kw(), -5.0);
+        assert!(!p.is_islanded());
+    }
+
+    #[test]
+    fn islanded_flag() {
+        assert!(DispatchPolicy::Islanded.is_islanded());
+        assert_eq!(DispatchPolicy::Islanded.name(), "islanded");
+    }
+
+    #[test]
+    fn carbon_aware_charges_on_clean_grid() {
+        let p = DispatchPolicy::CarbonAwareGridCharge {
+            ci_threshold_g_per_kwh: 100.0,
+            target_soc: 0.9,
+        };
+        // Clean grid, battery not full: huge charge request.
+        let req = p.storage_request(Power::from_kw(-50.0), 0.5, 80.0);
+        assert!(req.kw() > 1e9);
+        // Dirty grid: plain self-consumption.
+        assert_eq!(p.storage_request(Power::from_kw(-50.0), 0.5, 300.0).kw(), -50.0);
+        // Battery above target: plain self-consumption even when clean.
+        assert_eq!(p.storage_request(Power::from_kw(-50.0), 0.95, 80.0).kw(), -50.0);
+    }
+
+    #[test]
+    fn battery_sparing_ignores_small_deficits() {
+        let p = DispatchPolicy::BatterySparing {
+            deficit_threshold_kw: 100.0,
+        };
+        assert_eq!(p.storage_request(Power::from_kw(-50.0), 0.5, 0.0), Power::ZERO);
+        assert_eq!(p.storage_request(Power::from_kw(-150.0), 0.5, 0.0).kw(), -150.0);
+        // Surplus charging unaffected.
+        assert_eq!(p.storage_request(Power::from_kw(30.0), 0.5, 0.0).kw(), 30.0);
+    }
+
+    fn two_day_series(vals_day: Vec<f64>) -> TimeSeries {
+        let mut v = vals_day.clone();
+        v.extend_from_slice(&vals_day);
+        // pad to 24h days at hourly step
+        TimeSeries::new(SimDuration::from_hours(1.0), v)
+    }
+
+    #[test]
+    fn shifting_preserves_daily_energy() {
+        let load = two_day_series((0..24).map(|_| 100.0).collect());
+        let ci = two_day_series((0..24).map(|h| 200.0 + 10.0 * h as f64).collect());
+        let shifted = shift_load_carbon_aware(&load, &ci, 0.2, 1.5);
+        for d in 0..2 {
+            let before: f64 = load.day_slice(d).iter().sum();
+            let after: f64 = shifted.day_slice(d).iter().sum();
+            assert!((before - after).abs() < 1e-6, "day {d}: {before} vs {after}");
+        }
+    }
+
+    #[test]
+    fn shifting_moves_energy_to_clean_hours() {
+        let load = two_day_series(vec![100.0; 24]);
+        // Hours 0-5 clean, 18-23 dirty.
+        let ci = two_day_series(
+            (0..24)
+                .map(|h| if h < 6 { 50.0 } else if h >= 18 { 500.0 } else { 250.0 })
+                .collect(),
+        );
+        let shifted = shift_load_carbon_aware(&load, &ci, 0.25, 1.5);
+        let day = shifted.day_slice(0);
+        let clean: f64 = day[0..6].iter().sum();
+        let dirty: f64 = day[18..24].iter().sum();
+        assert!(clean > 600.0, "clean hours grew: {clean}");
+        assert!(dirty < 600.0, "dirty hours shrank: {dirty}");
+        // Headroom respected.
+        for &v in day {
+            assert!(v <= 150.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_flexibility_is_identity() {
+        let load = two_day_series((0..24).map(|h| 80.0 + h as f64).collect());
+        let ci = two_day_series((0..24).map(|h| 400.0 - h as f64).collect());
+        let shifted = shift_load_carbon_aware(&load, &ci, 0.0, 2.0);
+        assert_eq!(shifted, load);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn bad_headroom_panics() {
+        let load = two_day_series(vec![1.0; 24]);
+        shift_load_carbon_aware(&load, &load, 0.1, 0.5);
+    }
+
+    #[test]
+    fn shifted_emissions_never_higher() {
+        // Emissions under the same CI must not increase after shifting.
+        let load = two_day_series((0..24).map(|h| 100.0 + 5.0 * h as f64).collect());
+        let ci = two_day_series((0..24).map(|h| 150.0 + 15.0 * ((h + 6) % 24) as f64).collect());
+        let shifted = shift_load_carbon_aware(&load, &ci, 0.3, 2.0);
+        let emis = |l: &TimeSeries| -> f64 {
+            l.values()
+                .iter()
+                .zip(ci.values())
+                .map(|(&p, &c)| p * c)
+                .sum()
+        };
+        assert!(emis(&shifted) <= emis(&load) + 1e-6);
+    }
+}

@@ -1,0 +1,65 @@
+//! Exhaustive grid search — the paper's ground-truth baseline ("evaluates
+//! all 1,089 valid combinations").
+
+use rayon::prelude::*;
+
+use crate::problem::{Problem, Trial};
+use crate::study::OptimizationResult;
+
+/// Evaluate every point of the space (rayon-parallel).
+pub fn exhaustive_search(problem: &dyn Problem) -> OptimizationResult {
+    let n = problem.space_size();
+    let history: Vec<Trial> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let genome = problem.genome_at(i);
+            let objectives = problem.evaluate(&genome);
+            Trial::new(genome, objectives)
+        })
+        .collect();
+    OptimizationResult::from_history(history, n, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+
+    #[test]
+    fn visits_every_point_once() {
+        let problem = FnProblem::new(vec![4, 5], 2, |g| vec![g[0] as f64, g[1] as f64]);
+        let result = exhaustive_search(&problem);
+        assert_eq!(result.history.len(), 20);
+        assert_eq!(result.sampled_trials, 20);
+        assert_eq!(result.unique_evaluations, 20);
+        let unique: std::collections::HashSet<_> =
+            result.history.iter().map(|t| t.genome.clone()).collect();
+        assert_eq!(unique.len(), 20);
+    }
+
+    #[test]
+    fn pareto_front_of_grid_is_exact() {
+        // Objectives (x, 10 - x): every x is non-dominated at y_noise = 0.
+        let problem = FnProblem::new(vec![11, 3], 2, |g| {
+            vec![
+                g[0] as f64 + g[1] as f64,
+                10.0 - g[0] as f64 + g[1] as f64,
+            ]
+        });
+        let result = exhaustive_search(&problem);
+        let front = result.pareto_front();
+        assert_eq!(front.len(), 11);
+        assert!(front.iter().all(|t| t.genome[1] == 0));
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let problem = FnProblem::new(vec![3, 3], 1, |g| vec![(g[0] * 3 + g[1]) as f64]);
+        let a = exhaustive_search(&problem);
+        let b = exhaustive_search(&problem);
+        assert_eq!(a.history, b.history);
+        // Row-major order by construction.
+        assert_eq!(a.history[0].genome, vec![0, 0]);
+        assert_eq!(a.history[8].genome, vec![2, 2]);
+    }
+}

@@ -1,0 +1,327 @@
+//! Candidate extraction from a Pareto front (paper §3.3): reduce a large
+//! front to a small, diverse, decision-ready set.
+//!
+//! Three strategies, as listed in the paper:
+//! * [`best_under_budgets`] — thresholds ("the best candidates within
+//!   different embodied carbon budgets"), used for Tables 1 and 2;
+//! * [`kmeans_representatives`] — k-means clustering in normalized
+//!   objective space, one representative per cluster;
+//! * [`greedy_diversity`] — greedy max-min diversity maximization.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::problem::Trial;
+
+/// For each budget on `budget_obj`, the trial minimizing `min_obj` among
+/// those with `objectives[budget_obj] <= budget`. `None` when no trial
+/// fits the budget.
+pub fn best_under_budgets(
+    trials: &[Trial],
+    budgets: &[f64],
+    budget_obj: usize,
+    min_obj: usize,
+) -> Vec<Option<Trial>> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            trials
+                .iter()
+                .filter(|t| t.objectives[budget_obj] <= budget)
+                .min_by(|a, b| {
+                    a.objectives[min_obj]
+                        .partial_cmp(&b.objectives[min_obj])
+                        .expect("NaN objective")
+                        // Tie-break: cheapest on the budget axis.
+                        .then(
+                            a.objectives[budget_obj]
+                                .partial_cmp(&b.objectives[budget_obj])
+                                .expect("NaN objective"),
+                        )
+                })
+                .cloned()
+        })
+        .collect()
+}
+
+/// Min-max normalize objective vectors into `[0, 1]^m`.
+fn normalized_objectives(trials: &[Trial]) -> Vec<Vec<f64>> {
+    if trials.is_empty() {
+        return Vec::new();
+    }
+    let m = trials[0].objectives.len();
+    let mut lo = vec![f64::INFINITY; m];
+    let mut hi = vec![f64::NEG_INFINITY; m];
+    for t in trials {
+        for (d, &v) in t.objectives.iter().enumerate() {
+            lo[d] = lo[d].min(v);
+            hi[d] = hi[d].max(v);
+        }
+    }
+    trials
+        .iter()
+        .map(|t| {
+            t.objectives
+                .iter()
+                .enumerate()
+                .map(|(d, &v)| {
+                    if hi[d] > lo[d] {
+                        (v - lo[d]) / (hi[d] - lo[d])
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means (k-means++ init, Lloyd iterations) in normalized objective
+/// space; returns the trial closest to each cluster centroid.
+///
+/// Deterministic given the seed. `k` is clamped to the trial count.
+pub fn kmeans_representatives(trials: &[Trial], k: usize, seed: u64) -> Vec<Trial> {
+    if trials.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(trials.len());
+    let points = normalized_objectives(trials);
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x6b6d_6e73);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with existing centroids.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            pick -= d;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    // Lloyd iterations.
+    let m = points[0].len();
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .expect("NaN distance")
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f64; m]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for d in 0..m {
+                sums[assignment[i]][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..m {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // One representative per non-empty cluster: nearest to centroid.
+    let mut reps: Vec<Trial> = Vec::new();
+    for c in 0..k {
+        let best = points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| assignment[*i] == c)
+            .min_by(|(_, a), (_, b)| {
+                sq_dist(a, &centroids[c])
+                    .partial_cmp(&sq_dist(b, &centroids[c]))
+                    .expect("NaN distance")
+            })
+            .map(|(i, _)| i);
+        if let Some(i) = best {
+            reps.push(trials[i].clone());
+        }
+    }
+    reps
+}
+
+/// Greedy max-min diversity: start from the trial with the smallest first
+/// objective, then repeatedly add the trial maximizing the minimum
+/// (normalized) distance to the already-selected set.
+pub fn greedy_diversity(trials: &[Trial], k: usize) -> Vec<Trial> {
+    if trials.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let k = k.min(trials.len());
+    let points = normalized_objectives(trials);
+
+    let first = (0..trials.len())
+        .min_by(|&a, &b| {
+            trials[a].objectives[0]
+                .partial_cmp(&trials[b].objectives[0])
+                .expect("NaN objective")
+        })
+        .expect("non-empty");
+    let mut selected = vec![first];
+
+    while selected.len() < k {
+        let next = (0..trials.len())
+            .filter(|i| !selected.contains(i))
+            .max_by(|&a, &b| {
+                let da = selected
+                    .iter()
+                    .map(|&s| sq_dist(&points[a], &points[s]))
+                    .fold(f64::INFINITY, f64::min);
+                let db = selected
+                    .iter()
+                    .map(|&s| sq_dist(&points[b], &points[s]))
+                    .fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).expect("NaN distance")
+            });
+        match next {
+            Some(i) => selected.push(i),
+            None => break,
+        }
+    }
+    selected.into_iter().map(|i| trials[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase_front(n: usize) -> Vec<Trial> {
+        // Convex front: (i, (n-1-i)^2 / (n-1)) scaled to look like the
+        // paper's (operational, embodied) trade-off.
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                let y = ((n - 1 - i) as f64).powi(2);
+                Trial::new(vec![i as u16], vec![y, x * 1_000.0])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn budgets_pick_best_within_threshold() {
+        let trials = staircase_front(11);
+        // objective 1 = embodied (0..10000), objective 0 = operational.
+        let picks = best_under_budgets(&trials, &[0.0, 5_000.0, 20_000.0], 1, 0);
+        // Budget 0: only trial 0 fits (embodied 0).
+        assert_eq!(picks[0].as_ref().unwrap().genome, vec![0]);
+        // Budget 5000: trials 0..=5 fit; lowest operational is trial 5.
+        assert_eq!(picks[1].as_ref().unwrap().genome, vec![5]);
+        // Budget 20000: all fit; trial 10 has operational 0.
+        assert_eq!(picks[2].as_ref().unwrap().genome, vec![10]);
+    }
+
+    #[test]
+    fn impossible_budget_yields_none() {
+        let trials = staircase_front(5);
+        let picks = best_under_budgets(&trials, &[-1.0], 1, 0);
+        assert!(picks[0].is_none());
+    }
+
+    #[test]
+    fn budget_tie_breaks_on_cheaper_embodied() {
+        let trials = vec![
+            Trial::new(vec![0], vec![1.0, 100.0]),
+            Trial::new(vec![1], vec![1.0, 50.0]),
+        ];
+        let picks = best_under_budgets(&trials, &[200.0], 1, 0);
+        assert_eq!(picks[0].as_ref().unwrap().genome, vec![1]);
+    }
+
+    #[test]
+    fn kmeans_returns_k_distinct_representatives() {
+        let trials = staircase_front(40);
+        let reps = kmeans_representatives(&trials, 5, 1);
+        assert_eq!(reps.len(), 5);
+        let unique: std::collections::HashSet<_> = reps.iter().map(|t| t.genome.clone()).collect();
+        assert_eq!(unique.len(), 5);
+        // Representatives are spread: genomes shouldn't be adjacent-only.
+        let mut ids: Vec<u16> = reps.iter().map(|t| t.genome[0]).collect();
+        ids.sort_unstable();
+        assert!(ids[4] - ids[0] > 20, "spread too small: {ids:?}");
+    }
+
+    #[test]
+    fn kmeans_deterministic_per_seed() {
+        let trials = staircase_front(30);
+        assert_eq!(
+            kmeans_representatives(&trials, 4, 9),
+            kmeans_representatives(&trials, 4, 9)
+        );
+    }
+
+    #[test]
+    fn kmeans_handles_small_inputs() {
+        let trials = staircase_front(3);
+        let reps = kmeans_representatives(&trials, 10, 1);
+        assert_eq!(reps.len(), 3);
+        assert!(kmeans_representatives(&[], 3, 1).is_empty());
+    }
+
+    #[test]
+    fn greedy_diversity_starts_at_best_first_objective() {
+        let trials = staircase_front(20);
+        let picks = greedy_diversity(&trials, 4);
+        // Trial 19 has operational 0 (minimum objective 0).
+        assert_eq!(picks[0].genome, vec![19]);
+        assert_eq!(picks.len(), 4);
+    }
+
+    #[test]
+    fn greedy_diversity_includes_extremes() {
+        let trials = staircase_front(20);
+        let picks = greedy_diversity(&trials, 3);
+        let ids: Vec<u16> = picks.iter().map(|t| t.genome[0]).collect();
+        // The far end (0: highest operational, lowest embodied) is the most
+        // distant point and must be selected second.
+        assert!(ids.contains(&0), "extreme missing: {ids:?}");
+    }
+
+    #[test]
+    fn greedy_diversity_clamps_k() {
+        let trials = staircase_front(2);
+        assert_eq!(greedy_diversity(&trials, 10).len(), 2);
+        assert!(greedy_diversity(&[], 3).is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! The optimization problem abstraction.
+//!
+//! Search spaces are discrete and rectangular — each dimension is an index
+//! into a finite choice list, exactly like Optuna's `suggest_categorical` /
+//! `suggest_int` over the paper's composition grid. A genome is the vector
+//! of per-dimension choice indices.
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate solution: one choice index per dimension.
+pub type Genome = Vec<u16>;
+
+/// A multi-objective minimization problem over a discrete space.
+///
+/// Implementations must be `Sync`: trials are evaluated in parallel.
+pub trait Problem: Sync {
+    /// Number of choices in each dimension (all ≥ 1).
+    fn dims(&self) -> &[usize];
+
+    /// Number of objectives (all minimized).
+    fn n_objectives(&self) -> usize;
+
+    /// Evaluate a genome. Must be deterministic and pure.
+    fn evaluate(&self, genome: &[u16]) -> Vec<f64>;
+
+    /// Total number of points in the space.
+    fn space_size(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// The genome at flat index `i` (row-major).
+    fn genome_at(&self, mut i: usize) -> Genome {
+        let dims = self.dims();
+        let mut g = vec![0u16; dims.len()];
+        for d in (0..dims.len()).rev() {
+            g[d] = (i % dims[d]) as u16;
+            i /= dims[d];
+        }
+        g
+    }
+
+    /// Flat index of a genome (row-major).
+    fn index_of(&self, genome: &[u16]) -> usize {
+        let dims = self.dims();
+        assert_eq!(genome.len(), dims.len());
+        let mut i = 0usize;
+        for (d, &g) in genome.iter().enumerate() {
+            debug_assert!((g as usize) < dims[d], "gene out of range");
+            i = i * dims[d] + g as usize;
+        }
+        i
+    }
+}
+
+/// A problem defined by a closure (used heavily in tests and benches).
+pub struct FnProblem<F: Fn(&[u16]) -> Vec<f64> + Sync> {
+    dims: Vec<usize>,
+    n_objectives: usize,
+    f: F,
+}
+
+impl<F: Fn(&[u16]) -> Vec<f64> + Sync> FnProblem<F> {
+    /// Create a problem from dimensions and an objective closure.
+    pub fn new(dims: Vec<usize>, n_objectives: usize, f: F) -> Self {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 1));
+        assert!(n_objectives >= 1);
+        Self {
+            dims,
+            n_objectives,
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&[u16]) -> Vec<f64> + Sync> Problem for FnProblem<F> {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn n_objectives(&self) -> usize {
+        self.n_objectives
+    }
+
+    fn evaluate(&self, genome: &[u16]) -> Vec<f64> {
+        (self.f)(genome)
+    }
+}
+
+/// One evaluated trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// The evaluated genome.
+    pub genome: Genome,
+    /// Its objective vector (minimized).
+    pub objectives: Vec<f64>,
+}
+
+impl Trial {
+    /// Create a trial.
+    pub fn new(genome: Genome, objectives: Vec<f64>) -> Self {
+        Self { genome, objectives }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> FnProblem<impl Fn(&[u16]) -> Vec<f64> + Sync> {
+        FnProblem::new(vec![3, 4, 5], 2, |g| {
+            vec![g[0] as f64, (g[1] + g[2]) as f64]
+        })
+    }
+
+    #[test]
+    fn space_size_is_product() {
+        assert_eq!(problem().space_size(), 60);
+    }
+
+    #[test]
+    fn genome_index_round_trip() {
+        let p = problem();
+        for i in 0..p.space_size() {
+            let g = p.genome_at(i);
+            assert_eq!(p.index_of(&g), i);
+            for (d, &gene) in g.iter().enumerate() {
+                assert!((gene as usize) < p.dims()[d]);
+            }
+        }
+    }
+
+    #[test]
+    fn first_and_last_genomes() {
+        let p = problem();
+        assert_eq!(p.genome_at(0), vec![0, 0, 0]);
+        assert_eq!(p.genome_at(59), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn evaluation_through_closure() {
+        let p = problem();
+        assert_eq!(p.evaluate(&[2, 1, 3]), vec![2.0, 4.0]);
+        assert_eq!(p.n_objectives(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dims_panics() {
+        FnProblem::new(vec![], 1, |_| vec![0.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Random-search sampler — the baseline black-box strategy NSGA-II is
+//! measured against.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
+
+use crate::nsga2::sample_unique_genomes;
+use crate::problem::{Problem, Trial};
+use crate::study::OptimizationResult;
+
+/// Sample `n_trials` genomes uniformly without replacement (falling back
+/// to the full space when it is smaller) and evaluate them in parallel.
+pub fn random_search(problem: &dyn Problem, n_trials: usize, seed: u64) -> OptimizationResult {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7a2d_0b5f);
+    let genomes = sample_unique_genomes(problem.dims(), n_trials, &mut rng);
+    let sampled = genomes.len();
+    let history: Vec<Trial> = genomes
+        .into_par_iter()
+        .map(|g| {
+            let obj = problem.evaluate(&g);
+            Trial::new(g, obj)
+        })
+        .collect();
+    OptimizationResult::from_history(history, sampled, sampled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+
+    fn problem() -> FnProblem<impl Fn(&[u16]) -> Vec<f64> + Sync> {
+        FnProblem::new(vec![11, 11, 9], 2, |g| {
+            vec![g[0] as f64 + g[2] as f64, g[1] as f64]
+        })
+    }
+
+    #[test]
+    fn samples_without_replacement() {
+        let result = random_search(&problem(), 200, 1);
+        assert_eq!(result.history.len(), 200);
+        let unique: std::collections::HashSet<_> =
+            result.history.iter().map(|t| t.genome.clone()).collect();
+        assert_eq!(unique.len(), 200);
+    }
+
+    #[test]
+    fn clamps_to_space_size() {
+        let small = FnProblem::new(vec![2, 3], 1, |g| vec![g[0] as f64]);
+        let result = random_search(&small, 100, 2);
+        assert_eq!(result.history.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        assert_eq!(random_search(&p, 50, 3).history, random_search(&p, 50, 3).history);
+        assert_ne!(random_search(&p, 50, 3).history, random_search(&p, 50, 4).history);
+    }
+}

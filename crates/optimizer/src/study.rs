@@ -1,0 +1,174 @@
+//! The Optuna-style `Study` front end.
+//!
+//! A [`Study`] owns a sampler and exposes `optimize(problem)`, returning an
+//! [`OptimizationResult`] with the full trial history, the Pareto front,
+//! and bookkeeping for the paper's §4.4 search-performance comparison
+//! (sampled vs unique trials, wall time).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::exhaustive::exhaustive_search;
+use crate::nsga2::{Nsga2Config, Nsga2Optimizer};
+use crate::pareto::non_dominated_trials;
+use crate::problem::{Problem, Trial};
+use crate::random_search::random_search;
+
+/// The sampling strategy of a study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Sampler {
+    /// NSGA-II genetic sampling (the paper's configuration).
+    Nsga2(Nsga2Config),
+    /// Uniform random sampling without replacement.
+    Random {
+        /// Number of trials.
+        n_trials: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Full enumeration of the space.
+    Exhaustive,
+}
+
+/// The outcome of an optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationResult {
+    /// Every sampled trial in order (duplicates included, like Optuna).
+    pub history: Vec<Trial>,
+    /// Number of sampled trials (duplicates included).
+    pub sampled_trials: usize,
+    /// Number of unique objective evaluations actually computed.
+    pub unique_evaluations: usize,
+    /// Wall-clock duration of the run in seconds (0 until run via `Study`).
+    pub wall_seconds: f64,
+}
+
+impl OptimizationResult {
+    /// Assemble a result from a trial history.
+    pub fn from_history(history: Vec<Trial>, sampled: usize, unique: usize) -> Self {
+        Self {
+            history,
+            sampled_trials: sampled,
+            unique_evaluations: unique,
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// The non-dominated trials of the history (deduplicated by genome).
+    pub fn pareto_front(&self) -> Vec<Trial> {
+        non_dominated_trials(&self.history)
+    }
+
+    /// Best trial for a single objective index.
+    pub fn best_by(&self, objective: usize) -> Option<&Trial> {
+        self.history.iter().min_by(|a, b| {
+            a.objectives[objective]
+                .partial_cmp(&b.objectives[objective])
+                .expect("NaN objective")
+        })
+    }
+}
+
+/// An optimization study (Optuna parity: a sampler plus bookkeeping).
+#[derive(Debug, Clone)]
+pub struct Study {
+    sampler: Sampler,
+}
+
+impl Study {
+    /// Create a study with the given sampler.
+    pub fn new(sampler: Sampler) -> Self {
+        Self { sampler }
+    }
+
+    /// The paper's configuration: NSGA-II, 350 trials, population 50.
+    pub fn paper_nsga2(seed: u64) -> Self {
+        Self::new(Sampler::Nsga2(Nsga2Config {
+            population_size: 50,
+            max_trials: 350,
+            seed,
+            ..Nsga2Config::default()
+        }))
+    }
+
+    /// The sampler in use.
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Run the study against a problem, timing the wall clock.
+    pub fn optimize(&self, problem: &dyn Problem) -> OptimizationResult {
+        let start = Instant::now();
+        let mut result = match &self.sampler {
+            Sampler::Nsga2(cfg) => Nsga2Optimizer::new(cfg.clone()).run(problem),
+            Sampler::Random { n_trials, seed } => random_search(problem, *n_trials, *seed),
+            Sampler::Exhaustive => exhaustive_search(problem),
+        };
+        result.wall_seconds = start.elapsed().as_secs_f64();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnProblem;
+
+    fn problem() -> FnProblem<impl Fn(&[u16]) -> Vec<f64> + Sync> {
+        FnProblem::new(vec![11, 9], 2, |g| {
+            vec![g[0] as f64, (10 - g[0]) as f64 + g[1] as f64]
+        })
+    }
+
+    #[test]
+    fn exhaustive_study_finds_complete_front() {
+        let result = Study::new(Sampler::Exhaustive).optimize(&problem());
+        assert_eq!(result.sampled_trials, 99);
+        let front = result.pareto_front();
+        // Front: all g0 with g1 = 0 -> 11 points.
+        assert_eq!(front.len(), 11);
+        assert!(result.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn nsga2_study_runs_with_paper_settings() {
+        let result = Study::paper_nsga2(1).optimize(&problem());
+        assert_eq!(result.sampled_trials, 350);
+        assert!(result.unique_evaluations <= 99, "space has 99 points");
+        assert!(!result.pareto_front().is_empty());
+    }
+
+    #[test]
+    fn random_study_samples() {
+        let result = Study::new(Sampler::Random {
+            n_trials: 40,
+            seed: 5,
+        })
+        .optimize(&problem());
+        assert_eq!(result.sampled_trials, 40);
+        assert_eq!(result.unique_evaluations, 40);
+    }
+
+    #[test]
+    fn best_by_objective() {
+        let result = Study::new(Sampler::Exhaustive).optimize(&problem());
+        let best0 = result.best_by(0).unwrap();
+        assert_eq!(best0.genome[0], 0);
+        let best1 = result.best_by(1).unwrap();
+        assert_eq!(best1.objectives[1], 0.0);
+    }
+
+    #[test]
+    fn pareto_front_trials_mutually_non_dominated() {
+        let result = Study::paper_nsga2(2).optimize(&problem());
+        let front = result.pareto_front();
+        for a in &front {
+            for b in &front {
+                if a.genome != b.genome {
+                    assert!(!crate::pareto::dominates(&a.objectives, &b.objectives));
+                }
+            }
+        }
+    }
+}

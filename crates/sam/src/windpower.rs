@@ -1,0 +1,354 @@
+//! The SAM Windpower module: turbine power curves, resource adjustment,
+//! and farm-level losses.
+//!
+//! Per time step: shear the reference wind speed to hub height (power law),
+//! correct for air density (ideal gas law from site pressure and ambient
+//! temperature), evaluate the turbine power curve, and apply farm losses
+//! (wake + availability).
+
+use mgopt_units::TimeSeries;
+use mgopt_weather::wind::power_law_shear;
+use mgopt_weather::WeatherYear;
+use serde::{Deserialize, Serialize};
+
+use crate::GenerationModel;
+
+/// Dry-air gas constant, J/(kg·K).
+const R_DRY_AIR: f64 = 287.058;
+/// Reference air density (15 °C, sea level), kg/m³.
+pub const RHO_REF: f64 = 1.225;
+
+/// A turbine power curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerCurve {
+    /// Analytic curve: cubic ramp between cut-in and rated speed.
+    Cubic {
+        /// Cut-in wind speed, m/s.
+        cut_in_ms: f64,
+        /// Rated wind speed, m/s.
+        rated_ms: f64,
+        /// Cut-out wind speed, m/s.
+        cut_out_ms: f64,
+    },
+    /// Tabulated curve: `(wind speed m/s, power fraction of rated)` points,
+    /// linearly interpolated, zero outside the table.
+    Table(Vec<(f64, f64)>),
+}
+
+impl PowerCurve {
+    /// A generic utility-scale curve (3 MW class, e.g. V112-like):
+    /// cut-in 3 m/s, rated 12 m/s, cut-out 25 m/s.
+    pub fn generic_3mw_class() -> Self {
+        PowerCurve::Cubic {
+            cut_in_ms: 3.0,
+            rated_ms: 12.0,
+            cut_out_ms: 25.0,
+        }
+    }
+
+    /// Power output as a fraction of rated power at a hub-height speed.
+    pub fn power_fraction(&self, v_ms: f64) -> f64 {
+        match self {
+            PowerCurve::Cubic {
+                cut_in_ms,
+                rated_ms,
+                cut_out_ms,
+            } => {
+                if v_ms < *cut_in_ms || v_ms >= *cut_out_ms {
+                    0.0
+                } else if v_ms >= *rated_ms {
+                    1.0
+                } else {
+                    let num = v_ms.powi(3) - cut_in_ms.powi(3);
+                    let den = rated_ms.powi(3) - cut_in_ms.powi(3);
+                    (num / den).clamp(0.0, 1.0)
+                }
+            }
+            PowerCurve::Table(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if v_ms <= points[0].0 || v_ms >= points[points.len() - 1].0 {
+                    // Outside the table: below first point or beyond cut-out.
+                    if (v_ms - points[points.len() - 1].0).abs() < 1e-12 {
+                        return points[points.len() - 1].1;
+                    }
+                    return if v_ms < points[0].0 { 0.0 } else { 0.0 };
+                }
+                for w in points.windows(2) {
+                    let (v0, p0) = w[0];
+                    let (v1, p1) = w[1];
+                    if v_ms >= v0 && v_ms < v1 {
+                        let frac = (v_ms - v0) / (v1 - v0);
+                        return (p0 + (p1 - p0) * frac).clamp(0.0, 1.0);
+                    }
+                }
+                0.0
+            }
+        }
+    }
+}
+
+/// One wind turbine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindTurbineParams {
+    /// Rated electrical power, kW.
+    pub rated_kw: f64,
+    /// Hub height, m.
+    pub hub_height_m: f64,
+    /// Power curve.
+    pub curve: PowerCurve,
+}
+
+impl WindTurbineParams {
+    /// The paper's turbine: 3 MW rated (embodied 1,046 tCO2 per unit).
+    pub fn paper_3mw() -> Self {
+        Self {
+            rated_kw: 3_000.0,
+            hub_height_m: 100.0,
+            curve: PowerCurve::generic_3mw_class(),
+        }
+    }
+}
+
+/// A wind farm of identical turbines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindFarmParams {
+    /// Turbine model.
+    pub turbine: WindTurbineParams,
+    /// Number of turbines (the paper sweeps 0–10).
+    pub n_turbines: u32,
+    /// Array wake losses as a fraction of gross energy.
+    pub wake_loss: f64,
+    /// Availability factor (downtime derate).
+    pub availability: f64,
+}
+
+impl WindFarmParams {
+    /// Paper-style farm of `n` 3 MW turbines with typical losses.
+    pub fn paper_farm(n_turbines: u32) -> Self {
+        Self {
+            turbine: WindTurbineParams::paper_3mw(),
+            n_turbines,
+            wake_loss: 0.06,
+            availability: 0.97,
+        }
+    }
+}
+
+/// A wind farm generation model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindFarm {
+    params: WindFarmParams,
+}
+
+impl WindFarm {
+    /// Create a farm from explicit parameters.
+    ///
+    /// # Panics
+    /// Panics on invalid loss fractions or a non-positive turbine rating.
+    pub fn new(params: WindFarmParams) -> Self {
+        assert!(params.turbine.rated_kw > 0.0);
+        assert!(params.turbine.hub_height_m > 0.0);
+        assert!((0.0..1.0).contains(&params.wake_loss));
+        assert!((0.0..=1.0).contains(&params.availability) && params.availability > 0.0);
+        Self { params }
+    }
+
+    /// Paper-style farm of `n` 3 MW turbines.
+    pub fn with_turbines(n: u32) -> Self {
+        Self::new(WindFarmParams::paper_farm(n))
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &WindFarmParams {
+        &self.params
+    }
+
+    /// Air density from site pressure and air temperature (ideal gas).
+    pub fn air_density(pressure_pa: f64, temp_air_c: f64) -> f64 {
+        pressure_pa / (R_DRY_AIR * (temp_air_c + 273.15))
+    }
+
+    /// Farm power (kW) at one instant.
+    ///
+    /// Density scaling applies below rated output (aerodynamic regime);
+    /// at/above rated the turbine's controller pins output at nameplate.
+    pub fn power_kw(&self, v_ref_ms: f64, ref_height_m: f64, shear: f64, rho: f64) -> f64 {
+        if self.params.n_turbines == 0 {
+            return 0.0;
+        }
+        let v_hub = power_law_shear(v_ref_ms, ref_height_m, self.params.turbine.hub_height_m, shear);
+        let frac = self.params.turbine.curve.power_fraction(v_hub);
+        let density_scaled = if frac < 1.0 { frac * (rho / RHO_REF) } else { frac };
+        let per_turbine = (density_scaled * self.params.turbine.rated_kw)
+            .min(self.params.turbine.rated_kw);
+        per_turbine
+            * self.params.n_turbines as f64
+            * (1.0 - self.params.wake_loss)
+            * self.params.availability
+    }
+}
+
+impl GenerationModel for WindFarm {
+    fn simulate(&self, weather: &WeatherYear) -> TimeSeries {
+        let n = weather.len();
+        let mut values = Vec::with_capacity(n);
+        for i in 0..n {
+            let rho = Self::air_density(weather.pressure_pa, weather.temp_air_c.values()[i]);
+            values.push(self.power_kw(
+                weather.wind_speed_ms.values()[i],
+                weather.wind_ref_height_m,
+                weather.wind_shear_exponent,
+                rho,
+            ));
+        }
+        TimeSeries::new(weather.step(), values)
+    }
+
+    fn rated_kw(&self) -> f64 {
+        self.params.turbine.rated_kw * self.params.n_turbines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgopt_units::SimDuration;
+    use mgopt_weather::{Climate, WeatherGenerator};
+
+    #[test]
+    fn cubic_curve_anchor_points() {
+        let c = PowerCurve::generic_3mw_class();
+        assert_eq!(c.power_fraction(0.0), 0.0);
+        assert_eq!(c.power_fraction(2.9), 0.0);
+        assert_eq!(c.power_fraction(12.0), 1.0);
+        assert_eq!(c.power_fraction(20.0), 1.0);
+        assert_eq!(c.power_fraction(25.0), 0.0, "cut-out");
+        assert_eq!(c.power_fraction(30.0), 0.0);
+        // Halfway in cubic terms.
+        let f = c.power_fraction(8.0);
+        let expected = (8.0f64.powi(3) - 27.0) / (1_728.0 - 27.0);
+        assert!((f - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_curve_interpolates() {
+        let c = PowerCurve::Table(vec![(3.0, 0.0), (8.0, 0.5), (12.0, 1.0)]);
+        assert_eq!(c.power_fraction(2.0), 0.0);
+        assert!((c.power_fraction(5.5) - 0.25).abs() < 1e-12);
+        assert!((c.power_fraction(10.0) - 0.75).abs() < 1e-12);
+        assert_eq!(c.power_fraction(13.0), 0.0, "beyond table = cut-out");
+    }
+
+    #[test]
+    fn air_density_sane() {
+        let rho = WindFarm::air_density(101_325.0, 15.0);
+        assert!((rho - 1.225).abs() < 0.01, "rho {rho}");
+        // Hot Houston afternoon: thinner air.
+        assert!(WindFarm::air_density(101_000.0, 35.0) < rho);
+    }
+
+    #[test]
+    fn farm_scales_with_turbine_count() {
+        let w = WeatherGenerator::new(Climate::houston(), 1).generate(SimDuration::from_hours(1.0));
+        let one = WindFarm::with_turbines(1).simulate(&w).energy_kwh();
+        let ten = WindFarm::with_turbines(10).simulate(&w).energy_kwh();
+        assert!((ten / one - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_turbines_zero_power() {
+        let w = WeatherGenerator::new(Climate::houston(), 1).generate(SimDuration::from_hours(1.0));
+        let farm = WindFarm::with_turbines(0);
+        assert_eq!(farm.simulate(&w).max(), 0.0);
+        assert_eq!(farm.rated_kw(), 0.0);
+    }
+
+    #[test]
+    fn houston_capacity_factor_strong() {
+        let w = WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
+        let cf = WindFarm::with_turbines(4).capacity_factor(&w);
+        // Gulf-coast onshore wind at 100 m hub (calibrated to the paper's
+        // Houston coverage figures): ~0.18-0.32.
+        assert!((0.16..0.35).contains(&cf), "houston wind CF {cf}");
+    }
+
+    #[test]
+    fn berkeley_capacity_factor_weak() {
+        let w = WeatherGenerator::new(Climate::berkeley(), 42).generate(SimDuration::from_hours(1.0));
+        let cf = WindFarm::with_turbines(4).capacity_factor(&w);
+        assert!((0.06..0.25).contains(&cf), "berkeley wind CF {cf}");
+    }
+
+    #[test]
+    fn site_contrast_wind() {
+        let wh = WeatherGenerator::new(Climate::houston(), 3).generate(SimDuration::from_hours(1.0));
+        let wb = WeatherGenerator::new(Climate::berkeley(), 3).generate(SimDuration::from_hours(1.0));
+        let farm = WindFarm::with_turbines(4);
+        assert!(farm.capacity_factor(&wh) > 1.5 * farm.capacity_factor(&wb));
+    }
+
+    #[test]
+    fn output_never_exceeds_nameplate() {
+        let w = WeatherGenerator::new(Climate::houston(), 5).generate(SimDuration::from_hours(1.0));
+        let farm = WindFarm::with_turbines(10);
+        let ts = farm.simulate(&w);
+        assert!(ts.max() <= farm.rated_kw() + 1e-9);
+    }
+
+    #[test]
+    fn losses_reduce_output() {
+        let w = WeatherGenerator::new(Climate::houston(), 6).generate(SimDuration::from_hours(1.0));
+        let lossy = WindFarm::with_turbines(1);
+        let mut params = WindFarmParams::paper_farm(1);
+        params.wake_loss = 0.0;
+        params.availability = 1.0;
+        let ideal = WindFarm::new(params);
+        let ratio = lossy.simulate(&w).energy_kwh() / ideal.simulate(&w).energy_kwh();
+        assert!((ratio - 0.94 * 0.97).abs() < 1e-9, "loss ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_wake_loss_panics() {
+        let mut p = WindFarmParams::paper_farm(1);
+        p.wake_loss = 1.0;
+        WindFarm::new(p);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn power_fraction_in_unit_interval(v in 0.0f64..50.0) {
+            let c = PowerCurve::generic_3mw_class();
+            let f = c.power_fraction(v);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn cubic_monotone_below_rated(v1 in 3.0f64..12.0, v2 in 3.0f64..12.0) {
+            let c = PowerCurve::generic_3mw_class();
+            let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+            prop_assert!(c.power_fraction(lo) <= c.power_fraction(hi) + 1e-12);
+        }
+
+        #[test]
+        fn farm_power_nonnegative_bounded(
+            v in 0.0f64..50.0,
+            temp in -20.0f64..45.0,
+            n in 0u32..11,
+        ) {
+            let farm = WindFarm::with_turbines(n);
+            let rho = WindFarm::air_density(101_000.0, temp);
+            let p = farm.power_kw(v, 100.0, 0.14, rho);
+            prop_assert!(p >= 0.0);
+            prop_assert!(p <= farm.rated_kw() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The C/L/C tractable lithium-ion battery model.
+//!
+//! Kazhamiaka et al. (2019) show that lithium-ion packs can be optimized
+//! against with a piecewise power envelope instead of full electrochemical
+//! dynamics: terminal power is limited by a **C**onstant ceiling over most
+//! of the SoC range and tapers **L**inearly near the rail (full for charge,
+//! reserve for discharge), with a **C**onstant coulombic efficiency. The
+//! linear taper is what reproduces the CC→CV charging behaviour of real
+//! packs — near-full batteries absorb power only slowly, which matters for
+//! how much surplus renewable energy a microgrid can actually capture.
+
+use mgopt_units::{Energy, Power, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::Storage;
+
+/// Parameters of the C/L/C envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClcParams {
+    /// Maximum charge C-rate in the constant region (fraction of nameplate
+    /// capacity per hour; 0.5 = a C/2 battery).
+    pub max_charge_c_rate: f64,
+    /// Maximum discharge C-rate in the constant region.
+    pub max_discharge_c_rate: f64,
+    /// SoC at which the charge limit starts its linear taper to zero at
+    /// SoC = 1 (the CV knee).
+    pub charge_taper_soc: f64,
+    /// Width of the SoC band above `min_soc` over which the discharge limit
+    /// tapers linearly to zero.
+    pub discharge_taper_width: f64,
+    /// Round-trip efficiency in `(0, 1]`, split √η per direction.
+    pub round_trip_efficiency: f64,
+    /// Reserve floor in `[0, 1)`.
+    pub min_soc: f64,
+    /// Initial state of charge in `[min_soc, 1]`.
+    pub initial_soc: f64,
+}
+
+impl Default for ClcParams {
+    /// Defaults modeled on an industry-scale LFP unit (Fluence
+    /// Smartstack-class): C/2 power, 90 % round trip, CV knee at 80 % SoC,
+    /// 10 % reserve, delivered full.
+    fn default() -> Self {
+        Self {
+            max_charge_c_rate: 0.5,
+            max_discharge_c_rate: 0.5,
+            charge_taper_soc: 0.8,
+            discharge_taper_width: 0.1,
+            round_trip_efficiency: 0.90,
+            min_soc: 0.1,
+            initial_soc: 1.0,
+        }
+    }
+}
+
+impl ClcParams {
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_charge_c_rate <= 0.0 || self.max_discharge_c_rate <= 0.0 {
+            return Err("C-rates must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.charge_taper_soc) {
+            return Err("charge_taper_soc must be in [0, 1)".into());
+        }
+        if self.discharge_taper_width <= 0.0 || self.discharge_taper_width >= 1.0 {
+            return Err("discharge_taper_width must be in (0, 1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.round_trip_efficiency) || self.round_trip_efficiency == 0.0 {
+            return Err("round_trip_efficiency must be in (0, 1]".into());
+        }
+        if !(0.0..1.0).contains(&self.min_soc) {
+            return Err("min_soc must be in [0, 1)".into());
+        }
+        if !(self.min_soc..=1.0).contains(&self.initial_soc) {
+            return Err("initial_soc must be in [min_soc, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// The C/L/C battery.
+#[derive(Debug, Clone)]
+pub struct ClcBattery {
+    params: ClcParams,
+    capacity: Energy,
+    soc: f64,
+    one_way_efficiency: f64,
+    charged: Energy,
+    discharged: Energy,
+}
+
+impl ClcBattery {
+    /// Create a battery with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters or non-positive capacity.
+    pub fn new(capacity: Energy, params: ClcParams) -> Self {
+        assert!(capacity.kwh() > 0.0, "capacity must be positive");
+        params.validate().expect("invalid C/L/C parameters");
+        Self {
+            one_way_efficiency: params.round_trip_efficiency.sqrt(),
+            soc: params.initial_soc,
+            params,
+            capacity,
+            charged: Energy::ZERO,
+            discharged: Energy::ZERO,
+        }
+    }
+
+    /// Create a battery with the default industry-scale parameters.
+    pub fn with_defaults(capacity: Energy) -> Self {
+        Self::new(capacity, ClcParams::default())
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &ClcParams {
+        &self.params
+    }
+
+    /// Charge power ceiling at a given SoC (terminal side, kW).
+    pub fn charge_limit_kw(&self, soc: f64) -> f64 {
+        let pmax = self.params.max_charge_c_rate * self.capacity.kwh();
+        if soc <= self.params.charge_taper_soc {
+            pmax
+        } else {
+            let frac = (1.0 - soc) / (1.0 - self.params.charge_taper_soc);
+            pmax * frac.clamp(0.0, 1.0)
+        }
+    }
+
+    /// Discharge power ceiling at a given SoC (terminal side, kW, positive).
+    pub fn discharge_limit_kw(&self, soc: f64) -> f64 {
+        let pmax = self.params.max_discharge_c_rate * self.capacity.kwh();
+        let taper_top = self.params.min_soc + self.params.discharge_taper_width;
+        if soc >= taper_top {
+            pmax
+        } else {
+            let frac = (soc - self.params.min_soc) / self.params.discharge_taper_width;
+            pmax * frac.clamp(0.0, 1.0)
+        }
+    }
+
+    /// Force the state of charge (used by tests and scenario setup).
+    pub fn set_soc(&mut self, soc: f64) {
+        assert!((self.params.min_soc..=1.0).contains(&soc), "soc out of range");
+        self.soc = soc;
+    }
+}
+
+impl Storage for ClcBattery {
+    fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    fn soc(&self) -> f64 {
+        self.soc
+    }
+
+    fn min_soc(&self) -> f64 {
+        self.params.min_soc
+    }
+
+    fn update(&mut self, power: Power, dt: SimDuration) -> Power {
+        if dt.is_zero() || power == Power::ZERO {
+            return Power::ZERO;
+        }
+        let hours = dt.hours();
+        let cap_kwh = self.capacity.kwh();
+        if power.kw() > 0.0 {
+            // The envelope is evaluated at the start-of-step SoC (explicit
+            // Euler, like Vessim); the energy cap below prevents any
+            // overshoot past SoC = 1 for large steps.
+            let p = power.kw().min(self.charge_limit_kw(self.soc));
+            let headroom_kwh = (1.0 - self.soc) * cap_kwh;
+            let max_terminal_kwh = headroom_kwh / self.one_way_efficiency;
+            let terminal_kwh = (p * hours).min(max_terminal_kwh);
+            self.soc = (self.soc + terminal_kwh * self.one_way_efficiency / cap_kwh).min(1.0);
+            self.charged += Energy::from_kwh(terminal_kwh);
+            Power::from_kw(terminal_kwh / hours)
+        } else {
+            let p = (-power.kw()).min(self.discharge_limit_kw(self.soc));
+            let usable_kwh = (self.soc - self.params.min_soc).max(0.0) * cap_kwh;
+            let max_terminal_kwh = usable_kwh * self.one_way_efficiency;
+            let terminal_kwh = (p * hours).min(max_terminal_kwh);
+            self.soc = (self.soc - terminal_kwh / self.one_way_efficiency / cap_kwh)
+                .max(self.params.min_soc);
+            self.discharged += Energy::from_kwh(terminal_kwh);
+            -Power::from_kw(terminal_kwh / hours)
+        }
+    }
+
+    fn charged_total(&self) -> Energy {
+        self.charged
+    }
+
+    fn discharged_total(&self) -> Energy {
+        self.discharged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration(900); // 15 min
+
+    fn battery() -> ClcBattery {
+        let params = ClcParams {
+            initial_soc: 0.5,
+            ..ClcParams::default()
+        };
+        ClcBattery::new(Energy::from_kwh(1_000.0), params)
+    }
+
+    #[test]
+    fn constant_region_full_power() {
+        let b = battery();
+        assert_eq!(b.charge_limit_kw(0.5), 500.0);
+        assert_eq!(b.charge_limit_kw(0.8), 500.0);
+        assert_eq!(b.discharge_limit_kw(0.5), 500.0);
+        assert_eq!(b.discharge_limit_kw(0.2), 500.0);
+    }
+
+    #[test]
+    fn charge_taper_linear_to_zero_at_full() {
+        let b = battery();
+        assert!((b.charge_limit_kw(0.9) - 250.0).abs() < 1e-9);
+        assert!((b.charge_limit_kw(0.95) - 125.0).abs() < 1e-9);
+        assert_eq!(b.charge_limit_kw(1.0), 0.0);
+    }
+
+    #[test]
+    fn discharge_taper_linear_to_zero_at_reserve() {
+        let b = battery();
+        // taper band: [0.1, 0.2]
+        assert!((b.discharge_limit_kw(0.15) - 250.0).abs() < 1e-9);
+        assert_eq!(b.discharge_limit_kw(0.1), 0.0);
+        assert_eq!(b.discharge_limit_kw(0.05), 0.0);
+    }
+
+    #[test]
+    fn near_full_battery_absorbs_slowly() {
+        // The CV taper means topping up the last 10% takes much longer
+        // than an equivalent mid-range charge — the behaviour that limits
+        // surplus-solar capture in the microgrid sim.
+        let mut mid = battery();
+        mid.set_soc(0.5);
+        let mut high = battery();
+        high.set_soc(0.92);
+        let got_mid = mid.update(Power::from_kw(500.0), DT);
+        let got_high = high.update(Power::from_kw(500.0), DT);
+        assert!(got_high.kw() < 0.5 * got_mid.kw());
+    }
+
+    #[test]
+    fn update_respects_envelope_not_just_bounds() {
+        let mut b = battery();
+        b.set_soc(0.9);
+        let got = b.update(Power::from_kw(500.0), DT);
+        assert!((got.kw() - 250.0).abs() < 1e-9, "expected taper limit, got {}", got.kw());
+    }
+
+    #[test]
+    fn full_cycle_round_trip_efficiency() {
+        let mut b = battery();
+        b.set_soc(0.1);
+        loop {
+            if b.update(Power::from_kw(500.0), DT).kw() < 1e-7 {
+                break;
+            }
+        }
+        assert!(b.soc() > 0.999);
+        let charged = b.charged_total().kwh();
+        loop {
+            if b.update(Power::from_kw(-500.0), DT).kw().abs() < 1e-7 {
+                break;
+            }
+        }
+        let discharged = b.discharged_total().kwh();
+        assert!((discharged / charged - 0.90).abs() < 1e-3);
+    }
+
+    #[test]
+    fn equivalent_full_cycles_counts_discharge() {
+        let mut b = battery();
+        b.set_soc(1.0);
+        loop {
+            if b.update(Power::from_kw(-500.0), DT).kw().abs() < 1e-7 {
+                break;
+            }
+        }
+        // 0.9 usable * sqrt(0.9) terminal
+        assert!((b.equivalent_full_cycles() - 0.9 * 0.9f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(ClcParams::default().validate().is_ok());
+        let b = ClcBattery::with_defaults(Energy::from_mwh(7.5));
+        assert_eq!(b.soc(), 1.0);
+        assert_eq!(b.capacity().mwh(), 7.5);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = ClcParams::default();
+        p.max_charge_c_rate = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = ClcParams::default();
+        p.charge_taper_soc = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = ClcParams::default();
+        p.initial_soc = 0.05; // below min_soc 0.1
+        assert!(p.validate().is_err());
+        let mut p = ClcParams::default();
+        p.round_trip_efficiency = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid C/L/C parameters")]
+    fn constructor_panics_on_invalid() {
+        let mut p = ClcParams::default();
+        p.discharge_taper_width = 0.0;
+        ClcBattery::new(Energy::from_kwh(10.0), p);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn soc_always_within_rails(
+            requests in prop::collection::vec(-2_000.0f64..2_000.0, 1..300),
+        ) {
+            let mut b = ClcBattery::new(
+                Energy::from_kwh(1_000.0),
+                ClcParams { initial_soc: 0.5, ..ClcParams::default() },
+            );
+            let dt = SimDuration::from_minutes(15.0);
+            for r in requests {
+                b.update(Power::from_kw(r), dt);
+                prop_assert!(b.soc() >= b.min_soc() - 1e-9);
+                prop_assert!(b.soc() <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn actual_never_exceeds_request_or_envelope(
+            r in -2_000.0f64..2_000.0,
+            soc in 0.1f64..1.0,
+        ) {
+            let mut b = ClcBattery::new(
+                Energy::from_kwh(1_000.0),
+                ClcParams { initial_soc: 1.0, ..ClcParams::default() },
+            );
+            b.set_soc(soc);
+            let limit = if r > 0.0 { b.charge_limit_kw(soc) } else { b.discharge_limit_kw(soc) };
+            let actual = b.update(Power::from_kw(r), SimDuration::from_minutes(15.0));
+            prop_assert!(actual.kw().abs() <= r.abs() + 1e-9);
+            prop_assert!(actual.kw().abs() <= limit + 1e-9);
+        }
+
+        #[test]
+        fn energy_conservation_clc(
+            requests in prop::collection::vec(-1_000.0f64..1_000.0, 1..150),
+        ) {
+            let mut b = ClcBattery::new(
+                Energy::from_kwh(500.0),
+                ClcParams { initial_soc: 0.6, ..ClcParams::default() },
+            );
+            let initial = b.stored().kwh();
+            let eta = 0.9f64.sqrt();
+            for r in requests {
+                b.update(Power::from_kw(r), SimDuration::from_minutes(30.0));
+            }
+            let expected = initial + b.charged_total().kwh() * eta - b.discharged_total().kwh() / eta;
+            prop_assert!((b.stored().kwh() - expected).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Hydrogen production and storage.
+//!
+//! The paper (§3.3) names "additional technologies such as hydrogen
+//! production and storage" as the first extension target of the framework.
+//! This module implements that technology as a [`Storage`]: an
+//! **electrolyzer** (charge path), a **tank** (energy buffer, stored as
+//! hydrogen lower-heating-value energy), and a **fuel cell** (discharge
+//! path). The defining characteristics vs batteries:
+//!
+//! * strongly *asymmetric* and *low* round-trip efficiency
+//!   (~0.65 × ~0.55 ≈ 0.36) — hydrogen only pays off for long-duration
+//!   shifting that batteries cannot reach;
+//! * independent power (electrolyzer/fuel-cell rating) and energy (tank)
+//!   sizing — enormous tanks are cheap compared to battery capacity;
+//! * a minimum electrolyzer load below which no hydrogen is produced.
+
+use mgopt_units::{Energy, Power, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::Storage;
+
+/// Hydrogen system parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HydrogenParams {
+    /// Electrolyzer electrical rating, kW.
+    pub electrolyzer_kw: f64,
+    /// Electrolyzer efficiency (electric → H2 LHV), in `(0, 1]`.
+    pub electrolyzer_efficiency: f64,
+    /// Minimum electrolyzer load as a fraction of its rating.
+    pub electrolyzer_min_load: f64,
+    /// Fuel-cell electrical rating, kW.
+    pub fuel_cell_kw: f64,
+    /// Fuel-cell efficiency (H2 LHV → electric), in `(0, 1]`.
+    pub fuel_cell_efficiency: f64,
+    /// Initial tank fill fraction.
+    pub initial_fill: f64,
+}
+
+impl Default for HydrogenParams {
+    /// PEM-class defaults.
+    fn default() -> Self {
+        Self {
+            electrolyzer_kw: 1_000.0,
+            electrolyzer_efficiency: 0.65,
+            electrolyzer_min_load: 0.05,
+            fuel_cell_kw: 1_000.0,
+            fuel_cell_efficiency: 0.55,
+            initial_fill: 0.5,
+        }
+    }
+}
+
+impl HydrogenParams {
+    /// Validate ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.electrolyzer_kw <= 0.0 || self.fuel_cell_kw <= 0.0 {
+            return Err("power ratings must be positive".into());
+        }
+        for (name, eff) in [
+            ("electrolyzer", self.electrolyzer_efficiency),
+            ("fuel cell", self.fuel_cell_efficiency),
+        ] {
+            if !(0.0..=1.0).contains(&eff) || eff == 0.0 {
+                return Err(format!("{name} efficiency must be in (0, 1]"));
+            }
+        }
+        if !(0.0..1.0).contains(&self.electrolyzer_min_load) {
+            return Err("min load must be in [0, 1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.initial_fill) {
+            return Err("initial fill must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A hydrogen storage system (electrolyzer + tank + fuel cell).
+#[derive(Debug, Clone)]
+pub struct HydrogenStorage {
+    params: HydrogenParams,
+    tank_capacity: Energy,
+    fill: f64,
+    charged: Energy,
+    discharged: Energy,
+}
+
+impl HydrogenStorage {
+    /// Create a system with a tank of `tank_capacity` (H2 energy, LHV).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters or non-positive capacity.
+    pub fn new(tank_capacity: Energy, params: HydrogenParams) -> Self {
+        assert!(tank_capacity.kwh() > 0.0, "tank capacity must be positive");
+        params.validate().expect("invalid hydrogen parameters");
+        Self {
+            fill: params.initial_fill,
+            params,
+            tank_capacity,
+            charged: Energy::ZERO,
+            discharged: Energy::ZERO,
+        }
+    }
+
+    /// Defaults with a given tank size.
+    pub fn with_defaults(tank_capacity: Energy) -> Self {
+        Self::new(tank_capacity, HydrogenParams::default())
+    }
+
+    /// Round-trip efficiency of the full path.
+    pub fn round_trip_efficiency(&self) -> f64 {
+        self.params.electrolyzer_efficiency * self.params.fuel_cell_efficiency
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &HydrogenParams {
+        &self.params
+    }
+}
+
+impl Storage for HydrogenStorage {
+    fn capacity(&self) -> Energy {
+        self.tank_capacity
+    }
+
+    fn soc(&self) -> f64 {
+        self.fill
+    }
+
+    fn min_soc(&self) -> f64 {
+        0.0
+    }
+
+    fn update(&mut self, power: Power, dt: SimDuration) -> Power {
+        if dt.is_zero() || power == Power::ZERO {
+            return Power::ZERO;
+        }
+        let hours = dt.hours();
+        let cap = self.tank_capacity.kwh();
+        if power.kw() > 0.0 {
+            // Electrolyzer: clamp to rating, honor the minimum load.
+            let p = power.kw().min(self.params.electrolyzer_kw);
+            if p < self.params.electrolyzer_min_load * self.params.electrolyzer_kw {
+                return Power::ZERO;
+            }
+            let headroom_kwh = (1.0 - self.fill) * cap;
+            let max_electric_kwh = headroom_kwh / self.params.electrolyzer_efficiency;
+            let electric_kwh = (p * hours).min(max_electric_kwh);
+            self.fill =
+                (self.fill + electric_kwh * self.params.electrolyzer_efficiency / cap).min(1.0);
+            self.charged += Energy::from_kwh(electric_kwh);
+            Power::from_kw(electric_kwh / hours)
+        } else {
+            // Fuel cell: clamp to rating and tank contents.
+            let p = (-power.kw()).min(self.params.fuel_cell_kw);
+            let stored_kwh = self.fill * cap;
+            let max_electric_kwh = stored_kwh * self.params.fuel_cell_efficiency;
+            let electric_kwh = (p * hours).min(max_electric_kwh);
+            self.fill =
+                (self.fill - electric_kwh / self.params.fuel_cell_efficiency / cap).max(0.0);
+            self.discharged += Energy::from_kwh(electric_kwh);
+            -Power::from_kw(electric_kwh / hours)
+        }
+    }
+
+    fn charged_total(&self) -> Energy {
+        self.charged
+    }
+
+    fn discharged_total(&self) -> Energy {
+        self.discharged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration(3_600);
+
+    fn system() -> HydrogenStorage {
+        HydrogenStorage::new(
+            Energy::from_kwh(10_000.0),
+            HydrogenParams {
+                initial_fill: 0.5,
+                ..HydrogenParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_is_lossy_and_asymmetric() {
+        let s = system();
+        assert!((s.round_trip_efficiency() - 0.65 * 0.55).abs() < 1e-12);
+        assert!(s.round_trip_efficiency() < 0.40, "hydrogen is lossy");
+    }
+
+    #[test]
+    fn charging_fills_tank_through_electrolyzer() {
+        let mut s = system();
+        let got = s.update(Power::from_kw(500.0), DT);
+        assert_eq!(got.kw(), 500.0);
+        // 500 kWh electric * 0.65 = 325 kWh H2
+        assert!((s.soc() - (0.5 + 325.0 / 10_000.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_limited_by_fuel_cell_rating() {
+        let mut s = system();
+        let got = s.update(Power::from_kw(-5_000.0), DT);
+        assert_eq!(got.kw(), -1_000.0, "clamped to fuel-cell rating");
+    }
+
+    #[test]
+    fn min_load_blocks_trickle_charging() {
+        let mut s = system();
+        // 5% of 1,000 kW = 50 kW minimum; a 20 kW request produces nothing.
+        let got = s.update(Power::from_kw(20.0), DT);
+        assert_eq!(got, Power::ZERO);
+        assert_eq!(s.soc(), 0.5);
+    }
+
+    #[test]
+    fn tank_empties_and_fills_at_rails() {
+        let mut s = HydrogenStorage::new(
+            Energy::from_kwh(1_000.0),
+            HydrogenParams {
+                initial_fill: 1.0,
+                ..HydrogenParams::default()
+            },
+        );
+        // Drain: 1,000 kWh H2 * 0.55 = 550 kWh electric available.
+        let mut total = 0.0;
+        loop {
+            let got = s.update(Power::from_kw(-1_000.0), DT);
+            if got.kw().abs() < 1e-9 {
+                break;
+            }
+            total += -got.kw();
+        }
+        assert!((total - 550.0).abs() < 1e-6, "drained {total}");
+        assert!(s.soc() < 1e-12);
+        // Refill to full.
+        loop {
+            if s.update(Power::from_kw(1_000.0), DT).kw() < 1e-9 {
+                break;
+            }
+        }
+        assert!((s.soc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_duration_store_outlasts_battery() {
+        // A hydrogen tank can hold a week of 100 kW load in a way a same-
+        // power battery of practical size cannot: 7*24*100/0.55 = 30.5 MWh
+        // of H2.
+        let mut s = HydrogenStorage::new(
+            Energy::from_kwh(31_000.0),
+            HydrogenParams {
+                initial_fill: 1.0,
+                ..HydrogenParams::default()
+            },
+        );
+        let mut hours = 0;
+        loop {
+            let got = s.update(Power::from_kw(-100.0), DT);
+            if got.kw().abs() < 50.0 {
+                break;
+            }
+            hours += 1;
+            if hours > 10_000 {
+                break;
+            }
+        }
+        assert!(hours >= 7 * 24, "sustained only {hours} h");
+    }
+
+    #[test]
+    fn equivalent_cycles_from_throughput() {
+        let mut s = system();
+        s.update(Power::from_kw(-1_000.0), DT);
+        let efc = s.equivalent_full_cycles();
+        assert!((efc - 1_000.0 / 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = HydrogenParams::default();
+        p.electrolyzer_efficiency = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = HydrogenParams::default();
+        p.electrolyzer_min_load = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = HydrogenParams::default();
+        p.fuel_cell_kw = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "tank capacity")]
+    fn zero_tank_panics() {
+        HydrogenStorage::with_defaults(Energy::ZERO);
+    }
+}

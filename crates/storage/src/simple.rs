@@ -1,0 +1,314 @@
+//! The naive battery baseline: fixed power bounds, flat efficiency.
+
+use mgopt_units::{Energy, Power, SimDuration};
+
+use crate::Storage;
+
+/// A battery with constant charge/discharge power limits and a constant
+/// round-trip efficiency (applied symmetrically, √η each way).
+///
+/// This is the model most sizing papers default to; [`crate::ClcBattery`]
+/// refines it with the SoC-dependent power envelope.
+#[derive(Debug, Clone)]
+pub struct SimpleBattery {
+    capacity: Energy,
+    soc: f64,
+    min_soc: f64,
+    max_charge: Power,
+    max_discharge: Power,
+    one_way_efficiency: f64,
+    charged: Energy,
+    discharged: Energy,
+}
+
+impl SimpleBattery {
+    /// Create a battery.
+    ///
+    /// * `capacity` — nameplate energy capacity,
+    /// * `initial_soc` — starting state of charge in `[0, 1]`,
+    /// * `min_soc` — reserve floor in `[0, 1)`,
+    /// * `max_charge` / `max_discharge` — terminal power limits (positive),
+    /// * `round_trip_efficiency` — in `(0, 1]`, split √η per direction.
+    ///
+    /// # Panics
+    /// Panics on non-positive capacity, out-of-range SoCs or efficiency.
+    pub fn new(
+        capacity: Energy,
+        initial_soc: f64,
+        min_soc: f64,
+        max_charge: Power,
+        max_discharge: Power,
+        round_trip_efficiency: f64,
+    ) -> Self {
+        assert!(capacity.kwh() > 0.0, "capacity must be positive");
+        assert!((0.0..=1.0).contains(&initial_soc), "initial_soc out of range");
+        assert!((0.0..1.0).contains(&min_soc), "min_soc out of range");
+        assert!(initial_soc >= min_soc, "initial_soc below reserve");
+        assert!(max_charge.kw() > 0.0 && max_discharge.kw() > 0.0);
+        assert!(
+            round_trip_efficiency > 0.0 && round_trip_efficiency <= 1.0,
+            "round-trip efficiency must be in (0, 1]"
+        );
+        Self {
+            capacity,
+            soc: initial_soc,
+            min_soc,
+            max_charge,
+            max_discharge,
+            one_way_efficiency: round_trip_efficiency.sqrt(),
+            charged: Energy::ZERO,
+            discharged: Energy::ZERO,
+        }
+    }
+
+    /// Convenience constructor with the defaults used across the workspace:
+    /// C/2 power rating, 90 % round trip, 10 % reserve, starts full.
+    pub fn with_defaults(capacity: Energy) -> Self {
+        let c_over_2 = Power::from_kw(capacity.kwh() / 2.0);
+        Self::new(capacity, 1.0, 0.1, c_over_2, c_over_2, 0.90)
+    }
+}
+
+impl Storage for SimpleBattery {
+    fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    fn soc(&self) -> f64 {
+        self.soc
+    }
+
+    fn min_soc(&self) -> f64 {
+        self.min_soc
+    }
+
+    fn update(&mut self, power: Power, dt: SimDuration) -> Power {
+        if dt.is_zero() || power == Power::ZERO {
+            return Power::ZERO;
+        }
+        let hours = dt.hours();
+        if power.kw() > 0.0 {
+            // Charge: bounded by the power limit and remaining headroom
+            // (cell side: terminal energy * efficiency is what lands).
+            let p = power.min(self.max_charge);
+            let headroom_kwh = (1.0 - self.soc) * self.capacity.kwh();
+            let max_terminal_kwh = headroom_kwh / self.one_way_efficiency;
+            let terminal_kwh = (p.kw() * hours).min(max_terminal_kwh);
+            let actual = Power::from_kw(terminal_kwh / hours);
+            self.soc += terminal_kwh * self.one_way_efficiency / self.capacity.kwh();
+            self.soc = self.soc.min(1.0);
+            self.charged += Energy::from_kwh(terminal_kwh);
+            actual
+        } else {
+            // Discharge: bounded by the power limit and usable energy
+            // (terminal energy = cell energy * efficiency).
+            let p = (-power).min(self.max_discharge);
+            let usable_kwh = (self.soc - self.min_soc).max(0.0) * self.capacity.kwh();
+            let max_terminal_kwh = usable_kwh * self.one_way_efficiency;
+            let terminal_kwh = (p.kw() * hours).min(max_terminal_kwh);
+            let actual = Power::from_kw(terminal_kwh / hours);
+            self.soc -= terminal_kwh / self.one_way_efficiency / self.capacity.kwh();
+            self.soc = self.soc.max(self.min_soc);
+            self.discharged += Energy::from_kwh(terminal_kwh);
+            -actual
+        }
+    }
+
+    fn charged_total(&self) -> Energy {
+        self.charged
+    }
+
+    fn discharged_total(&self) -> Energy {
+        self.discharged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn battery(soc: f64) -> SimpleBattery {
+        SimpleBattery::new(
+            Energy::from_kwh(1_000.0),
+            soc,
+            0.1,
+            Power::from_kw(500.0),
+            Power::from_kw(500.0),
+            0.90,
+        )
+    }
+
+    const DT: SimDuration = SimDuration(3_600);
+
+    #[test]
+    fn charges_within_power_limit() {
+        let mut b = battery(0.5);
+        let got = b.update(Power::from_kw(2_000.0), DT);
+        assert_eq!(got.kw(), 500.0, "clamped to max charge power");
+        // 500 kWh at sqrt(0.9) one-way: stored = 474.3 kWh
+        let expected_soc = 0.5 + 500.0 * 0.9f64.sqrt() / 1_000.0;
+        assert!((b.soc() - expected_soc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_stops_at_full() {
+        let mut b = battery(0.99);
+        let got = b.update(Power::from_kw(500.0), DT);
+        // headroom 10 kWh cell-side; terminal = 10/sqrt(0.9)
+        let expected = 10.0 / 0.9f64.sqrt();
+        assert!((got.kw() - expected).abs() < 1e-9);
+        assert!((b.soc() - 1.0).abs() < 1e-12);
+        // Further charging accepts nothing.
+        assert_eq!(b.update(Power::from_kw(500.0), DT).kw(), 0.0);
+    }
+
+    #[test]
+    fn discharge_respects_reserve() {
+        let mut b = battery(0.2);
+        let got = b.update(Power::from_kw(-500.0), DT);
+        // usable 100 kWh cell-side -> terminal 100*sqrt(0.9)
+        let expected = -(100.0 * 0.9f64.sqrt());
+        assert!((got.kw() - expected).abs() < 1e-9);
+        assert!((b.soc() - 0.1).abs() < 1e-12);
+        assert_eq!(b.update(Power::from_kw(-500.0), DT).kw(), 0.0);
+    }
+
+    #[test]
+    fn round_trip_efficiency_matches_spec() {
+        let mut b = battery(0.1);
+        // Fill up from reserve, then drain back to reserve.
+        loop {
+            if b.update(Power::from_kw(500.0), DT).kw() < 1e-9 {
+                break;
+            }
+        }
+        let charged = b.charged_total().kwh();
+        loop {
+            if b.update(Power::from_kw(-500.0), DT).kw().abs() < 1e-9 {
+                break;
+            }
+        }
+        let discharged = b.discharged_total().kwh();
+        let rt = discharged / charged;
+        assert!((rt - 0.90).abs() < 1e-6, "round trip {rt}");
+    }
+
+    #[test]
+    fn zero_requests_are_noops() {
+        let mut b = battery(0.5);
+        assert_eq!(b.update(Power::ZERO, DT), Power::ZERO);
+        assert_eq!(b.update(Power::from_kw(100.0), SimDuration::ZERO), Power::ZERO);
+        assert_eq!(b.soc(), 0.5);
+    }
+
+    #[test]
+    fn cycle_counting_via_throughput() {
+        let mut b = battery(1.0);
+        // One full usable discharge = 0.9 * 1000 * sqrt(0.9) terminal kWh.
+        loop {
+            if b.update(Power::from_kw(-500.0), DT).kw().abs() < 1e-9 {
+                break;
+            }
+        }
+        let efc = b.equivalent_full_cycles();
+        assert!((efc - 0.9 * 0.9f64.sqrt()).abs() < 1e-6, "efc {efc}");
+    }
+
+    #[test]
+    fn with_defaults_is_full_c_over_2() {
+        let b = SimpleBattery::with_defaults(Energy::from_mwh(7.5));
+        assert_eq!(b.soc(), 1.0);
+        assert_eq!(b.min_soc(), 0.1);
+        assert_eq!(b.capacity().mwh(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        SimpleBattery::new(
+            Energy::ZERO,
+            0.5,
+            0.1,
+            Power::from_kw(1.0),
+            Power::from_kw(1.0),
+            0.9,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_soc below reserve")]
+    fn initial_below_reserve_panics() {
+        SimpleBattery::new(
+            Energy::from_kwh(10.0),
+            0.05,
+            0.1,
+            Power::from_kw(1.0),
+            Power::from_kw(1.0),
+            0.9,
+        );
+    }
+
+    #[test]
+    fn partial_step_charge() {
+        let mut b = battery(0.5);
+        let got = b.update(Power::from_kw(100.0), SimDuration::from_minutes(15.0));
+        assert_eq!(got.kw(), 100.0);
+        let stored = 100.0 * 0.25 * 0.9f64.sqrt();
+        assert!((b.soc() - (0.5 + stored / 1_000.0)).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn soc_stays_in_bounds_under_random_dispatch(
+            requests in prop::collection::vec(-800.0f64..800.0, 1..200),
+            initial in 0.1f64..1.0,
+        ) {
+            let mut b = battery_for_prop(initial);
+            let dt = SimDuration::from_minutes(15.0);
+            for r in requests {
+                let actual = b.update(Power::from_kw(r), dt);
+                // Actual never exceeds request magnitude and has same sign.
+                prop_assert!(actual.kw().abs() <= r.abs() + 1e-9);
+                if actual.kw() != 0.0 {
+                    prop_assert_eq!(actual.kw().signum(), r.signum());
+                }
+                prop_assert!(b.soc() >= b.min_soc() - 1e-9);
+                prop_assert!(b.soc() <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn energy_conservation(
+            requests in prop::collection::vec(-800.0f64..800.0, 1..100),
+        ) {
+            let mut b = battery_for_prop(0.5);
+            let dt = SimDuration::from_minutes(30.0);
+            let initial_stored = b.stored().kwh();
+            for r in requests {
+                b.update(Power::from_kw(r), dt);
+            }
+            // stored = initial + charged*eta - discharged/eta
+            let eta = 0.9f64.sqrt();
+            let expected =
+                initial_stored + b.charged_total().kwh() * eta - b.discharged_total().kwh() / eta;
+            prop_assert!((b.stored().kwh() - expected).abs() < 1e-6);
+        }
+    }
+
+    fn battery_for_prop(initial: f64) -> SimpleBattery {
+        SimpleBattery::new(
+            Energy::from_kwh(1_000.0),
+            initial,
+            0.1,
+            Power::from_kw(500.0),
+            Power::from_kw(500.0),
+            0.90,
+        )
+    }
+}

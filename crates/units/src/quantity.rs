@@ -1,0 +1,468 @@
+//! Strongly typed physical quantities.
+//!
+//! All quantities are thin `f64` newtypes with zero runtime cost. Arithmetic
+//! is defined only where it is physically meaningful: adding two powers is
+//! fine, adding a power to an energy is a compile error, and multiplying a
+//! power by a duration yields an energy.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the inner value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric power, stored in kilowatts (kW).
+    ///
+    /// Positive values denote production, negative values consumption
+    /// (Vessim sign convention).
+    Power
+);
+
+quantity!(
+    /// Electric energy, stored in kilowatt-hours (kWh).
+    Energy
+);
+
+quantity!(
+    /// Mass of CO2-equivalent emissions, stored in kilograms (kgCO2).
+    Emissions
+);
+
+quantity!(
+    /// Grid carbon intensity, stored in grams of CO2 per kWh (gCO2/kWh).
+    CarbonIntensity
+);
+
+impl Power {
+    /// Power from watts.
+    #[inline]
+    pub fn from_w(w: f64) -> Self {
+        Self(w / 1e3)
+    }
+
+    /// Power from kilowatts.
+    #[inline]
+    pub fn from_kw(kw: f64) -> Self {
+        Self(kw)
+    }
+
+    /// Power from megawatts.
+    #[inline]
+    pub fn from_mw(mw: f64) -> Self {
+        Self(mw * 1e3)
+    }
+
+    /// Value in watts.
+    #[inline]
+    pub fn watts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Value in kilowatts.
+    #[inline]
+    pub fn kw(self) -> f64 {
+        self.0
+    }
+
+    /// Value in megawatts.
+    #[inline]
+    pub fn mw(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Energy produced or consumed at this constant power over `dt`.
+    #[inline]
+    pub fn over(self, dt: SimDuration) -> Energy {
+        Energy(self.0 * dt.hours())
+    }
+}
+
+impl Energy {
+    /// Energy from kilowatt-hours.
+    #[inline]
+    pub fn from_kwh(kwh: f64) -> Self {
+        Self(kwh)
+    }
+
+    /// Energy from megawatt-hours.
+    #[inline]
+    pub fn from_mwh(mwh: f64) -> Self {
+        Self(mwh * 1e3)
+    }
+
+    /// Value in kilowatt-hours.
+    #[inline]
+    pub fn kwh(self) -> f64 {
+        self.0
+    }
+
+    /// Value in megawatt-hours.
+    #[inline]
+    pub fn mwh(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// Average power when this energy is spread over `dt`.
+    #[inline]
+    pub fn average_power(self, dt: SimDuration) -> Power {
+        Power(self.0 / dt.hours())
+    }
+
+    /// Emissions released when this energy is drawn from a grid with the
+    /// given carbon intensity. Negative energies (exports) produce negative
+    /// emissions only if the caller wants them to — this method simply
+    /// multiplies, callers decide whether to clamp at zero first.
+    #[inline]
+    pub fn emissions_at(self, ci: CarbonIntensity) -> Emissions {
+        // kWh * g/kWh = g -> kg
+        Emissions(self.0 * ci.0 / 1e3)
+    }
+}
+
+impl Emissions {
+    /// Emissions from kilograms of CO2.
+    #[inline]
+    pub fn from_kg(kg: f64) -> Self {
+        Self(kg)
+    }
+
+    /// Emissions from (metric) tons of CO2.
+    #[inline]
+    pub fn from_tons(t: f64) -> Self {
+        Self(t * 1e3)
+    }
+
+    /// Value in kilograms of CO2.
+    #[inline]
+    pub fn kg(self) -> f64 {
+        self.0
+    }
+
+    /// Value in metric tons of CO2.
+    #[inline]
+    pub fn tons(self) -> f64 {
+        self.0 / 1e3
+    }
+}
+
+impl CarbonIntensity {
+    /// Carbon intensity from gCO2/kWh.
+    #[inline]
+    pub fn from_g_per_kwh(g: f64) -> Self {
+        Self(g)
+    }
+
+    /// Value in gCO2/kWh.
+    #[inline]
+    pub fn g_per_kwh(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Power {
+    /// Scales to W / kW / MW for readability: `1.62 MW`, `350.0 kW`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kw = self.0.abs();
+        if kw >= 1e3 {
+            write!(f, "{:.2} MW", self.0 / 1e3)
+        } else if kw >= 1.0 || kw == 0.0 {
+            write!(f, "{:.1} kW", self.0)
+        } else {
+            write!(f, "{:.0} W", self.0 * 1e3)
+        }
+    }
+}
+
+impl std::fmt::Display for Energy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kwh = self.0.abs();
+        if kwh >= 1e3 {
+            write!(f, "{:.2} MWh", self.0 / 1e3)
+        } else {
+            write!(f, "{:.1} kWh", self.0)
+        }
+    }
+}
+
+impl std::fmt::Display for Emissions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kg = self.0.abs();
+        if kg >= 1e3 {
+            write!(f, "{:.2} tCO2", self.0 / 1e3)
+        } else {
+            write!(f, "{:.1} kgCO2", self.0)
+        }
+    }
+}
+
+impl std::fmt::Display for CarbonIntensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0} gCO2/kWh", self.0)
+    }
+}
+
+impl Mul<SimDuration> for Power {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, dt: SimDuration) -> Energy {
+        self.over(dt)
+    }
+}
+
+impl Mul<CarbonIntensity> for Energy {
+    type Output = Emissions;
+    #[inline]
+    fn mul(self, ci: CarbonIntensity) -> Emissions {
+        self.emissions_at(ci)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn power_unit_conversions_round_trip() {
+        let p = Power::from_mw(1.62);
+        assert!((p.kw() - 1620.0).abs() < 1e-12);
+        assert!((p.watts() - 1.62e6).abs() < 1e-6);
+        assert!((p.mw() - 1.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_from_power_over_duration() {
+        let p = Power::from_kw(100.0);
+        let e = p.over(SimDuration::from_hours(2.5));
+        assert!((e.kwh() - 250.0).abs() < 1e-12);
+        let e2 = p * SimDuration::from_minutes(30.0);
+        assert!((e2.kwh() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_power_inverts_over() {
+        let dt = SimDuration::from_hours(4.0);
+        let e = Energy::from_kwh(10.0);
+        let p = e.average_power(dt);
+        assert!((p.over(dt).kwh() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emissions_from_energy_and_intensity() {
+        // 38,880 kWh/day at ~399.7 g/kWh is the Houston no-microgrid
+        // baseline of the paper: 15.54 tCO2/day.
+        let daily = Energy::from_mwh(38.88);
+        let ci = CarbonIntensity::from_g_per_kwh(399.7);
+        let em = daily.emissions_at(ci);
+        assert!((em.tons() - 15.54).abs() < 0.01);
+    }
+
+    #[test]
+    fn emissions_ton_kg_round_trip() {
+        let e = Emissions::from_tons(1046.0);
+        assert!((e.kg() - 1_046_000.0).abs() < 1e-6);
+        assert!((Emissions::from_kg(e.kg()).tons() - 1046.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_ops_behave() {
+        let a = Power::from_kw(3.0);
+        let b = Power::from_kw(4.5);
+        assert_eq!((a + b).kw(), 7.5);
+        assert_eq!((b - a).kw(), 1.5);
+        assert_eq!((-a).kw(), -3.0);
+        assert_eq!((a * 2.0).kw(), 6.0);
+        assert_eq!((2.0 * a).kw(), 6.0);
+        assert_eq!((b / 3.0).kw(), 1.5);
+        assert!((b / a - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_and_sum() {
+        let mut acc = Energy::ZERO;
+        acc += Energy::from_kwh(1.0);
+        acc += Energy::from_kwh(2.0);
+        assert_eq!(acc.kwh(), 3.0);
+        let total: Energy = (1..=4).map(|i| Energy::from_kwh(i as f64)).sum();
+        assert_eq!(total.kwh(), 10.0);
+    }
+
+    #[test]
+    fn clamp_min_max_abs() {
+        let p = Power::from_kw(-5.0);
+        assert_eq!(p.abs().kw(), 5.0);
+        assert_eq!(p.max(Power::ZERO).kw(), 0.0);
+        assert_eq!(p.min(Power::ZERO).kw(), -5.0);
+        assert_eq!(
+            Power::from_kw(12.0)
+                .clamp(Power::ZERO, Power::from_kw(10.0))
+                .kw(),
+            10.0
+        );
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Power::from_kw(1.0) < Power::from_kw(2.0));
+        assert!(Emissions::from_tons(1.0) > Emissions::from_kg(999.0));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", Power::from_mw(1.62)), "1.62 MW");
+        assert_eq!(format!("{}", Power::from_kw(350.0)), "350.0 kW");
+        assert_eq!(format!("{}", Power::from_w(500.0)), "500 W");
+        assert_eq!(format!("{}", Power::ZERO), "0.0 kW");
+        assert_eq!(format!("{}", Energy::from_mwh(7.5)), "7.50 MWh");
+        assert_eq!(format!("{}", Energy::from_kwh(12.34)), "12.3 kWh");
+        assert_eq!(format!("{}", Emissions::from_tons(4649.0)), "4649.00 tCO2");
+        assert_eq!(format!("{}", Emissions::from_kg(62.0)), "62.0 kgCO2");
+        assert_eq!(
+            format!("{}", CarbonIntensity::from_g_per_kwh(399.7)),
+            "400 gCO2/kWh"
+        );
+    }
+
+    #[test]
+    fn display_negative_power_scales_by_magnitude() {
+        assert_eq!(format!("{}", Power::from_mw(-1.5)), "-1.50 MW");
+        assert_eq!(format!("{}", Power::from_kw(-20.0)), "-20.0 kW");
+    }
+
+    #[test]
+    fn serde_transparent_round_trip() {
+        let p = Power::from_kw(123.5);
+        let json = serde_json_like(&p);
+        assert_eq!(json, "123.5");
+    }
+
+    /// Minimal serde check without pulling serde_json into this crate:
+    /// the `transparent` attribute means the Display of the inner f64 is
+    /// exactly what a JSON number would be.
+    fn serde_json_like(p: &Power) -> String {
+        format!("{}", p.0)
+    }
+}

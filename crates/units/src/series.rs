@@ -1,0 +1,461 @@
+//! Fixed-step time series.
+//!
+//! [`TimeSeries`] is the lingua franca of the workspace: the weather
+//! generators, the SAM-style performance models, the workload generator and
+//! the carbon-intensity synthesizer all emit one, and the co-simulation
+//! engine consumes them as step-hold signals.
+//!
+//! Values carry unit semantics by convention (the producer documents the
+//! unit); typed wrappers in downstream crates convert at the boundary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats;
+use crate::time::{SimDuration, SimTime, SECONDS_PER_YEAR};
+
+/// A uniformly sampled series starting at simulation time zero.
+///
+/// Sample `i` covers the half-open interval
+/// `[i * step, (i + 1) * step)` — i.e. values are *step-hold* (piecewise
+/// constant), matching how TMY weather files and power traces are defined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    step_s: i64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create a series from a step size and samples.
+    ///
+    /// # Panics
+    /// Panics if `step` is not positive or `values` is empty.
+    pub fn new(step: SimDuration, values: Vec<f64>) -> Self {
+        assert!(step.secs() > 0, "time series step must be positive");
+        assert!(!values.is_empty(), "time series must have at least one sample");
+        Self {
+            step_s: step.secs(),
+            values,
+        }
+    }
+
+    /// A constant-valued series covering one simulation year at the given step.
+    pub fn constant_year(step: SimDuration, value: f64) -> Self {
+        let n = (SECONDS_PER_YEAR / step.secs()) as usize;
+        Self::new(step, vec![value; n])
+    }
+
+    /// Build a year-long series by evaluating `f` at the start of every step.
+    pub fn from_fn_year(step: SimDuration, mut f: impl FnMut(SimTime) -> f64) -> Self {
+        let n = (SECONDS_PER_YEAR / step.secs()) as usize;
+        let values = (0..n)
+            .map(|i| f(SimTime::from_secs(i as i64 * step.secs())))
+            .collect();
+        Self::new(step, values)
+    }
+
+    /// Step size.
+    #[inline]
+    pub fn step(&self) -> SimDuration {
+        SimDuration::from_secs(self.step_s)
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the series has no samples (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration (`len * step`).
+    #[inline]
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs(self.step_s * self.values.len() as i64)
+    }
+
+    /// Raw samples.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable raw samples.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consume into raw samples.
+    #[inline]
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Sample index containing instant `t`, wrapping periodically.
+    ///
+    /// Series shorter than a full year tile periodically; a year-long
+    /// series therefore also answers queries from multi-year projections.
+    #[inline]
+    pub fn index_of(&self, t: SimTime) -> usize {
+        let span = self.step_s * self.values.len() as i64;
+        let s = t.secs().rem_euclid(span);
+        (s / self.step_s) as usize
+    }
+
+    /// Step-hold value at instant `t` (periodic).
+    #[inline]
+    pub fn at(&self, t: SimTime) -> f64 {
+        self.values[self.index_of(t)]
+    }
+
+    /// Linearly interpolated value at instant `t` (periodic), treating
+    /// samples as point values at step starts.
+    pub fn at_lerp(&self, t: SimTime) -> f64 {
+        let span = self.step_s * self.values.len() as i64;
+        let s = t.secs().rem_euclid(span) as f64;
+        let x = s / self.step_s as f64;
+        let i = x.floor() as usize;
+        let frac = x - i as f64;
+        let a = self.values[i];
+        let b = self.values[(i + 1) % self.values.len()];
+        a + (b - a) * frac
+    }
+
+    /// Arithmetic mean of the samples.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.values)
+    }
+
+    /// Smallest sample.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum of the samples.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Population standard deviation.
+    #[inline]
+    pub fn std(&self) -> f64 {
+        stats::std(&self.values)
+    }
+
+    /// When samples are powers in kW, the total energy in kWh.
+    #[inline]
+    pub fn energy_kwh(&self) -> f64 {
+        self.sum() * self.step_s as f64 / 3_600.0
+    }
+
+    /// Map every sample through `f`, preserving the step.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self {
+            step_s: self.step_s,
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Combine two series of identical shape sample-by-sample.
+    ///
+    /// # Panics
+    /// Panics when steps or lengths differ.
+    pub fn zip_with(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
+        assert_eq!(self.step_s, other.step_s, "zip_with: step mismatch");
+        assert_eq!(self.values.len(), other.values.len(), "zip_with: length mismatch");
+        Self {
+            step_s: self.step_s,
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Scale every sample by a constant.
+    pub fn scaled(&self, k: f64) -> Self {
+        self.map(|v| v * k)
+    }
+
+    /// Downsample by an integer factor, averaging consecutive samples —
+    /// mean-preserving, so `energy_kwh` is invariant (when the factor
+    /// divides the length exactly).
+    ///
+    /// # Panics
+    /// Panics if `factor` is zero or does not divide the length.
+    pub fn downsample(&self, factor: usize) -> Self {
+        assert!(factor > 0, "downsample factor must be positive");
+        assert_eq!(
+            self.values.len() % factor,
+            0,
+            "downsample factor must divide the sample count"
+        );
+        let values = self
+            .values
+            .chunks_exact(factor)
+            .map(|c| c.iter().sum::<f64>() / factor as f64)
+            .collect();
+        Self {
+            step_s: self.step_s * factor as i64,
+            values,
+        }
+    }
+
+    /// Upsample by an integer factor with step-hold (each sample repeated) —
+    /// also mean-preserving.
+    pub fn upsample(&self, factor: usize) -> Self {
+        assert!(factor > 0, "upsample factor must be positive");
+        let mut values = Vec::with_capacity(self.values.len() * factor);
+        for &v in &self.values {
+            for _ in 0..factor {
+                values.push(v);
+            }
+        }
+        Self {
+            step_s: self.step_s / factor as i64,
+            values,
+        }
+    }
+
+    /// Resample to an arbitrary step that shares an integer ratio with the
+    /// current one (either direction).
+    ///
+    /// # Panics
+    /// Panics when neither step divides the other.
+    pub fn resample(&self, step: SimDuration) -> Self {
+        let target = step.secs();
+        assert!(target > 0, "resample step must be positive");
+        if target == self.step_s {
+            self.clone()
+        } else if target > self.step_s {
+            assert_eq!(target % self.step_s, 0, "incompatible resample step");
+            self.downsample((target / self.step_s) as usize)
+        } else {
+            assert_eq!(self.step_s % target, 0, "incompatible resample step");
+            self.upsample((self.step_s / target) as usize)
+        }
+    }
+
+    /// The sub-series for 0-based day `d` (series step must divide a day).
+    pub fn day_slice(&self, d: usize) -> &[f64] {
+        let per_day = (crate::time::SECONDS_PER_DAY / self.step_s) as usize;
+        &self.values[d * per_day..(d + 1) * per_day]
+    }
+
+    /// Iterator over `(SimTime, value)` pairs at step starts.
+    pub fn iter_timed(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        let step = self.step_s;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (SimTime::from_secs(i as i64 * step), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SECONDS_PER_DAY, SECONDS_PER_HOUR};
+
+    fn hourly(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(SimDuration::from_hours(1.0), values)
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_step_panics() {
+        TimeSeries::new(SimDuration::ZERO, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_series_panics() {
+        TimeSeries::new(SimDuration::from_secs(60), vec![]);
+    }
+
+    #[test]
+    fn constant_year_shape() {
+        let ts = TimeSeries::constant_year(SimDuration::from_hours(1.0), 2.5);
+        assert_eq!(ts.len(), 8_760);
+        assert_eq!(ts.duration().secs(), SECONDS_PER_YEAR);
+        assert_eq!(ts.mean(), 2.5);
+        assert_eq!(ts.min(), 2.5);
+        assert_eq!(ts.max(), 2.5);
+    }
+
+    #[test]
+    fn from_fn_passes_step_starts() {
+        let ts = TimeSeries::from_fn_year(SimDuration::from_hours(1.0), |t| t.hours());
+        assert_eq!(ts.values()[0], 0.0);
+        assert_eq!(ts.values()[1], 1.0);
+        assert_eq!(ts.values()[8_759], 8_759.0);
+    }
+
+    #[test]
+    fn step_hold_lookup() {
+        let ts = hourly(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ts.at(SimTime::from_secs(0)), 1.0);
+        assert_eq!(ts.at(SimTime::from_secs(3_599)), 1.0);
+        assert_eq!(ts.at(SimTime::from_secs(3_600)), 2.0);
+        assert_eq!(ts.at(SimTime::from_hours(3.999)), 4.0);
+    }
+
+    #[test]
+    fn periodic_wrapping_lookup() {
+        let ts = hourly(vec![1.0, 2.0, 3.0, 4.0]);
+        // Series spans 4 h; query at 5 h lands in sample 1.
+        assert_eq!(ts.at(SimTime::from_hours(5.0)), 2.0);
+        // Negative time wraps backwards.
+        assert_eq!(ts.at(SimTime::from_secs(-1)), 4.0);
+    }
+
+    #[test]
+    fn lerp_interpolates_and_wraps() {
+        let ts = hourly(vec![0.0, 10.0]);
+        assert_eq!(ts.at_lerp(SimTime::from_hours(0.5)), 5.0);
+        // Between the last and (wrapped) first sample.
+        assert_eq!(ts.at_lerp(SimTime::from_hours(1.5)), 5.0);
+    }
+
+    #[test]
+    fn energy_of_power_series() {
+        // 2 kW for 24 h = 48 kWh
+        let ts = TimeSeries::new(
+            SimDuration::from_hours(1.0),
+            vec![2.0; (SECONDS_PER_DAY / SECONDS_PER_HOUR) as usize],
+        );
+        assert!((ts.energy_kwh() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_preserves_mean_and_energy() {
+        let ts = hourly(vec![1.0, 3.0, 5.0, 7.0]);
+        let ds = ts.downsample(2);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.values(), &[2.0, 6.0]);
+        assert_eq!(ds.step().secs(), 2 * 3_600);
+        assert!((ds.energy_kwh() - ts.energy_kwh()).abs() < 1e-9);
+        assert!((ds.mean() - ts.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upsample_holds_and_preserves_energy() {
+        let ts = hourly(vec![2.0, 4.0]);
+        let us = ts.upsample(4);
+        assert_eq!(us.len(), 8);
+        assert_eq!(us.step().secs(), 900);
+        assert_eq!(us.values()[0..4], [2.0; 4]);
+        assert!((us.energy_kwh() - ts.energy_kwh()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_both_directions_and_identity() {
+        let ts = hourly(vec![1.0, 2.0, 3.0, 4.0]);
+        let same = ts.resample(SimDuration::from_hours(1.0));
+        assert_eq!(same, ts);
+        let coarse = ts.resample(SimDuration::from_hours(2.0));
+        assert_eq!(coarse.len(), 2);
+        let fine = ts.resample(SimDuration::from_minutes(30.0));
+        assert_eq!(fine.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible resample step")]
+    fn resample_incompatible_panics() {
+        hourly(vec![1.0, 2.0]).resample(SimDuration::from_minutes(25.0));
+    }
+
+    #[test]
+    fn zip_map_scale() {
+        let a = hourly(vec![1.0, 2.0]);
+        let b = hourly(vec![10.0, 20.0]);
+        assert_eq!(a.zip_with(&b, |x, y| x + y).values(), &[11.0, 22.0]);
+        assert_eq!(a.map(|x| x * x).values(), &[1.0, 4.0]);
+        assert_eq!(a.scaled(3.0).values(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn day_slice_extracts_correct_window() {
+        let ts = TimeSeries::from_fn_year(SimDuration::from_hours(1.0), |t| t.hours());
+        let d1 = ts.day_slice(1);
+        assert_eq!(d1.len(), 24);
+        assert_eq!(d1[0], 24.0);
+        assert_eq!(d1[23], 47.0);
+    }
+
+    #[test]
+    fn iter_timed_yields_step_starts() {
+        let ts = hourly(vec![5.0, 6.0]);
+        let pairs: Vec<_> = ts.iter_timed().collect();
+        assert_eq!(pairs[0], (SimTime::from_secs(0), 5.0));
+        assert_eq!(pairs[1], (SimTime::from_hours(1.0), 6.0));
+    }
+
+    #[test]
+    fn std_of_constant_is_zero() {
+        let ts = hourly(vec![3.0; 10]);
+        assert_eq!(ts.std(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series_strategy() -> impl Strategy<Value = TimeSeries> {
+        (1usize..=4, prop::collection::vec(-1e6f64..1e6, 8..64)).prop_map(|(k, mut v)| {
+            // force length divisible by 8 so downsample factors 2,4,8 work
+            v.truncate(v.len() / 8 * 8);
+            TimeSeries::new(SimDuration::from_secs(k as i64 * 900), v)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn downsample_preserves_energy(ts in series_strategy(), f in prop::sample::select(vec![2usize, 4, 8])) {
+            let ds = ts.downsample(f);
+            prop_assert!((ds.energy_kwh() - ts.energy_kwh()).abs() <= 1e-6 * ts.energy_kwh().abs().max(1.0));
+        }
+
+        #[test]
+        fn upsample_preserves_energy(ts in series_strategy(), f in prop::sample::select(vec![2usize, 3, 5])) {
+            // only factors dividing the step keep integer seconds
+            prop_assume!(ts.step().secs() % f as i64 == 0);
+            let us = ts.upsample(f);
+            prop_assert!((us.energy_kwh() - ts.energy_kwh()).abs() <= 1e-6 * ts.energy_kwh().abs().max(1.0));
+        }
+
+        #[test]
+        fn at_always_returns_a_sample(ts in series_strategy(), t in -1_000_000i64..1_000_000) {
+            let v = ts.at(SimTime::from_secs(t));
+            prop_assert!(ts.values().contains(&v));
+        }
+
+        #[test]
+        fn min_le_mean_le_max(ts in series_strategy()) {
+            prop_assert!(ts.min() <= ts.mean() + 1e-9);
+            prop_assert!(ts.mean() <= ts.max() + 1e-9);
+        }
+
+        #[test]
+        fn map_identity_is_noop(ts in series_strategy()) {
+            prop_assert_eq!(ts.map(|v| v), ts.clone());
+        }
+    }
+}

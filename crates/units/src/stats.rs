@@ -1,0 +1,221 @@
+//! Small descriptive-statistics helpers shared across the workspace.
+//!
+//! These operate on plain `f64` slices so that the weather synthesizers,
+//! workload calibration and the optimizer's objective post-processing can
+//! share one implementation (and one set of tests).
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns `0.0` for slices with fewer than two items.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// Returns `NaN` on an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Lag-`k` autocorrelation coefficient (Pearson, population normalization).
+///
+/// Returns `0.0` when there are not enough samples or the series is constant.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    if xs.len() <= k + 1 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs
+        .windows(k + 1)
+        .map(|w| (w[0] - m) * (w[k] - m))
+        .sum();
+    num / denom
+}
+
+/// Root-mean-square error between two equal-length slices.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse: length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sq: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum();
+    (sq / a.len() as f64).sqrt()
+}
+
+/// Min-max normalize `xs` into `[0, 1]` in place. A constant slice maps to
+/// all zeros. Returns `(min, max)` used for the scaling.
+pub fn normalize_in_place(xs: &mut [f64]) -> (f64, f64) {
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() || hi == lo {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+        return (lo, hi);
+    }
+    let span = hi - lo;
+    for x in xs.iter_mut() {
+        *x = (*x - lo) / span;
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic_and_empty() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        // population variance of [2,4,4,4,5,5,7,9] is 4
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [3.0, 1.0, 2.0, 5.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 30.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        assert_eq!(autocorrelation(&[5.0; 16], 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let xs: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_detects_persistence() {
+        // slowly varying series: high lag-1 autocorrelation
+        let xs: Vec<f64> = (0..512).map(|i| (i as f64 * 0.02).sin()).collect();
+        assert!(autocorrelation(&xs, 1) > 0.95);
+        // alternating series: strongly negative
+        let alt: Vec<f64> = (0..512).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&alt, 1) < -0.9);
+    }
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_length_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval() {
+        let mut xs = [10.0, 20.0, 15.0];
+        let (lo, hi) = normalize_in_place(&mut xs);
+        assert_eq!((lo, hi), (10.0, 20.0));
+        assert_eq!(xs, [0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalize_constant_slice() {
+        let mut xs = [7.0, 7.0];
+        normalize_in_place(&mut xs);
+        assert_eq!(xs, [0.0, 0.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mean_within_bounds(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+            let m = mean(&xs);
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        }
+
+        #[test]
+        fn variance_nonnegative(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+            prop_assert!(variance(&xs) >= 0.0);
+        }
+
+        #[test]
+        fn percentile_monotone(xs in prop::collection::vec(-1e6f64..1e6, 2..50),
+                               p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+            let (a, b) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile(&xs, a) <= percentile(&xs, b) + 1e-9);
+        }
+
+        #[test]
+        fn normalized_values_in_unit_interval(mut xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            normalize_in_place(&mut xs);
+            for &x in &xs {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x));
+            }
+        }
+
+        #[test]
+        fn autocorrelation_bounded(xs in prop::collection::vec(-1e3f64..1e3, 4..128), k in 0usize..4) {
+            let r = autocorrelation(&xs, k);
+            prop_assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Simulation time and the fixed 365-day calendar.
+//!
+//! Simulations run over a synthetic, no-leap year of exactly 8,760 hours —
+//! the same convention NREL's System Advisor Model uses for typical
+//! meteorological year (TMY) inputs. [`SimTime`] counts whole seconds since
+//! year start (midnight, January 1, local standard time); [`CalendarTime`]
+//! is its broken-down view used by the weather and carbon-intensity models.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in an hour.
+pub const SECONDS_PER_HOUR: i64 = 3_600;
+/// Seconds in a day.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+/// Hours in the simulation year.
+pub const HOURS_PER_YEAR: i64 = 8_760;
+/// Days in the simulation year (no leap days).
+pub const DAYS_PER_YEAR: i64 = 365;
+/// Seconds in the simulation year.
+pub const SECONDS_PER_YEAR: i64 = HOURS_PER_YEAR * SECONDS_PER_HOUR;
+
+/// Month lengths of the no-leap calendar.
+pub const MONTH_LENGTHS: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Cumulative day-of-year at the start of each month (0-based).
+pub const MONTH_STARTS: [u32; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+
+/// A span of simulation time, in whole seconds. Always non-negative in
+/// practice, but stored signed so differences are well defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimDuration(pub i64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: Self = Self(0);
+
+    /// Duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        Self(s)
+    }
+
+    /// Duration from (possibly fractional) minutes, rounded to seconds.
+    #[inline]
+    pub fn from_minutes(m: f64) -> Self {
+        Self((m * 60.0).round() as i64)
+    }
+
+    /// Duration from (possibly fractional) hours, rounded to seconds.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        Self((h * 3_600.0).round() as i64)
+    }
+
+    /// Duration from whole days.
+    #[inline]
+    pub const fn from_days(d: i64) -> Self {
+        Self(d * SECONDS_PER_DAY)
+    }
+
+    /// Whole seconds.
+    #[inline]
+    pub const fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional hours.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    /// Fractional days.
+    #[inline]
+    pub fn days(self) -> f64 {
+        self.0 as f64 / SECONDS_PER_DAY as f64
+    }
+
+    /// `true` if this duration is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// An instant of simulation time: whole seconds since year start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// Year start (t = 0).
+    pub const START: Self = Self(0);
+
+    /// Instant from whole seconds since year start.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        Self(s)
+    }
+
+    /// Instant from fractional hours since year start.
+    #[inline]
+    pub fn from_hours(h: f64) -> Self {
+        Self((h * 3_600.0).round() as i64)
+    }
+
+    /// Instant at the start of day `d` (0-based).
+    #[inline]
+    pub const fn from_day(d: i64) -> Self {
+        Self(d * SECONDS_PER_DAY)
+    }
+
+    /// Whole seconds since year start.
+    #[inline]
+    pub const fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// Fractional hours since year start.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    /// Seconds since year start, wrapped into `[0, SECONDS_PER_YEAR)`.
+    ///
+    /// Multi-year projections reuse the single simulated year, so signals
+    /// index with the wrapped time.
+    #[inline]
+    pub fn wrapped_secs(self) -> i64 {
+        self.0.rem_euclid(SECONDS_PER_YEAR)
+    }
+
+    /// Broken-down calendar view of this instant (wrapped into the year).
+    #[inline]
+    pub fn calendar(self) -> CalendarTime {
+        CalendarTime::from_sim_time(self)
+    }
+
+    /// Duration elapsed since `earlier`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.calendar();
+        write!(
+            f,
+            "d{:03} {:02}:{:02}:{:02}",
+            c.day_of_year, c.hour, c.minute, c.second
+        )
+    }
+}
+
+/// Broken-down view of a [`SimTime`] in the no-leap calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CalendarTime {
+    /// Day of year, `0..=364`.
+    pub day_of_year: u32,
+    /// Month, `0..=11`.
+    pub month: u32,
+    /// Day of month, `0..` (0-based).
+    pub day_of_month: u32,
+    /// Hour of day, `0..=23`.
+    pub hour: u32,
+    /// Minute of hour, `0..=59`.
+    pub minute: u32,
+    /// Second of minute, `0..=59`.
+    pub second: u32,
+}
+
+impl CalendarTime {
+    /// Break a [`SimTime`] down, wrapping into the simulated year.
+    pub fn from_sim_time(t: SimTime) -> Self {
+        let s = t.wrapped_secs();
+        let day_of_year = (s / SECONDS_PER_DAY) as u32;
+        let rem = s % SECONDS_PER_DAY;
+        let hour = (rem / SECONDS_PER_HOUR) as u32;
+        let rem = rem % SECONDS_PER_HOUR;
+        let minute = (rem / 60) as u32;
+        let second = (rem % 60) as u32;
+        let month = month_of_day(day_of_year);
+        let day_of_month = day_of_year - MONTH_STARTS[month as usize];
+        Self {
+            day_of_year,
+            month,
+            day_of_month,
+            hour,
+            minute,
+            second,
+        }
+    }
+
+    /// Fractional hour of day in `[0, 24)`.
+    #[inline]
+    pub fn hour_of_day(&self) -> f64 {
+        self.hour as f64 + self.minute as f64 / 60.0 + self.second as f64 / 3_600.0
+    }
+
+    /// Fraction of the year elapsed, in `[0, 1)`.
+    #[inline]
+    pub fn fraction_of_year(&self) -> f64 {
+        (self.day_of_year as f64 + self.hour_of_day() / 24.0) / DAYS_PER_YEAR as f64
+    }
+
+    /// Day of week in `0..=6` with day 0 of the year defined as a Monday.
+    #[inline]
+    pub fn day_of_week(&self) -> u32 {
+        self.day_of_year % 7
+    }
+
+    /// `true` on Saturday/Sunday of the synthetic calendar.
+    #[inline]
+    pub fn is_weekend(&self) -> bool {
+        self.day_of_week() >= 5
+    }
+}
+
+/// Month index (`0..=11`) containing a 0-based day of year.
+pub fn month_of_day(day_of_year: u32) -> u32 {
+    debug_assert!(day_of_year < DAYS_PER_YEAR as u32);
+    // MONTH_STARTS is sorted; linear scan over 12 entries beats a binary
+    // search at this size and is branch-predictor friendly.
+    let mut month = 11;
+    for (m, &start) in MONTH_STARTS.iter().enumerate().skip(1) {
+        if day_of_year < start {
+            month = m - 1;
+            break;
+        }
+    }
+    month as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn year_constants_consistent() {
+        assert_eq!(SECONDS_PER_YEAR, 31_536_000);
+        assert_eq!(MONTH_LENGTHS.iter().sum::<u32>(), 365);
+        for m in 1..12 {
+            assert_eq!(
+                MONTH_STARTS[m],
+                MONTH_STARTS[m - 1] + MONTH_LENGTHS[m - 1],
+                "month starts must be cumulative"
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_at_year_start() {
+        let c = SimTime::START.calendar();
+        assert_eq!(c.day_of_year, 0);
+        assert_eq!(c.month, 0);
+        assert_eq!(c.day_of_month, 0);
+        assert_eq!(c.hour, 0);
+        assert_eq!((c.minute, c.second), (0, 0));
+    }
+
+    #[test]
+    fn calendar_mid_year() {
+        // Noon on July 2 (day 182): 182 * 86400 + 12 * 3600
+        let t = SimTime::from_secs(182 * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR);
+        let c = t.calendar();
+        assert_eq!(c.day_of_year, 182);
+        assert_eq!(c.month, 6); // July
+        assert_eq!(c.day_of_month, 1); // July 2nd, 0-based
+        assert_eq!(c.hour, 12);
+        assert!((c.hour_of_day() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calendar_last_second_of_year() {
+        let t = SimTime::from_secs(SECONDS_PER_YEAR - 1);
+        let c = t.calendar();
+        assert_eq!(c.day_of_year, 364);
+        assert_eq!(c.month, 11);
+        assert_eq!(c.day_of_month, 30); // Dec 31st
+        assert_eq!((c.hour, c.minute, c.second), (23, 59, 59));
+    }
+
+    #[test]
+    fn wrapping_into_next_year() {
+        let t = SimTime::from_secs(SECONDS_PER_YEAR + 42);
+        assert_eq!(t.wrapped_secs(), 42);
+        assert_eq!(t.calendar().day_of_year, 0);
+        let neg = SimTime::from_secs(-1);
+        assert_eq!(neg.wrapped_secs(), SECONDS_PER_YEAR - 1);
+    }
+
+    #[test]
+    fn month_of_day_boundaries() {
+        assert_eq!(month_of_day(0), 0);
+        assert_eq!(month_of_day(30), 0); // Jan 31
+        assert_eq!(month_of_day(31), 1); // Feb 1
+        assert_eq!(month_of_day(58), 1); // Feb 28
+        assert_eq!(month_of_day(59), 2); // Mar 1
+        assert_eq!(month_of_day(334), 11); // Dec 1
+        assert_eq!(month_of_day(364), 11); // Dec 31
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_minutes(1.0).secs(), 60);
+        assert_eq!(SimDuration::from_hours(1.0).secs(), 3_600);
+        assert_eq!(SimDuration::from_days(1).secs(), 86_400);
+        assert!((SimDuration::from_hours(2.5).hours() - 2.5).abs() < 1e-12);
+        assert!((SimDuration::from_days(2).days() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::from_hours(5.0);
+        let t1 = t0 + SimDuration::from_hours(2.0);
+        assert_eq!((t1 - t0).secs(), 2 * 3_600);
+        assert_eq!(t1.since(t0), SimDuration::from_hours(2.0));
+        let mut t = t0;
+        t += SimDuration::from_secs(30);
+        assert_eq!(t.secs(), t0.secs() + 30);
+    }
+
+    #[test]
+    fn fraction_of_year_monotone() {
+        let mut last = -1.0;
+        for d in (0..365).step_by(30) {
+            let f = SimTime::from_day(d).calendar().fraction_of_year();
+            assert!(f > last);
+            assert!((0.0..1.0).contains(&f));
+            last = f;
+        }
+    }
+
+    #[test]
+    fn weekend_pattern() {
+        // day 0 is Monday => days 5, 6 are the first weekend
+        assert!(!SimTime::from_day(0).calendar().is_weekend());
+        assert!(!SimTime::from_day(4).calendar().is_weekend());
+        assert!(SimTime::from_day(5).calendar().is_weekend());
+        assert!(SimTime::from_day(6).calendar().is_weekend());
+        assert!(!SimTime::from_day(7).calendar().is_weekend());
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_secs(SECONDS_PER_DAY + 3_661);
+        assert_eq!(format!("{t}"), "d001 01:01:01");
+        assert_eq!(format!("{}", SimDuration::from_secs(90)), "90s");
+    }
+}

@@ -1,0 +1,85 @@
+//! Clear-sky global horizontal irradiance.
+//!
+//! Uses the Haurwitz (1945) model — GHI as a simple function of the solar
+//! zenith angle — which is accurate to a few percent for cloudless skies and
+//! is the reference model pvlib recommends when only zenith is available.
+//! The stochastic cloud layer ([`crate::cloud`]) multiplies this by a
+//! clear-sky index to produce all-sky irradiance.
+
+use mgopt_units::SimTime;
+
+use crate::location::Location;
+use crate::solar_pos::{sun_position, SunPosition};
+
+/// Clear-sky GHI in W/m² from a precomputed sun position (Haurwitz).
+pub fn clearsky_ghi_from_position(pos: &SunPosition) -> f64 {
+    let cos_z = pos.cos_zenith();
+    if cos_z <= 0.0 {
+        return 0.0;
+    }
+    1_098.0 * cos_z * (-0.059 / cos_z).exp()
+}
+
+/// Clear-sky GHI in W/m² for a site at an instant.
+pub fn clearsky_ghi(loc: &Location, t: SimTime) -> f64 {
+    clearsky_ghi_from_position(&sun_position(loc, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgopt_units::{SimTime, SECONDS_PER_DAY, SECONDS_PER_HOUR};
+
+    #[test]
+    fn zero_at_night_peak_at_noon() {
+        let h = Location::houston();
+        let midnight = SimTime::from_secs(150 * SECONDS_PER_DAY);
+        assert_eq!(clearsky_ghi(&h, midnight), 0.0);
+
+        let mut peak: f64 = 0.0;
+        for hr in 0..24 {
+            let t = SimTime::from_secs(171 * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR);
+            peak = peak.max(clearsky_ghi(&h, t));
+        }
+        // Summer-solstice clear-sky noon in Houston: ~1000 W/m².
+        assert!((900.0..1_100.0).contains(&peak), "peak {peak}");
+    }
+
+    #[test]
+    fn winter_peak_lower_than_summer_peak() {
+        let b = Location::berkeley();
+        let peak_on = |day: i64| {
+            (0..24)
+                .map(|hr| clearsky_ghi(&b, SimTime::from_secs(day * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR)))
+                .fold(0.0f64, f64::max)
+        };
+        assert!(peak_on(354) < 0.75 * peak_on(171));
+    }
+
+    #[test]
+    fn never_exceeds_extraterrestrial() {
+        let b = Location::berkeley();
+        for day in (0..365).step_by(30) {
+            for hr in 0..24 {
+                let t = SimTime::from_secs(day * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR);
+                let ghi = clearsky_ghi(&b, t);
+                let ext = crate::solar_pos::extraterrestrial_horizontal_w_m2(&b, t);
+                assert!(ghi <= ext + 1e-9, "day {day} hr {hr}: {ghi} > {ext}");
+            }
+        }
+    }
+
+    #[test]
+    fn annual_clear_sky_energy_plausible() {
+        // Clear-sky annual insolation at mid latitudes: ~2.3-2.9 MWh/m²/yr.
+        let b = Location::berkeley();
+        let mut wh = 0.0;
+        for day in 0..365i64 {
+            for hr in 0..24 {
+                wh += clearsky_ghi(&b, SimTime::from_secs(day * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR));
+            }
+        }
+        let mwh_per_m2 = wh / 1e6;
+        assert!((2.0..3.2).contains(&mwh_per_m2), "annual {mwh_per_m2} MWh/m²");
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-site climatology presets.
+//!
+//! These parameter sets replace the measured NSRDB / WIND Toolkit data the
+//! paper uses. They are calibrated so the *relative* resource quality of the
+//! two case-study sites matches the paper's findings: Berkeley has the
+//! stronger, steadier solar resource; Houston has the far stronger wind
+//! resource (Gulf coast) but a cloudier sky.
+
+use serde::{Deserialize, Serialize};
+
+use crate::location::Location;
+
+/// Stochastic cloud climatology for the clear-sky-index generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolarClimate {
+    /// Mean clear-sky index (all-sky GHI / clear-sky GHI) in the clear regime.
+    pub clear_kci_mean: f64,
+    /// Within-regime standard deviation in the clear regime.
+    pub clear_kci_std: f64,
+    /// Mean clear-sky index in the cloudy regime.
+    pub cloudy_kci_mean: f64,
+    /// Within-regime standard deviation in the cloudy regime.
+    pub cloudy_kci_std: f64,
+    /// Stationary probability of the cloudy regime per month.
+    pub monthly_cloudy_prob: [f64; 12],
+    /// Mean sojourn time of the cloudy regime in hours.
+    pub cloudy_persistence_h: f64,
+    /// Lag-1 decorrelation time of within-regime fluctuations, hours.
+    pub kci_decorrelation_h: f64,
+}
+
+/// Wind-speed climatology at a reference (hub-ish) height.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindClimate {
+    /// Annual Weibull scale parameter at `ref_height_m`, m/s.
+    pub weibull_scale_ms: f64,
+    /// Weibull shape parameter (k).
+    pub weibull_shape: f64,
+    /// Multiplier on the scale per month (seasonality).
+    pub monthly_scale_factor: [f64; 12],
+    /// Relative amplitude of the diurnal cycle (0 = flat).
+    pub diurnal_amplitude: f64,
+    /// Local hour of the diurnal wind-speed maximum.
+    pub diurnal_peak_hour: f64,
+    /// Decorrelation time of wind fluctuations, hours.
+    pub decorrelation_h: f64,
+    /// Height the climatology refers to, meters.
+    pub ref_height_m: f64,
+    /// Power-law shear exponent for height extrapolation.
+    pub shear_exponent: f64,
+}
+
+/// Ambient-temperature climatology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureClimate {
+    /// Monthly mean air temperature, °C.
+    pub monthly_mean_c: [f64; 12],
+    /// Peak-to-trough diurnal swing, °C.
+    pub diurnal_swing_c: f64,
+    /// Standard deviation of day-to-day anomalies, °C.
+    pub anomaly_std_c: f64,
+}
+
+/// Complete per-site climatology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Climate {
+    /// The geographic site.
+    pub location: Location,
+    /// Cloud / solar parameters.
+    pub solar: SolarClimate,
+    /// Wind parameters.
+    pub wind: WindClimate,
+    /// Temperature parameters.
+    pub temperature: TemperatureClimate,
+}
+
+impl Climate {
+    /// Berkeley, CA: excellent solar (dry summers), weak onshore wind.
+    pub fn berkeley() -> Self {
+        Self {
+            location: Location::berkeley(),
+            solar: SolarClimate {
+                clear_kci_mean: 0.97,
+                clear_kci_std: 0.04,
+                cloudy_kci_mean: 0.38,
+                cloudy_kci_std: 0.14,
+                // Mediterranean pattern: wet winters, near-cloudless summers
+                // (summer fog burns off before the solar peak).
+                monthly_cloudy_prob: [
+                    0.45, 0.42, 0.35, 0.25, 0.16, 0.10, 0.08, 0.08, 0.10, 0.20, 0.35, 0.45,
+                ],
+                cloudy_persistence_h: 14.0,
+                kci_decorrelation_h: 3.0,
+            },
+            wind: WindClimate {
+                weibull_scale_ms: 5.6,
+                weibull_shape: 2.1,
+                // Spring/summer sea-breeze peak.
+                monthly_scale_factor: [
+                    0.85, 0.90, 1.00, 1.10, 1.15, 1.18, 1.15, 1.08, 0.98, 0.90, 0.85, 0.84,
+                ],
+                diurnal_amplitude: 0.25,
+                diurnal_peak_hour: 16.0,
+                decorrelation_h: 8.0,
+                ref_height_m: 100.0,
+                shear_exponent: 0.14,
+            },
+            temperature: TemperatureClimate {
+                monthly_mean_c: [9.5, 11.0, 12.5, 13.5, 15.0, 16.5, 17.0, 17.5, 17.5, 16.0, 12.5, 9.5],
+                diurnal_swing_c: 7.0,
+                anomaly_std_c: 1.8,
+            },
+        }
+    }
+
+    /// Houston, TX: strong Gulf-coast wind, good-but-cloudier solar.
+    pub fn houston() -> Self {
+        Self {
+            location: Location::houston(),
+            solar: SolarClimate {
+                clear_kci_mean: 0.95,
+                clear_kci_std: 0.05,
+                cloudy_kci_mean: 0.35,
+                cloudy_kci_std: 0.15,
+                // Humid subtropical: convective clouds in summer, frontal in
+                // winter/spring — cloudy year-round.
+                monthly_cloudy_prob: [
+                    0.48, 0.46, 0.42, 0.38, 0.38, 0.35, 0.36, 0.35, 0.36, 0.33, 0.40, 0.46,
+                ],
+                cloudy_persistence_h: 10.0,
+                kci_decorrelation_h: 2.0,
+            },
+            wind: WindClimate {
+                weibull_scale_ms: 7.2,
+                weibull_shape: 2.2,
+                // Texas wind: strong winter/spring, weaker late summer.
+                monthly_scale_factor: [
+                    1.10, 1.12, 1.15, 1.12, 1.05, 0.95, 0.85, 0.80, 0.88, 1.00, 1.06, 1.10,
+                ],
+                diurnal_amplitude: 0.22,
+                diurnal_peak_hour: 2.0, // nocturnal low-level jet
+                decorrelation_h: 16.0,
+                ref_height_m: 100.0,
+                shear_exponent: 0.14,
+            },
+            temperature: TemperatureClimate {
+                monthly_mean_c: [12.0, 14.0, 17.5, 21.0, 25.0, 28.0, 29.5, 29.5, 27.0, 22.0, 17.0, 13.0],
+                diurnal_swing_c: 9.0,
+                anomaly_std_c: 2.5,
+            },
+        }
+    }
+
+    /// Look up a preset by case-insensitive site name ("berkeley", "houston").
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "berkeley" | "berkeley, ca" => Some(Self::berkeley()),
+            "houston" | "houston, tx" => Some(Self::houston()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn berkeley_sunnier_than_houston() {
+        let b = Climate::berkeley();
+        let h = Climate::houston();
+        let mean_cloud = |c: &Climate| c.solar.monthly_cloudy_prob.iter().sum::<f64>() / 12.0;
+        assert!(mean_cloud(&b) < mean_cloud(&h));
+    }
+
+    #[test]
+    fn houston_windier_than_berkeley() {
+        let b = Climate::berkeley();
+        let h = Climate::houston();
+        assert!(h.wind.weibull_scale_ms > b.wind.weibull_scale_ms + 1.5);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        for c in [Climate::berkeley(), Climate::houston()] {
+            for &p in &c.solar.monthly_cloudy_prob {
+                assert!((0.0..=1.0).contains(&p));
+            }
+            for &f in &c.wind.monthly_scale_factor {
+                assert!(f > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(Climate::by_name("Berkeley").is_some());
+        assert!(Climate::by_name("HOUSTON").is_some());
+        assert!(Climate::by_name("berlin").is_none());
+    }
+
+    #[test]
+    fn houston_summer_is_hot() {
+        let h = Climate::houston();
+        assert!(h.temperature.monthly_mean_c[6] > 28.0);
+        let b = Climate::berkeley();
+        assert!(b.temperature.monthly_mean_c[6] < 20.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Stochastic clear-sky-index synthesis.
+//!
+//! All-sky GHI is modeled as `clear-sky GHI × kci`, where the clear-sky
+//! index `kci` follows a two-state (clear / cloudy) Markov regime process
+//! with autocorrelated within-regime fluctuations. The regime structure
+//! produces the multi-day overcast spells that dominate storage sizing —
+//! something a plain AR(1) on kci would miss.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::climate::SolarClimate;
+use crate::math::Ar1;
+
+/// Sky regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkyRegime {
+    /// Mostly clear sky.
+    Clear,
+    /// Overcast / broken clouds.
+    Cloudy,
+}
+
+/// Hour-resolution clear-sky-index generator.
+#[derive(Debug)]
+pub struct CloudGenerator {
+    climate: SolarClimate,
+    rng: ChaCha12Rng,
+    regime: SkyRegime,
+    fluctuation: Ar1,
+}
+
+impl CloudGenerator {
+    /// Create a generator with a dedicated RNG stream.
+    pub fn new(climate: SolarClimate, seed: u64) -> Self {
+        let rho = Ar1::rho_for_decorrelation_steps(climate.kci_decorrelation_h.max(0.5));
+        Self {
+            climate,
+            rng: ChaCha12Rng::seed_from_u64(seed ^ 0x5eed_c10d),
+            regime: SkyRegime::Clear,
+            fluctuation: Ar1::new(rho),
+        }
+    }
+
+    /// Current regime.
+    pub fn regime(&self) -> SkyRegime {
+        self.regime
+    }
+
+    /// Advance one hour in the given month and return the clear-sky index.
+    pub fn step_hour(&mut self, month: usize) -> f64 {
+        debug_assert!(month < 12);
+        let pi_cloudy = self.climate.monthly_cloudy_prob[month].clamp(0.001, 0.999);
+        // Two-state Markov chain: mean cloudy sojourn tau hours gives
+        // stay-probability b; the clear-side stay-probability a follows from
+        // requiring the stationary cloudy fraction to equal pi_cloudy:
+        //   (1 - a) / ((1 - a) + (1 - b)) = pi  =>  1 - a = pi/(1-pi) (1 - b)
+        let tau = self.climate.cloudy_persistence_h.max(1.0);
+        let b = 1.0 - 1.0 / tau;
+        let leave_clear = (pi_cloudy / (1.0 - pi_cloudy) * (1.0 - b)).clamp(0.0, 1.0);
+        let u: f64 = self.rng.gen();
+        self.regime = match self.regime {
+            SkyRegime::Clear if u < leave_clear => SkyRegime::Cloudy,
+            SkyRegime::Cloudy if u < 1.0 - b => SkyRegime::Clear,
+            r => r,
+        };
+
+        let eps = sample_standard_normal(&mut self.rng);
+        let g = self.fluctuation.step(eps);
+        let (mean, std) = match self.regime {
+            SkyRegime::Clear => (self.climate.clear_kci_mean, self.climate.clear_kci_std),
+            SkyRegime::Cloudy => (self.climate.cloudy_kci_mean, self.climate.cloudy_kci_std),
+        };
+        (mean + std * g).clamp(0.03, 1.05)
+    }
+
+    /// Generate a full 8,760-hour year of clear-sky indices.
+    pub fn generate_year(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(8_760);
+        for day in 0..365u32 {
+            let month = mgopt_units::time::month_of_day(day) as usize;
+            for _ in 0..24 {
+                out.push(self.step_hour(month));
+            }
+        }
+        out
+    }
+}
+
+/// Box-Muller standard normal sample.
+pub(crate) fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::climate::Climate;
+
+    fn gen_year(seed: u64, climate: &SolarClimate) -> Vec<f64> {
+        CloudGenerator::new(climate.clone(), seed).generate_year()
+    }
+
+    #[test]
+    fn year_has_8760_hours_in_bounds() {
+        let kci = gen_year(1, &Climate::berkeley().solar);
+        assert_eq!(kci.len(), 8_760);
+        for &k in &kci {
+            assert!((0.03..=1.05).contains(&k));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = Climate::houston().solar;
+        assert_eq!(gen_year(7, &c), gen_year(7, &c));
+        assert_ne!(gen_year(7, &c), gen_year(8, &c));
+    }
+
+    #[test]
+    fn cloudy_fraction_tracks_climatology() {
+        // July (days 181..212) in Berkeley is nearly cloud-free; January is not.
+        let c = Climate::berkeley().solar;
+        let kci = gen_year(42, &c);
+        let frac_low = |lo: usize, hi: usize| {
+            let window = &kci[lo * 24..hi * 24];
+            window.iter().filter(|&&k| k < 0.6).count() as f64 / window.len() as f64
+        };
+        let january = frac_low(0, 31);
+        let july = frac_low(181, 212);
+        assert!(july < january, "july {july} >= january {january}");
+        assert!(july < 0.22, "july cloudy fraction {july}");
+        assert!(january > 0.25, "january cloudy fraction {january}");
+    }
+
+    #[test]
+    fn berkeley_brighter_than_houston_on_average() {
+        let b: f64 = gen_year(3, &Climate::berkeley().solar).iter().sum::<f64>() / 8_760.0;
+        let h: f64 = gen_year(3, &Climate::houston().solar).iter().sum::<f64>() / 8_760.0;
+        assert!(b > h, "berkeley mean kci {b} <= houston {h}");
+    }
+
+    #[test]
+    fn regimes_persist_for_hours() {
+        // Mean sojourn should be well above 1 hour: count regime flips.
+        let mut g = CloudGenerator::new(Climate::houston().solar, 11);
+        let mut flips = 0;
+        let mut last = g.regime();
+        for _ in 0..8_760 {
+            g.step_hour(5);
+            if g.regime() != last {
+                flips += 1;
+                last = g.regime();
+            }
+        }
+        let mean_sojourn = 8_760.0 / flips.max(1) as f64;
+        assert!(mean_sojourn > 4.0, "mean sojourn {mean_sojourn} h");
+    }
+
+    #[test]
+    fn multi_day_overcast_spells_exist() {
+        // Berkeley winters should contain at least one >=18h continuous
+        // low-kci spell (these drive battery sizing).
+        let kci = gen_year(123, &Climate::berkeley().solar);
+        let winter = &kci[0..90 * 24];
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for &k in winter {
+            if k < 0.6 {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(longest >= 18, "longest overcast spell only {longest} h");
+    }
+}

@@ -1,0 +1,161 @@
+//! Decomposition of global horizontal irradiance into direct and diffuse
+//! components using the Erbs et al. (1982) correlation.
+//!
+//! PVWatts needs beam (DNI) and diffuse (DHI) irradiance to transpose onto a
+//! tilted array; measured data sets like the NSRDB ship all three, but our
+//! synthetic generator produces GHI, so we decompose exactly the way
+//! ground-station pipelines do.
+
+/// Result of a GHI decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrradianceComponents {
+    /// Global horizontal irradiance, W/m².
+    pub ghi: f64,
+    /// Direct normal irradiance, W/m².
+    pub dni: f64,
+    /// Diffuse horizontal irradiance, W/m².
+    pub dhi: f64,
+}
+
+/// Diffuse fraction from the clearness index `kt` (Erbs et al. 1982).
+pub fn erbs_diffuse_fraction(kt: f64) -> f64 {
+    let kt = kt.clamp(0.0, 1.2);
+    if kt <= 0.22 {
+        1.0 - 0.09 * kt
+    } else if kt <= 0.80 {
+        0.9511 - 0.1604 * kt + 4.388 * kt * kt - 16.638 * kt.powi(3) + 12.336 * kt.powi(4)
+    } else {
+        0.165
+    }
+}
+
+/// Decompose GHI into DNI and DHI given the clearness index and the cosine
+/// of the solar zenith angle.
+///
+/// * `ghi` — all-sky global horizontal irradiance, W/m².
+/// * `kt` — clearness index (GHI / extraterrestrial horizontal).
+/// * `cos_zenith` — cosine of the zenith angle; values near zero (sun at
+///   the horizon) force an all-diffuse split to avoid the DNI blow-up that
+///   real decomposition pipelines also guard against.
+pub fn decompose(ghi: f64, kt: f64, cos_zenith: f64) -> IrradianceComponents {
+    if ghi <= 0.0 || cos_zenith <= 0.0 {
+        return IrradianceComponents {
+            ghi: ghi.max(0.0),
+            dni: 0.0,
+            dhi: ghi.max(0.0),
+        };
+    }
+    let df = erbs_diffuse_fraction(kt);
+    let dhi = df * ghi;
+    // Guard: near the horizon (cos z < ~0.087, i.e. sun below 5 deg) DNI
+    // from (GHI - DHI)/cos(z) becomes numerically explosive.
+    const MIN_COS_Z: f64 = 0.087;
+    let dni = if cos_zenith < MIN_COS_Z {
+        0.0
+    } else {
+        ((ghi - dhi) / cos_zenith).clamp(0.0, 1_100.0)
+    };
+    let dhi = if dni == 0.0 { ghi } else { dhi };
+    IrradianceComponents { ghi, dni, dhi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overcast_sky_is_all_diffuse() {
+        // kt below 0.22: diffuse fraction ~1
+        let df = erbs_diffuse_fraction(0.1);
+        assert!(df > 0.98);
+        let c = decompose(100.0, 0.1, 0.8);
+        assert!(c.dhi / c.ghi > 0.98);
+        assert!(c.dni < 5.0);
+    }
+
+    #[test]
+    fn clear_sky_is_mostly_direct() {
+        let df = erbs_diffuse_fraction(0.75);
+        assert!(df < 0.25, "clear-sky diffuse fraction {df}");
+        let c = decompose(900.0, 0.75, 0.9);
+        assert!(c.dni > 700.0);
+        assert!(c.dhi < 0.3 * c.ghi);
+    }
+
+    #[test]
+    fn diffuse_fraction_continuous_at_breakpoints() {
+        let eps = 1e-6;
+        let at = |kt: f64| erbs_diffuse_fraction(kt);
+        assert!((at(0.22 - eps) - at(0.22 + eps)).abs() < 1e-3);
+        assert!((at(0.80 - eps) - at(0.80 + eps)).abs() < 0.05);
+    }
+
+    #[test]
+    fn night_decomposition_is_zeroed() {
+        let c = decompose(0.0, 0.0, 0.0);
+        assert_eq!(c.dni, 0.0);
+        assert_eq!(c.dhi, 0.0);
+        let c = decompose(50.0, 0.3, -0.1);
+        assert_eq!(c.dni, 0.0);
+        assert_eq!(c.dhi, 50.0);
+    }
+
+    #[test]
+    fn horizon_guard_prevents_dni_blowup() {
+        let c = decompose(120.0, 0.6, 0.01);
+        assert_eq!(c.dni, 0.0);
+        assert_eq!(c.dhi, 120.0);
+    }
+
+    #[test]
+    fn closure_identity_holds() {
+        // GHI = DHI + DNI * cos(z)
+        for (ghi, kt, cz) in [(500.0, 0.5, 0.7), (850.0, 0.72, 0.95), (200.0, 0.35, 0.4)] {
+            let c = decompose(ghi, kt, cz);
+            let reconstructed = c.dhi + c.dni * cz;
+            assert!(
+                (reconstructed - ghi).abs() < 1.0,
+                "ghi {ghi} reconstructed {reconstructed}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn components_nonnegative_and_bounded(
+            ghi in 0.0f64..1_200.0,
+            kt in 0.0f64..1.1,
+            cz in -1.0f64..1.0,
+        ) {
+            let c = decompose(ghi, kt, cz);
+            prop_assert!(c.dni >= 0.0);
+            prop_assert!(c.dhi >= 0.0);
+            prop_assert!(c.dhi <= ghi + 1e-9);
+            prop_assert!(c.dni <= 1_100.0 + 1e-9);
+        }
+
+        #[test]
+        fn diffuse_fraction_in_unit_interval(kt in 0.0f64..1.5) {
+            let df = erbs_diffuse_fraction(kt);
+            prop_assert!((0.0..=1.0).contains(&df));
+        }
+
+        #[test]
+        fn closure_when_dni_positive(
+            ghi in 1.0f64..1_100.0,
+            kt in 0.0f64..1.0,
+            cz in 0.1f64..1.0,
+        ) {
+            let c = decompose(ghi, kt, cz);
+            if c.dni > 0.0 && c.dni < 1_100.0 {
+                prop_assert!((c.dhi + c.dni * cz - ghi).abs() < 1e-6);
+            }
+        }
+    }
+}

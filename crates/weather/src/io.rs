@@ -1,0 +1,255 @@
+//! Weather-file I/O.
+//!
+//! Real deployments of the framework plug in measured data (the paper uses
+//! NSRDB and WIND Toolkit files through SAM). This module defines a simple
+//! CSV container for a [`WeatherYear`] so users can export synthesized
+//! years, edit them, or import measured data without any external crates.
+//!
+//! Format: `#`-prefixed metadata header lines (`key=value`), one CSV
+//! header row, then one row per step:
+//!
+//! ```text
+//! # name=Houston, TX
+//! # latitude_deg=29.7604
+//! ...
+//! ghi_w_m2,dni_w_m2,dhi_w_m2,temp_air_c,wind_speed_ms
+//! 0.0,0.0,0.0,14.2,7.31
+//! ```
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use mgopt_units::{SimDuration, TimeSeries};
+
+use crate::location::Location;
+use crate::WeatherYear;
+
+/// Errors when reading a weather file.
+#[derive(Debug)]
+pub enum WeatherFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file.
+    Format(String),
+}
+
+impl fmt::Display for WeatherFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeatherFileError::Io(e) => write!(f, "weather file I/O error: {e}"),
+            WeatherFileError::Format(m) => write!(f, "weather file format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WeatherFileError {}
+
+impl From<std::io::Error> for WeatherFileError {
+    fn from(e: std::io::Error) -> Self {
+        WeatherFileError::Io(e)
+    }
+}
+
+/// Write a weather year as CSV.
+pub fn write_csv(weather: &WeatherYear, mut w: impl Write) -> Result<(), WeatherFileError> {
+    let loc = &weather.location;
+    writeln!(w, "# name={}", loc.name)?;
+    writeln!(w, "# latitude_deg={}", loc.latitude_deg)?;
+    writeln!(w, "# longitude_deg={}", loc.longitude_deg)?;
+    writeln!(w, "# elevation_m={}", loc.elevation_m)?;
+    writeln!(w, "# timezone_h={}", loc.timezone_h)?;
+    writeln!(w, "# step_s={}", weather.step().secs())?;
+    writeln!(w, "# wind_ref_height_m={}", weather.wind_ref_height_m)?;
+    writeln!(w, "# wind_shear_exponent={}", weather.wind_shear_exponent)?;
+    writeln!(w, "# pressure_pa={}", weather.pressure_pa)?;
+    writeln!(w, "ghi_w_m2,dni_w_m2,dhi_w_m2,temp_air_c,wind_speed_ms")?;
+    for i in 0..weather.len() {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            weather.ghi.values()[i],
+            weather.dni.values()[i],
+            weather.dhi.values()[i],
+            weather.temp_air_c.values()[i],
+            weather.wind_speed_ms.values()[i],
+        )?;
+    }
+    Ok(())
+}
+
+/// Read a weather year from CSV (the format written by [`write_csv`]).
+pub fn read_csv(r: impl Read) -> Result<WeatherYear, WeatherFileError> {
+    let reader = BufReader::new(r);
+    let mut meta: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut saw_header = false;
+    let mut ghi = Vec::new();
+    let mut dni = Vec::new();
+    let mut dhi = Vec::new();
+    let mut temp = Vec::new();
+    let mut wind = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some((k, v)) = rest.split_once('=') {
+                meta.insert(k.trim().to_string(), v.trim().to_string());
+            }
+            continue;
+        }
+        if !saw_header {
+            if !line.starts_with("ghi") {
+                return Err(WeatherFileError::Format(format!(
+                    "line {}: expected column header, got {line:?}",
+                    lineno + 1
+                )));
+            }
+            saw_header = true;
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(WeatherFileError::Format(format!(
+                "line {}: expected 5 fields, got {}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        let parse = |s: &str, col: &str| -> Result<f64, WeatherFileError> {
+            s.trim().parse::<f64>().map_err(|e| {
+                WeatherFileError::Format(format!("line {}: bad {col}: {e}", lineno + 1))
+            })
+        };
+        ghi.push(parse(fields[0], "ghi")?);
+        dni.push(parse(fields[1], "dni")?);
+        dhi.push(parse(fields[2], "dhi")?);
+        temp.push(parse(fields[3], "temp")?);
+        wind.push(parse(fields[4], "wind")?);
+    }
+
+    if ghi.is_empty() {
+        return Err(WeatherFileError::Format("no data rows".into()));
+    }
+
+    let get_f64 = |key: &str, default: f64| -> Result<f64, WeatherFileError> {
+        match meta.get(key) {
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|e| WeatherFileError::Format(format!("metadata {key}: {e}"))),
+            None => Ok(default),
+        }
+    };
+    let step_s = get_f64("step_s", 3_600.0)? as i64;
+    if step_s <= 0 {
+        return Err(WeatherFileError::Format("step_s must be positive".into()));
+    }
+    let step = SimDuration::from_secs(step_s);
+
+    let location = Location {
+        name: meta.get("name").cloned().unwrap_or_else(|| "unknown".into()),
+        latitude_deg: get_f64("latitude_deg", 0.0)?,
+        longitude_deg: get_f64("longitude_deg", 0.0)?,
+        elevation_m: get_f64("elevation_m", 0.0)?,
+        timezone_h: get_f64("timezone_h", 0.0)?,
+    };
+    let pressure_default = crate::pressure_at_elevation_pa(location.elevation_m);
+
+    Ok(WeatherYear {
+        location,
+        ghi: TimeSeries::new(step, ghi),
+        dni: TimeSeries::new(step, dni),
+        dhi: TimeSeries::new(step, dhi),
+        temp_air_c: TimeSeries::new(step, temp),
+        wind_speed_ms: TimeSeries::new(step, wind),
+        wind_ref_height_m: get_f64("wind_ref_height_m", 100.0)?,
+        wind_shear_exponent: get_f64("wind_shear_exponent", 0.14)?,
+        pressure_pa: get_f64("pressure_pa", pressure_default)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Climate, WeatherGenerator};
+
+    fn sample_year() -> WeatherYear {
+        WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_year();
+        let mut buf = Vec::new();
+        write_csv(&original, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.location, original.location);
+        assert_eq!(back.step(), original.step());
+        assert_eq!(back.len(), original.len());
+        assert_eq!(back.wind_ref_height_m, original.wind_ref_height_m);
+        // f64 -> decimal -> f64 round trip is exact with Rust's float
+        // formatting (shortest round-trippable representation).
+        assert_eq!(back.ghi, original.ghi);
+        assert_eq!(back.wind_speed_ms, original.wind_speed_ms);
+        assert_eq!(back.pressure_pa, original.pressure_pa);
+    }
+
+    #[test]
+    fn hand_written_file_parses_with_defaults() {
+        let text = "\
+# name=Test Site
+# latitude_deg=40.0
+ghi_w_m2,dni_w_m2,dhi_w_m2,temp_air_c,wind_speed_ms
+100.0,50.0,60.0,15.0,5.0
+200.0,150.0,80.0,16.0,6.0
+";
+        let w = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.step().secs(), 3_600, "default step");
+        assert_eq!(w.wind_ref_height_m, 100.0, "default ref height");
+        assert_eq!(w.location.name, "Test Site");
+        assert!(w.pressure_pa > 100_000.0, "barometric default");
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let text = "100.0,50.0,60.0,15.0,5.0\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, WeatherFileError::Format(_)));
+        assert!(err.to_string().contains("column header"));
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let text = "ghi_w_m2,dni_w_m2,dhi_w_m2,temp_air_c,wind_speed_ms\n1,2,3\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 5 fields"));
+    }
+
+    #[test]
+    fn non_numeric_value_rejected() {
+        let text = "ghi_w_m2,dni_w_m2,dhi_w_m2,temp_air_c,wind_speed_ms\n1,2,3,four,5\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad temp"));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let err = read_csv("".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("no data rows"));
+    }
+
+    #[test]
+    fn imported_weather_feeds_generation_models() {
+        // The round-tripped year must be usable downstream.
+        let original = sample_year();
+        let mut buf = Vec::new();
+        write_csv(&original, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert!(!back.is_empty());
+        assert!(back.ghi.max() > 300.0);
+    }
+}

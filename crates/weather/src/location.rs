@@ -1,0 +1,89 @@
+//! Geographic sites and their orientation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A geographic location in the simulation.
+///
+/// The simulation clock is *local standard time* for the site; solar
+/// geometry applies the equation of time and the longitude offset from the
+/// timezone meridian, matching how SAM interprets weather-file timestamps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Location {
+    /// Human-readable name ("Berkeley, CA").
+    pub name: String,
+    /// Latitude in degrees, positive north.
+    pub latitude_deg: f64,
+    /// Longitude in degrees, positive east.
+    pub longitude_deg: f64,
+    /// Elevation above sea level in meters (used for air density).
+    pub elevation_m: f64,
+    /// Offset of local standard time from UTC in hours (negative west).
+    pub timezone_h: f64,
+}
+
+impl Location {
+    /// Berkeley, California (CAISO grid) — the paper's first case study.
+    pub fn berkeley() -> Self {
+        Self {
+            name: "Berkeley, CA".into(),
+            latitude_deg: 37.8716,
+            longitude_deg: -122.2727,
+            elevation_m: 52.0,
+            timezone_h: -8.0,
+        }
+    }
+
+    /// Houston, Texas (ERCOT grid) — the paper's second case study.
+    pub fn houston() -> Self {
+        Self {
+            name: "Houston, TX".into(),
+            latitude_deg: 29.7604,
+            longitude_deg: -95.3698,
+            elevation_m: 30.0,
+            timezone_h: -6.0,
+        }
+    }
+
+    /// Longitude of the timezone meridian (15° per hour offset).
+    #[inline]
+    pub fn timezone_meridian_deg(&self) -> f64 {
+        self.timezone_h * 15.0
+    }
+
+    /// Latitude in radians.
+    #[inline]
+    pub fn latitude_rad(&self) -> f64 {
+        self.latitude_deg.to_radians()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_plausible() {
+        let b = Location::berkeley();
+        assert!((37.0..39.0).contains(&b.latitude_deg));
+        assert!(b.longitude_deg < -120.0);
+        assert_eq!(b.timezone_meridian_deg(), -120.0);
+
+        let h = Location::houston();
+        assert!((29.0..31.0).contains(&h.latitude_deg));
+        assert_eq!(h.timezone_meridian_deg(), -90.0);
+        assert!(h.latitude_deg < b.latitude_deg);
+    }
+
+    #[test]
+    fn latitude_rad_conversion() {
+        let h = Location::houston();
+        assert!((h.latitude_rad() - 29.7604f64.to_radians()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip_via_clone_eq() {
+        let b = Location::berkeley();
+        let b2 = b.clone();
+        assert_eq!(b, b2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Power-trace I/O.
+//!
+//! The paper feeds measured Perlmutter traces into the simulator; this
+//! module reads/writes the equivalent CSV (`index,power_kw`) so operators
+//! can plug in their own facility data. Includes the resampling helpers
+//! needed to align a measured trace with a simulation step.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use mgopt_units::{SimDuration, TimeSeries, SECONDS_PER_YEAR};
+
+/// Errors when reading a power-trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file.
+    Format(String),
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O error: {e}"),
+            TraceFileError::Format(m) => write!(f, "trace file format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Write a power trace as `index,power_kw` CSV.
+pub fn write_csv(trace: &TimeSeries, mut w: impl Write) -> Result<(), TraceFileError> {
+    writeln!(w, "# step_s={}", trace.step().secs())?;
+    writeln!(w, "index,power_kw")?;
+    for (i, &v) in trace.values().iter().enumerate() {
+        writeln!(w, "{i},{v}")?;
+    }
+    Ok(())
+}
+
+/// Read a power trace from CSV (format written by [`write_csv`]).
+pub fn read_csv(r: impl Read) -> Result<TimeSeries, TraceFileError> {
+    let reader = BufReader::new(r);
+    let mut step_s: i64 = 3_600;
+    let mut values = Vec::new();
+    let mut saw_header = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some((k, v)) = rest.trim().split_once('=') {
+                if k.trim() == "step_s" {
+                    step_s = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| TraceFileError::Format(format!("metadata step_s: {e}")))?;
+                }
+            }
+            continue;
+        }
+        if !saw_header {
+            if !line.starts_with("index") {
+                return Err(TraceFileError::Format(format!(
+                    "line {}: expected header, got {line:?}",
+                    lineno + 1
+                )));
+            }
+            saw_header = true;
+            continue;
+        }
+        let (_, val) = line.split_once(',').ok_or_else(|| {
+            TraceFileError::Format(format!("line {}: expected two fields", lineno + 1))
+        })?;
+        let v: f64 = val.trim().parse().map_err(|e| {
+            TraceFileError::Format(format!("line {}: bad power: {e}", lineno + 1))
+        })?;
+        if v < 0.0 {
+            return Err(TraceFileError::Format(format!(
+                "line {}: negative power {v}",
+                lineno + 1
+            )));
+        }
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(TraceFileError::Format("no data rows".into()));
+    }
+    if step_s <= 0 {
+        return Err(TraceFileError::Format("step_s must be positive".into()));
+    }
+    Ok(TimeSeries::new(SimDuration::from_secs(step_s), values))
+}
+
+/// Fit an arbitrary-length measured trace to one simulation year at the
+/// target step: resample (mean-preserving) when the steps are compatible,
+/// then tile or truncate to exactly one year.
+///
+/// # Panics
+/// Panics when steps are incompatible (neither divides the other).
+pub fn fit_to_year(trace: &TimeSeries, step: SimDuration) -> TimeSeries {
+    let resampled = trace.resample(step);
+    let target_len = (SECONDS_PER_YEAR / step.secs()) as usize;
+    let mut values = Vec::with_capacity(target_len);
+    while values.len() < target_len {
+        let take = (target_len - values.len()).min(resampled.len());
+        values.extend_from_slice(&resampled.values()[..take]);
+    }
+    TimeSeries::new(step, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HpcWorkload;
+
+    #[test]
+    fn round_trip_exact() {
+        let trace = HpcWorkload::perlmutter_like(42).generate(SimDuration::from_hours(1.0));
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn negative_power_rejected() {
+        let text = "index,power_kw\n0,-5\n";
+        assert!(read_csv(text.as_bytes()).unwrap_err().to_string().contains("negative"));
+    }
+
+    #[test]
+    fn fit_tiles_short_traces() {
+        // One week of hourly data tiled to a year.
+        let week = TimeSeries::new(
+            SimDuration::from_hours(1.0),
+            (0..168).map(|i| 1_000.0 + i as f64).collect(),
+        );
+        let year = fit_to_year(&week, SimDuration::from_hours(1.0));
+        assert_eq!(year.len(), 8_760);
+        assert_eq!(year.values()[0], 1_000.0);
+        assert_eq!(year.values()[168], 1_000.0, "tiled");
+        // 8760 = 52*168 + 24: the last day is a partial tile.
+        assert_eq!(year.values()[52 * 168], 1_000.0);
+    }
+
+    #[test]
+    fn fit_truncates_long_traces() {
+        let two_years = TimeSeries::new(
+            SimDuration::from_hours(1.0),
+            vec![500.0; 2 * 8_760],
+        );
+        let year = fit_to_year(&two_years, SimDuration::from_hours(1.0));
+        assert_eq!(year.len(), 8_760);
+    }
+
+    #[test]
+    fn fit_resamples_to_target_step() {
+        let minutely_day = TimeSeries::new(
+            SimDuration::from_minutes(15.0),
+            (0..96).map(|i| 100.0 + (i % 4) as f64).collect(),
+        );
+        let year = fit_to_year(&minutely_day, SimDuration::from_hours(1.0));
+        assert_eq!(year.step(), SimDuration::from_hours(1.0));
+        assert_eq!(year.len(), 8_760);
+        // Mean preserved by the resampling.
+        assert!((year.values()[0] - 101.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_step_metadata() {
+        let text = "# step_s=60\nindex,power_kw\n0,100\n1,110\n";
+        let trace = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(trace.step().secs(), 60);
+    }
+}

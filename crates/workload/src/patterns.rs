@@ -1,0 +1,110 @@
+//! Additional facility load archetypes.
+//!
+//! Used by the examples and by the carbon-aware-scheduling study (§4.3):
+//! an interactive/web facility has a strong diurnal swing and therefore
+//! much more load-shifting potential than a saturated HPC machine.
+
+use mgopt_units::{SimDuration, TimeSeries, SECONDS_PER_YEAR};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// A perfectly constant load, kW.
+pub fn constant_load(step: SimDuration, power_kw: f64) -> TimeSeries {
+    assert!(power_kw >= 0.0);
+    TimeSeries::constant_year(step, power_kw)
+}
+
+/// An interactive/web-style load: pronounced diurnal cycle (low at night,
+/// peak in the evening), weekday/weekend contrast, and light noise. The
+/// trace is exactly mean-calibrated to `mean_power_kw`.
+pub fn diurnal_web_load(step: SimDuration, mean_power_kw: f64, seed: u64) -> TimeSeries {
+    assert!(mean_power_kw > 0.0);
+    let step_s = step.secs();
+    assert!(step_s > 0 && SECONDS_PER_YEAR % step_s == 0, "step must divide the year");
+    let n = (SECONDS_PER_YEAR / step_s) as usize;
+    let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xd1f0_0d5e);
+
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = mgopt_units::SimTime::from_secs(i as i64 * step_s);
+        let cal = t.calendar();
+        let h = cal.hour_of_day();
+        // Two-lobe daily shape: business-hours plateau plus evening peak.
+        let daily = 0.55
+            + 0.30 * (-((h - 14.0) / 5.0).powi(2)).exp()
+            + 0.45 * (-((h - 20.5) / 2.5).powi(2)).exp();
+        let weekday = if cal.is_weekend() { 0.8 } else { 1.05 };
+        let noise = 1.0 + 0.04 * (rng.gen::<f64>() - 0.5);
+        values.push(daily * weekday * noise);
+    }
+    let mean: f64 = values.iter().sum::<f64>() / n as f64;
+    let scale = mean_power_kw / mean;
+    for v in values.iter_mut() {
+        *v *= scale;
+    }
+    TimeSeries::new(step, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgopt_units::stats;
+
+    #[test]
+    fn constant_load_is_flat() {
+        let ts = constant_load(SimDuration::from_hours(1.0), 1_000.0);
+        assert_eq!(ts.mean(), 1_000.0);
+        assert_eq!(ts.std(), 0.0);
+        assert_eq!(ts.len(), 8_760);
+    }
+
+    #[test]
+    fn web_load_mean_calibrated() {
+        let ts = diurnal_web_load(SimDuration::from_hours(1.0), 1_620.0, 1);
+        assert!((ts.mean() - 1_620.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn web_load_has_diurnal_swing() {
+        let ts = diurnal_web_load(SimDuration::from_hours(1.0), 1_000.0, 2);
+        // Average 04:00 vs 20:00 over all weekdays.
+        let mut night = Vec::new();
+        let mut evening = Vec::new();
+        for d in 0..365 {
+            night.push(ts.values()[d * 24 + 4]);
+            evening.push(ts.values()[d * 24 + 20]);
+        }
+        assert!(stats::mean(&evening) > 1.5 * stats::mean(&night));
+    }
+
+    #[test]
+    fn web_load_weekends_quieter() {
+        let ts = diurnal_web_load(SimDuration::from_hours(1.0), 1_000.0, 3);
+        let mut weekday = Vec::new();
+        let mut weekend = Vec::new();
+        for d in 0..365usize {
+            let day = mgopt_units::SimTime::from_day(d as i64).calendar();
+            let slice = ts.day_slice(d);
+            if day.is_weekend() {
+                weekend.extend_from_slice(slice);
+            } else {
+                weekday.extend_from_slice(slice);
+            }
+        }
+        assert!(stats::mean(&weekday) > 1.1 * stats::mean(&weekend));
+    }
+
+    #[test]
+    fn web_load_deterministic() {
+        let a = diurnal_web_load(SimDuration::from_hours(1.0), 1_000.0, 9);
+        let b = diurnal_web_load(SimDuration::from_hours(1.0), 1_000.0, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_mean_panics() {
+        diurnal_web_load(SimDuration::from_hours(1.0), 0.0, 1);
+    }
+}

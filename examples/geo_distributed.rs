@@ -1,0 +1,77 @@
+//! Geo-distributed fleet: both paper sites in one co-simulation
+//! environment with a fleet-level carbon account — the multi-microgrid
+//! setting the paper's related work (SHIELD, geo-distributed allocation)
+//! motivates.
+//!
+//! ```bash
+//! cargo run --release --example geo_distributed
+//! ```
+
+use microgrid_opt::cosim::Environment;
+use microgrid_opt::microgrid::build_cosim_microgrid;
+use microgrid_opt::prelude::*;
+
+fn main() {
+    let houston = ScenarioConfig::paper_houston().prepare();
+    let berkeley = ScenarioConfig::paper_berkeley().prepare();
+
+    // Site-appropriate builds: wind in Houston, solar in Berkeley.
+    let houston_comp = Composition::new(4, 0.0, 7_500.0);
+    let berkeley_comp = Composition::new(0, 12_000.0, 37_500.0);
+    let cfg = SimConfig::default();
+
+    let mut env = Environment::new();
+    env.add_microgrid(
+        "houston",
+        build_cosim_microgrid(&houston.data, &houston.load, &houston_comp, &cfg),
+    );
+    env.add_microgrid(
+        "berkeley",
+        build_cosim_microgrid(&berkeley.data, &berkeley.load, &berkeley_comp, &cfg),
+    );
+
+    // Fleet-level accounting: per-site emissions use each site's CI trace.
+    let step = houston.data.step();
+    let ci = [&houston.data.ci_g_per_kwh, &berkeley.data.ci_g_per_kwh];
+    let mut site_kg = [0.0f64; 2];
+    let mut site_import_mwh = [0.0f64; 2];
+    let mut fleet_peak_import = 0.0f64;
+
+    let results = env.run(
+        SimTime::START,
+        SimDuration::from_days(365),
+        step,
+        |i, rec| {
+            let kwh = rec.grid_import().kw() * rec.dt.hours();
+            site_import_mwh[i] += kwh / 1e3;
+            site_kg[i] += kwh * ci[i].at(rec.t) / 1e3;
+        },
+        |fleet| {
+            fleet_peak_import = fleet_peak_import.max(fleet.total_import.kw());
+        },
+    );
+
+    println!("geo-distributed fleet, one simulated year:\n");
+    println!(
+        "  {:<10} {:<28} {:>12} {:>14} {:>10}",
+        "site", "build", "import MWh", "op tCO2/day", "final SoC"
+    );
+    for (i, (name, comp)) in [("houston", houston_comp), ("berkeley", berkeley_comp)]
+        .iter()
+        .enumerate()
+    {
+        println!(
+            "  {:<10} {:<28} {:>12.0} {:>14.2} {:>9.0}%",
+            name,
+            comp.label(),
+            site_import_mwh[i],
+            site_kg[i] / 1e3 / 365.0,
+            results[i].final_soc * 100.0
+        );
+    }
+    let fleet_t_day = (site_kg[0] + site_kg[1]) / 1e3 / 365.0;
+    println!("\n  fleet operational total: {fleet_t_day:.2} tCO2/day");
+    println!("  fleet peak concurrent grid import: {:.2} MW", fleet_peak_import / 1e3);
+    println!("\nthe fleet view is what a 24/7 carbon-free-energy program reports on:");
+    println!("site-level microgrids cut the fleet account from ~24.9 to ~{fleet_t_day:.0} tCO2/day.");
+}

@@ -1,0 +1,94 @@
+//! Storage-technology comparison: lithium-ion (C/L/C) vs hydrogen vs
+//! pumped hydro riding through a multi-day wind lull — the "additional
+//! technologies such as hydrogen production and storage, and long-duration
+//! storage systems like pumped hydro" the paper names as extensions.
+//!
+//! ```bash
+//! cargo run --release --example long_duration_storage
+//! ```
+
+use microgrid_opt::cosim::{
+    Actor, MemoryMonitor, Microgrid, SelfConsumption, SignalActor,
+};
+use microgrid_opt::prelude::*;
+use microgrid_opt::storage::{
+    ClcBattery, HydrogenParams, HydrogenStorage, PumpedHydro, PumpedHydroParams, Storage,
+};
+use microgrid_opt::units::Energy;
+
+/// Build a synthetic 10-day scenario: a 1 MW flat load, strong wind for
+/// the first 4 days, then a 4-day lull, then recovery.
+fn lull_profile(step: SimDuration) -> TimeSeries {
+    TimeSeries::from_fn_year(step, |t| {
+        let day = t.hours() / 24.0;
+        if day < 4.0 {
+            2_200.0 // surplus: 2.2 MW of wind vs 1 MW load
+        } else if day < 8.0 {
+            80.0 // becalmed
+        } else {
+            2_200.0
+        }
+    })
+}
+
+fn run_with(storage: Box<dyn Storage + Send>, name: &str) {
+    let step = SimDuration::from_hours(1.0);
+    let actors: Vec<Box<dyn Actor>> = vec![
+        Box::new(SignalActor::producer("wind", lull_profile(step))),
+        Box::new(SignalActor::consumer(
+            "load",
+            TimeSeries::constant_year(step, 1_000.0),
+        )),
+    ];
+    let mut mg = Microgrid::new(actors, storage, Box::new(SelfConsumption::default()));
+    let mut mon = MemoryMonitor::new();
+    mg.run(SimTime::START, SimDuration::from_days(10), step, &mut [&mut mon]);
+
+    let import_kwh: f64 = mon.records().iter().map(|r| r.grid_import().kw()).sum();
+    let export_kwh: f64 = mon.records().iter().map(|r| r.grid_export().kw()).sum();
+    // Hours during the lull (days 4-8) covered without any import.
+    let lull = &mon.records()[4 * 24..8 * 24];
+    let covered = lull.iter().filter(|r| r.grid_import().kw() < 1.0).count();
+    println!(
+        "  {:<22} import {:>8.0} kWh   export {:>8.0} kWh   lull hours covered {:>3}/96",
+        name, import_kwh, export_kwh, covered
+    );
+}
+
+fn main() {
+    println!("10-day scenario: 4 windy days, a 4-day lull, then recovery (1 MW load)\n");
+
+    // All three stores sized to ~90 MWh of *deliverable* energy.
+    run_with(
+        Box::new(ClcBattery::with_defaults(Energy::from_mwh(100.0))),
+        "lithium-ion (C/L/C)",
+    );
+    run_with(
+        Box::new(HydrogenStorage::new(
+            Energy::from_mwh(165.0), // 165 MWh H2 * 0.55 fuel cell = ~91 MWh
+            HydrogenParams {
+                electrolyzer_kw: 2_000.0,
+                fuel_cell_kw: 1_200.0,
+                initial_fill: 0.2,
+                ..HydrogenParams::default()
+            },
+        )),
+        "hydrogen (PEM + tank)",
+    );
+    run_with(
+        Box::new(PumpedHydro::new(PumpedHydroParams {
+            reservoir_m3: 125_000.0, // ~102 MWh potential at 300 m head
+            head_m: 300.0,
+            pump_kw: 2_000.0,
+            turbine_kw: 1_200.0,
+            initial_fill: 0.2,
+            ..PumpedHydroParams::default()
+        })),
+        "pumped hydro",
+    );
+
+    println!("\nnote how round-trip efficiency (Li-ion ~0.90, pumped hydro ~0.78,");
+    println!("hydrogen ~0.36) trades against energy-capacity cost: hydrogen wastes");
+    println!("the most surplus but is the only technology whose tank can grow to");
+    println!("seasonal scale without scaling embodied battery carbon.");
+}

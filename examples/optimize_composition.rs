@@ -1,0 +1,96 @@
+//! Multi-objective optimization: explore the composition space with
+//! NSGA-II (the paper's Optuna setup) and extract decision-ready
+//! candidates from the Pareto front.
+//!
+//! Uses a reduced 6x6x4 space so the example finishes in seconds; switch
+//! to `CompositionSpace::paper()` for the full 1,089-point study.
+//!
+//! ```bash
+//! cargo run --release --example optimize_composition
+//! ```
+
+use microgrid_opt::optimizer::extract::{
+    best_under_budgets, greedy_diversity, kmeans_representatives,
+};
+use microgrid_opt::prelude::*;
+
+fn main() {
+    let scenario = ScenarioConfig {
+        space: CompositionSpace {
+            wind_choices: (0..=5).collect(),
+            solar_choices_kw: (0..=5).map(|i| i as f64 * 8_000.0).collect(),
+            battery_choices_kwh: (0..=3).map(|i| i as f64 * 15_000.0).collect(),
+        },
+        ..ScenarioConfig::paper_berkeley()
+    }
+    .prepare();
+
+    let problem = CompositionProblem::new(&scenario, ObjectiveSet::paper());
+    println!(
+        "searching {} compositions at {} with NSGA-II (pop 24, 120 trials)…",
+        problem.space().len(),
+        scenario.site_name()
+    );
+
+    let study = Study::new(Sampler::Nsga2(Nsga2Config {
+        population_size: 24,
+        max_trials: 120,
+        seed: 42,
+        ..Nsga2Config::default()
+    }));
+    let result = study.optimize(&problem);
+    let mut front = result.pareto_front();
+    front.sort_by(|a, b| a.objectives[1].partial_cmp(&b.objectives[1]).unwrap());
+
+    println!(
+        "sampled {} trials ({} unique simulations, {:.2}s wall)",
+        result.sampled_trials, result.unique_evaluations, result.wall_seconds
+    );
+    println!("\nPareto front (operational tCO2/day vs embodied tCO2):");
+    for t in &front {
+        let comp = problem.composition(&t.genome);
+        println!(
+            "  {:<32} operational {:>6.2}  embodied {:>7.0}",
+            format!("{comp}"),
+            t.objectives[0],
+            t.objectives[1]
+        );
+    }
+
+    // Candidate extraction, all three strategies from the paper (§3.3).
+    println!("\nbest under embodied budgets (threshold extraction):");
+    for (budget, pick) in [5_000.0, 10_000.0, 15_000.0]
+        .iter()
+        .zip(best_under_budgets(&front, &[5_000.0, 10_000.0, 15_000.0], 1, 0))
+    {
+        match pick {
+            Some(t) => println!(
+                "  <= {:>6.0} t: {} at {:.2} tCO2/day",
+                budget,
+                problem.composition(&t.genome),
+                t.objectives[0]
+            ),
+            None => println!("  <= {budget:>6.0} t: no feasible composition"),
+        }
+    }
+
+    println!("\nk-means representatives (k = 4):");
+    for t in kmeans_representatives(&front, 4, 7) {
+        println!(
+            "  {} -> ({:.2} t/day, {:.0} t)",
+            problem.composition(&t.genome),
+            t.objectives[0],
+            t.objectives[1]
+        );
+    }
+
+    println!("\ngreedy max-min diversity picks (k = 4):");
+    for t in greedy_diversity(&front, 4) {
+        println!(
+            "  {} -> ({:.2} t/day, {:.0} t)",
+            problem.composition(&t.genome),
+            t.objectives[0],
+            t.objectives[1]
+        );
+    }
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! # microgrid-opt
+//!
+//! A Rust reproduction of *"Optimizing Microgrid Composition for
+//! Sustainable Data Centers"* (Irion, Wiesner, Bader, Kao — SC Workshops
+//! '25): a computing/energy co-simulation stack plus a multi-objective
+//! black-box optimizer that right-sizes wind / solar / battery microgrids
+//! for data centers against the trade-off between operational and embodied
+//! carbon emissions.
+//!
+//! This crate is the umbrella: it re-exports the workspace's layers.
+//!
+//! ```
+//! use microgrid_opt::prelude::*;
+//!
+//! // One candidate composition at the paper's Houston site.
+//! let scenario = ScenarioConfig::paper_houston().prepare();
+//! let comp = Composition::new(4, 0.0, 7_500.0); // 12 MW wind + 7.5 MWh
+//! let result = simulate_year(&scenario.data, &scenario.load, &comp,
+//!                            &scenario.config.sim);
+//! assert!(result.metrics.coverage > 0.5);
+//! ```
+//!
+//! ## Layer map
+//!
+//! | Layer | Crate | Role |
+//! |---|---|---|
+//! | quantities | [`units`] | typed kW/kWh/kgCO2, calendar, time series |
+//! | weather | [`weather`] | synthetic NSRDB / WIND-Toolkit substitute |
+//! | generation | [`sam`] | PVWatts + Windpower performance models |
+//! | storage | [`storage`] | C/L/C battery, rainflow, degradation |
+//! | grid | [`gridcarbon`] | carbon-intensity + price signals |
+//! | load | [`workload`] | Perlmutter-like power traces |
+//! | bus | [`cosim`] | Vessim-style co-simulation engine |
+//! | domain | [`microgrid`] | compositions, policies, year simulation |
+//! | search | [`optimizer`] | NSGA-II, exhaustive, Pareto tooling |
+//! | framework | [`core`] | scenarios, studies, paper experiments |
+
+pub use mgopt_core as core;
+pub use mgopt_cosim as cosim;
+pub use mgopt_gridcarbon as gridcarbon;
+pub use mgopt_microgrid as microgrid;
+pub use mgopt_optimizer as optimizer;
+pub use mgopt_sam as sam;
+pub use mgopt_storage as storage;
+pub use mgopt_units as units;
+pub use mgopt_weather as weather;
+pub use mgopt_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mgopt_core::experiments;
+    pub use mgopt_core::{
+        sweep_all, CompositionProblem, ObjectiveKind, ObjectiveSet, PreparedScenario,
+        ScenarioConfig, SitePreset, WorkloadConfig,
+    };
+    pub use mgopt_microgrid::{
+        simulate_year, simulate_year_cosim, Composition, CompositionSpace, DispatchPolicy,
+        EmbodiedDb, SimConfig, Site,
+    };
+    pub use mgopt_optimizer::{Nsga2Config, Sampler, Study};
+    pub use mgopt_units::{
+        CarbonIntensity, Emissions, Energy, Power, SimDuration, SimTime, TimeSeries,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_exposes_core_types() {
+        use crate::prelude::*;
+        let c = Composition::new(1, 1_000.0, 0.0);
+        assert_eq!(c.wind_mw(), 3.0);
+        let db = EmbodiedDb::paper();
+        assert_eq!(db.total_t(&c), 1_046.0 + 630.0);
+    }
+}

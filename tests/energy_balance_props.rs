@@ -1,0 +1,92 @@
+//! Property-based integration tests: physical invariants of the full
+//! pipeline under randomized compositions and policies.
+
+use microgrid_opt::prelude::*;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn scenario() -> &'static PreparedScenario {
+    static S: OnceLock<PreparedScenario> = OnceLock::new();
+    S.get_or_init(|| {
+        ScenarioConfig {
+            space: CompositionSpace::tiny(),
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare()
+    })
+}
+
+fn arbitrary_composition() -> impl Strategy<Value = Composition> {
+    (0u32..=10, 0usize..=10, 0usize..=8).prop_map(|(w, s, b)| {
+        Composition::new(w, s as f64 * 4_000.0, b as f64 * 7_500.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn annual_energy_balance_closes(comp in arbitrary_composition()) {
+        let s = scenario();
+        let r = simulate_year(&s.data, &s.load, &comp, &s.config.sim);
+        let m = &r.metrics;
+        // production + import + discharge ≈ demand + export + charge,
+        // up to battery round-trip losses and the SoC drift of one
+        // battery-full (battery starts full).
+        let lhs = m.production_mwh + m.grid_import_mwh + m.battery_discharge_mwh;
+        let rhs = m.demand_mwh + m.grid_export_mwh + m.battery_charge_mwh;
+        let losses_allowance = 0.15 * m.battery_charge_mwh + comp.battery_mwh() + 1.0;
+        prop_assert!(
+            (lhs - rhs).abs() <= losses_allowance,
+            "lhs {lhs} rhs {rhs} allowance {losses_allowance} ({comp})"
+        );
+    }
+
+    #[test]
+    fn metrics_are_physical(comp in arbitrary_composition()) {
+        let s = scenario();
+        let r = simulate_year(&s.data, &s.load, &comp, &s.config.sim);
+        let m = &r.metrics;
+        prop_assert!((0.0..=1.0).contains(&m.coverage));
+        prop_assert!((0.0..=1.0).contains(&m.direct_coverage));
+        prop_assert!(m.direct_coverage <= m.coverage + 1e-9,
+            "direct {} cannot exceed total {}", m.direct_coverage, m.coverage);
+        prop_assert!(m.operational_t_per_day >= 0.0);
+        prop_assert!(m.grid_import_mwh >= 0.0 && m.grid_export_mwh >= 0.0);
+        prop_assert!(m.battery_cycles >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&m.self_sufficient_fraction));
+        prop_assert!(m.embodied_t >= 0.0);
+    }
+
+    #[test]
+    fn more_capacity_never_increases_operational_emissions(
+        w in 0u32..=8, s in 0usize..=8, b in 0usize..=6,
+    ) {
+        let sc = scenario();
+        let base = Composition::new(w, s as f64 * 4_000.0, b as f64 * 7_500.0);
+        let bigger = Composition::new(w + 2, (s + 2) as f64 * 4_000.0, b as f64 * 7_500.0);
+        let r0 = simulate_year(&sc.data, &sc.load, &base, &sc.config.sim);
+        let r1 = simulate_year(&sc.data, &sc.load, &bigger, &sc.config.sim);
+        prop_assert!(
+            r1.metrics.operational_t_per_day <= r0.metrics.operational_t_per_day + 1e-9,
+            "{} -> {}",
+            r0.metrics.operational_t_per_day,
+            r1.metrics.operational_t_per_day
+        );
+        prop_assert!(r1.metrics.coverage >= r0.metrics.coverage - 1e-9);
+    }
+
+    #[test]
+    fn islanded_never_imports(comp in arbitrary_composition()) {
+        let s = scenario();
+        let cfg = SimConfig {
+            policy: DispatchPolicy::Islanded,
+            ..s.config.sim.clone()
+        };
+        let r = simulate_year(&s.data, &s.load, &comp, &cfg);
+        prop_assert_eq!(r.metrics.grid_import_mwh, 0.0);
+        prop_assert_eq!(r.metrics.operational_t_per_day, 0.0);
+        // Unserved energy appears unless the build is enormous.
+        prop_assert!(r.metrics.unmet_mwh >= 0.0);
+    }
+}

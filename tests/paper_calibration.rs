@@ -1,0 +1,231 @@
+//! Integration tests pinning the reproduction to the paper's headline
+//! numbers and qualitative findings (Tables 1/2, Figure 3 crossovers,
+//! site-specific strategy contrast).
+
+use std::sync::OnceLock;
+
+use microgrid_opt::core::experiments::{fig3, tables};
+use microgrid_opt::prelude::*;
+
+fn houston() -> &'static PreparedScenario {
+    static S: OnceLock<PreparedScenario> = OnceLock::new();
+    S.get_or_init(|| ScenarioConfig::paper_houston().prepare())
+}
+
+fn berkeley() -> &'static PreparedScenario {
+    static S: OnceLock<PreparedScenario> = OnceLock::new();
+    S.get_or_init(|| ScenarioConfig::paper_berkeley().prepare())
+}
+
+fn simulate(s: &PreparedScenario, c: Composition) -> microgrid_opt::microgrid::AnnualResult {
+    simulate_year(&s.data, &s.load, &c, &s.config.sim)
+}
+
+#[test]
+fn houston_baseline_matches_paper() {
+    let r = simulate(houston(), Composition::BASELINE);
+    // Paper Table 1: 15.54 tCO2/day for the grid-only data center.
+    assert!(
+        (r.metrics.operational_t_per_day - 15.54).abs() < 0.1,
+        "houston baseline {}",
+        r.metrics.operational_t_per_day
+    );
+}
+
+#[test]
+fn berkeley_baseline_matches_paper() {
+    let r = simulate(berkeley(), Composition::BASELINE);
+    // Paper Table 2: 9.33 tCO2/day.
+    assert!(
+        (r.metrics.operational_t_per_day - 9.33).abs() < 0.1,
+        "berkeley baseline {}",
+        r.metrics.operational_t_per_day
+    );
+}
+
+#[test]
+fn houston_wind_first_candidate_shape() {
+    // Paper Table 1 row 2: (12 MW wind, 0 solar, 7.5 MWh) cuts operational
+    // emissions by more than half at ~71 % coverage.
+    let r = simulate(houston(), Composition::new(4, 0.0, 7_500.0));
+    assert!((r.metrics.embodied_t - 4_649.0).abs() < 1e-9, "embodied exact");
+    assert!(
+        r.metrics.operational_t_per_day < 0.5 * 15.54,
+        "must cut emissions by more than half: {}",
+        r.metrics.operational_t_per_day
+    );
+    assert!(
+        (60.0..82.0).contains(&r.metrics.coverage_pct()),
+        "coverage {} should be near the paper's 71 %",
+        r.metrics.coverage_pct()
+    );
+    assert!(
+        (100.0..260.0).contains(&r.metrics.battery_cycles),
+        "battery cycles {} vs paper's 153",
+        r.metrics.battery_cycles
+    );
+}
+
+#[test]
+fn berkeley_solar_dominates_mid_budget() {
+    // Paper Table 2 row 3: a solar-only system (12 MW solar, 37.5 MWh)
+    // reaches ~92 % coverage.
+    let r = simulate(berkeley(), Composition::new(0, 12_000.0, 37_500.0));
+    assert!((r.metrics.embodied_t - 9_885.0).abs() < 1e-9);
+    assert!(
+        (85.0..96.0).contains(&r.metrics.coverage_pct()),
+        "coverage {}",
+        r.metrics.coverage_pct()
+    );
+    assert!(
+        r.metrics.operational_t_per_day < 2.0,
+        "operational {}",
+        r.metrics.operational_t_per_day
+    );
+}
+
+#[test]
+fn max_buildout_reaches_near_full_coverage_both_sites() {
+    // Paper row 5 at both sites: (30, 40, 60) reaches ~100 % coverage at
+    // 39,380 t embodied.
+    for s in [houston(), berkeley()] {
+        let r = simulate(s, Composition::new(10, 40_000.0, 60_000.0));
+        assert!((r.metrics.embodied_t - 39_380.0).abs() < 1e-9);
+        assert!(
+            r.metrics.coverage_pct() > 99.0,
+            "{}: coverage {}",
+            s.site_name(),
+            r.metrics.coverage_pct()
+        );
+        assert!(r.metrics.operational_t_per_day < 0.30);
+    }
+}
+
+#[test]
+fn site_contrast_solar_vs_wind_matches_paper_direction() {
+    // The paper's central site contrast: Berkeley's resource mix favors
+    // solar, Houston's favors wind. Two assertions capture it on our
+    // substrate, comparing matched ~9.6-9.9 ktCO2 strategies (solar paired
+    // with the storage it needs to serve the night):
+    //   solar: 12 MW + 37.5 MWh = 9,885 t (the paper's Berkeley pick)
+    //   wind:   7 turbines + 37.5 MWh = 9,647 t
+    let solar = Composition::new(0, 12_000.0, 37_500.0);
+    let wind = Composition::new(7, 0.0, 37_500.0);
+
+    // (1) In Berkeley, the solar build strictly beats the wind build.
+    let b_wind = simulate(berkeley(), wind);
+    let b_solar = simulate(berkeley(), solar);
+    assert!(
+        b_solar.metrics.operational_t_per_day < b_wind.metrics.operational_t_per_day,
+        "berkeley: solar {} should beat wind {}",
+        b_solar.metrics.operational_t_per_day,
+        b_wind.metrics.operational_t_per_day
+    );
+
+    // (2) Wind performs *relatively* better in Houston than in Berkeley:
+    // the wind/solar emission ratio (lower = wind stronger) must be
+    // smaller in Houston. At this storage-rich scale solar is competitive
+    // everywhere on our substrate, but the paper's directional contrast —
+    // Houston is the wind site — must survive.
+    let h_wind = simulate(houston(), wind);
+    let h_solar = simulate(houston(), solar);
+    let houston_ratio =
+        h_wind.metrics.operational_t_per_day / h_solar.metrics.operational_t_per_day.max(1e-9);
+    let berkeley_ratio =
+        b_wind.metrics.operational_t_per_day / b_solar.metrics.operational_t_per_day.max(1e-9);
+    assert!(
+        houston_ratio < berkeley_ratio,
+        "wind should be relatively stronger in Houston: ratios {houston_ratio:.2} vs {berkeley_ratio:.2}"
+    );
+
+    // (3) At the *entry* budget (no storage, one technology), wind is the
+    // better first move in Houston per embodied ton — the paper's Table 1
+    // row-2 story (12 MW wind before any solar).
+    let h_turbine = simulate(houston(), Composition::new(1, 0.0, 0.0));
+    let h_panel = simulate(houston(), Composition::new(0, 4_000.0, 0.0));
+    let baseline = simulate(houston(), Composition::BASELINE)
+        .metrics
+        .operational_t_per_day;
+    let wind_saving_per_t = (baseline - h_turbine.metrics.operational_t_per_day) / 1_046.0;
+    let solar_saving_per_t = (baseline - h_panel.metrics.operational_t_per_day) / 2_520.0;
+    assert!(
+        wind_saving_per_t > solar_saving_per_t,
+        "houston entry move: wind {wind_saving_per_t:.5} vs solar {solar_saving_per_t:.5} t/day per tCO2"
+    );
+}
+
+#[test]
+fn fig3_crossovers_match_paper_horizons() {
+    // The paper: the baseline becomes the worst configuration after ~7
+    // years in Houston and ~12 years in Berkeley. Use the paper's own
+    // candidate ladder simulated on our substrate.
+    let h_rows: Vec<_> = [
+        Composition::BASELINE,
+        Composition::new(4, 0.0, 7_500.0),
+        Composition::new(3, 8_000.0, 22_500.0),
+        Composition::new(4, 12_000.0, 52_500.0),
+        Composition::new(10, 40_000.0, 60_000.0),
+    ]
+    .iter()
+    .map(|c| {
+        microgrid_opt::core::experiments::CandidateRow::from_result(&simulate(houston(), *c))
+    })
+    .collect();
+    let out = fig3::run("Houston, TX", &h_rows, 20);
+    let y = out.baseline_becomes_worst_year.expect("crossover expected");
+    assert!((5.5..9.0).contains(&y), "houston crossover {y}");
+
+    let b_rows: Vec<_> = [
+        Composition::BASELINE,
+        Composition::new(1, 4_000.0, 22_500.0),
+        Composition::new(0, 12_000.0, 37_500.0),
+        Composition::new(3, 12_000.0, 52_500.0),
+        Composition::new(10, 40_000.0, 60_000.0),
+    ]
+    .iter()
+    .map(|c| {
+        microgrid_opt::core::experiments::CandidateRow::from_result(&simulate(berkeley(), *c))
+    })
+    .collect();
+    let out = fig3::run("Berkeley, CA", &b_rows, 20);
+    let y = out.baseline_becomes_worst_year.expect("crossover expected");
+    assert!((10.0..14.0).contains(&y), "berkeley crossover {y}");
+}
+
+#[test]
+fn candidate_extraction_respects_budgets_on_reduced_space() {
+    // Full-table semantics on a reduced sweep (27 points, fast in CI).
+    let scenario = ScenarioConfig {
+        space: CompositionSpace::tiny(),
+        ..ScenarioConfig::paper_houston()
+    }
+    .prepare();
+    let table = tables::run(&scenario);
+    assert_eq!(table.rows.len(), 5);
+    assert!(table.rows[1].embodied_t <= 5_000.0);
+    assert!(table.rows[2].embodied_t <= 10_000.0);
+    assert!(table.rows[3].embodied_t <= 15_000.0);
+    // More budget never hurts.
+    for w in table.rows.windows(2) {
+        assert!(w[1].operational_t_per_day <= w[0].operational_t_per_day + 1e-9);
+    }
+}
+
+#[test]
+fn embodied_emissions_are_paper_exact() {
+    let db = EmbodiedDb::paper();
+    // All five Houston rows and all five Berkeley rows.
+    let cases = [
+        (Composition::BASELINE, 0.0),
+        (Composition::new(4, 0.0, 7_500.0), 4_649.0),
+        (Composition::new(3, 8_000.0, 22_500.0), 9_573.0),
+        (Composition::new(4, 12_000.0, 52_500.0), 14_999.0),
+        (Composition::new(10, 40_000.0, 60_000.0), 39_380.0),
+        (Composition::new(1, 4_000.0, 22_500.0), 4_961.0),
+        (Composition::new(0, 12_000.0, 37_500.0), 9_885.0),
+        (Composition::new(3, 12_000.0, 52_500.0), 13_953.0),
+    ];
+    for (c, expected) in cases {
+        assert!((db.total_t(&c) - expected).abs() < 1e-9, "{c}");
+    }
+}

@@ -1,0 +1,126 @@
+//! §4.4 reproduction at integration level: NSGA-II recovers most of the
+//! true Pareto front with a fraction of the simulations.
+
+use microgrid_opt::core::experiments::search;
+use microgrid_opt::optimizer::pareto::recovery_fraction;
+use microgrid_opt::prelude::*;
+
+fn reduced_scenario(seed: u64) -> PreparedScenario {
+    ScenarioConfig {
+        seed,
+        space: CompositionSpace {
+            wind_choices: (0..=6).collect(),
+            solar_choices_kw: (0..=6).map(|i| i as f64 * 6_000.0).collect(),
+            battery_choices_kwh: (0..=4).map(|i| i as f64 * 15_000.0).collect(),
+        },
+        ..ScenarioConfig::paper_houston()
+    }
+    .prepare()
+}
+
+#[test]
+fn nsga2_recovers_majority_of_front_with_fewer_evaluations() {
+    let scenario = reduced_scenario(42);
+    let out = search::run_with_config(
+        &scenario,
+        Nsga2Config {
+            population_size: 30,
+            max_trials: 150,
+            seed: 42,
+            ..Nsga2Config::default()
+        },
+    );
+    assert_eq!(out.space_size, 7 * 7 * 5);
+    assert!(out.nsga2_unique < out.space_size, "must not enumerate");
+    assert!(
+        out.recovery >= 0.55,
+        "recovery {:.2} (found {}/{})",
+        out.recovery,
+        out.found_front_size,
+        out.true_front_size
+    );
+    assert!(out.speedup_by_evaluations > 1.5);
+}
+
+#[test]
+fn nsga2_beats_random_search_at_equal_budget() {
+    // Single-seed comparisons are noisy on a 245-point space; average the
+    // recovery over three seeds per sampler.
+    let scenario = reduced_scenario(7);
+    let problem = CompositionProblem::new(&scenario, ObjectiveSet::paper());
+
+    let truth = Study::new(Sampler::Exhaustive).optimize(&problem);
+    let true_front = truth.pareto_front();
+
+    let budget = 120;
+    let mut r_nsga = 0.0;
+    let mut r_random = 0.0;
+    for seed in [1, 2, 3] {
+        let nsga = Study::new(Sampler::Nsga2(Nsga2Config {
+            population_size: 24,
+            max_trials: budget,
+            seed,
+            ..Nsga2Config::default()
+        }))
+        .optimize(&problem);
+        r_nsga += recovery_fraction(&nsga.history, &true_front);
+        let random = Study::new(Sampler::Random {
+            n_trials: budget,
+            seed,
+        })
+        .optimize(&problem);
+        r_random += recovery_fraction(&random.history, &true_front);
+    }
+    assert!(
+        r_nsga >= r_random,
+        "NSGA-II (mean {:.2}) should match or beat random ({:.2}) at {budget} trials",
+        r_nsga / 3.0,
+        r_random / 3.0
+    );
+}
+
+#[test]
+fn search_outputs_are_reproducible() {
+    let scenario = reduced_scenario(3);
+    let cfg = Nsga2Config {
+        population_size: 16,
+        max_trials: 64,
+        seed: 5,
+        ..Nsga2Config::default()
+    };
+    let a = search::run_with_config(&scenario, cfg.clone());
+    let b = search::run_with_config(&scenario, cfg);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.nsga2_unique, b.nsga2_unique);
+    assert_eq!(a.found_front_size, b.found_front_size);
+}
+
+#[test]
+fn front_members_are_mutually_non_dominated_end_to_end() {
+    let scenario = reduced_scenario(11);
+    let problem = CompositionProblem::new(&scenario, ObjectiveSet::paper());
+    let result = Study::new(Sampler::Nsga2(Nsga2Config {
+        population_size: 20,
+        max_trials: 80,
+        seed: 11,
+        ..Nsga2Config::default()
+    }))
+    .optimize(&problem);
+    let front = result.pareto_front();
+    assert!(!front.is_empty());
+    for a in &front {
+        for b in &front {
+            if a.genome != b.genome {
+                assert!(
+                    !microgrid_opt::optimizer::dominates(&a.objectives, &b.objectives),
+                    "front member dominated"
+                );
+            }
+        }
+    }
+    // Every front member carries sane objective values.
+    for t in &front {
+        assert!(t.objectives[0] >= 0.0 && t.objectives[0].is_finite());
+        assert!(t.objectives[1] >= 0.0 && t.objectives[1].is_finite());
+    }
+}
