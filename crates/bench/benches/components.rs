@@ -18,7 +18,8 @@ fn bench_weather_generation(c: &mut Criterion) {
 }
 
 fn bench_generation_models(c: &mut Criterion) {
-    let weather = WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
+    let weather =
+        WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
     let mut group = c.benchmark_group("generation_models");
     group.sample_size(20);
 

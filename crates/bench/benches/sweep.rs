@@ -1,0 +1,25 @@
+//! Sweep engine benchmarks: the scalar rayon sweep (one year-simulation
+//! per composition) against the batched columnar engine (one time-major
+//! pass per chunk). `MGOPT_FAST=1` shrinks the space to 27 points; the
+//! default benches the paper's full 1,089-candidate sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mgopt_core::{sweep_all, sweep_all_scalar};
+
+fn bench_sweep_engines(c: &mut Criterion) {
+    let scenario = mgopt_bench::houston();
+    let points = scenario.config.space.len();
+
+    let mut group = c.benchmark_group(format!("sweep_{points}"));
+    group.sample_size(10);
+    group.bench_function("scalar_rayon", |b| {
+        b.iter(|| black_box(sweep_all_scalar(black_box(&scenario))))
+    });
+    group.bench_function("batched_columnar", |b| {
+        b.iter(|| black_box(sweep_all(black_box(&scenario))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_engines);
+criterion_main!(benches);

@@ -20,7 +20,12 @@ use mgopt_sam::pvwatts::{PvSystem, PvSystemParams, TranspositionModel};
 use mgopt_sam::GenerationModel;
 use mgopt_storage::ClcParams;
 
-fn report(label: &str, scenario: &mgopt_core::PreparedScenario, cfg: &SimConfig, comps: &[Composition]) {
+fn report(
+    label: &str,
+    scenario: &mgopt_core::PreparedScenario,
+    cfg: &SimConfig,
+    comps: &[Composition],
+) {
     print!("  {label:<34}");
     for comp in comps {
         let r = simulate_year(&scenario.data, &scenario.load, comp, cfg);
@@ -51,9 +56,8 @@ fn main() {
 
     // 1. CI-weather coupling off: regenerate the raw calibrated CI trace.
     let mut uncoupled = baseline.clone();
-    uncoupled.data.ci_g_per_kwh =
-        CarbonIntensityModel::for_region(uncoupled.data.site.grid_region)
-            .generate(uncoupled.data.step(), uncoupled.config.seed);
+    uncoupled.data.ci_g_per_kwh = CarbonIntensityModel::for_region(uncoupled.data.site.grid_region)
+        .generate(uncoupled.data.step(), uncoupled.config.seed);
     report("without CI-weather coupling", &uncoupled, &cfg, &comps);
 
     // 2. Constant-limit battery: taper knees pushed to the rails.
@@ -65,7 +69,12 @@ fn main() {
         },
         ..cfg.clone()
     };
-    report("without C/L/C charge taper", &baseline, &flat_battery, &comps);
+    report(
+        "without C/L/C charge taper",
+        &baseline,
+        &flat_battery,
+        &comps,
+    );
 
     // 3. HDKR transposition instead of isotropic.
     let mut hdkr = baseline.clone();

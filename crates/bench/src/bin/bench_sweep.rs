@@ -1,0 +1,104 @@
+//! Emit `BENCH_sweep.json`: wall-clock of the full 1,089-candidate
+//! exhaustive sweep through the scalar rayon engine and the batched
+//! columnar engine, plus the agreement check between them.
+//!
+//! ```text
+//! cargo run --release -p mgopt-bench --bin bench_sweep
+//! ```
+//!
+//! Writes the artifact to the repository root (next to `ROADMAP.md`), and
+//! prints the same numbers to stdout. `MGOPT_FAST=1` shrinks the space for
+//! smoke runs (the artifact then records the reduced size).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mgopt_core::{sweep_all, sweep_all_scalar};
+use serde::Serialize;
+
+/// The artifact schema.
+#[derive(Debug, Serialize)]
+struct SweepBench {
+    site: String,
+    compositions: usize,
+    steps_per_year: usize,
+    samples: usize,
+    scalar_ms_median: f64,
+    batched_ms_median: f64,
+    speedup: f64,
+    max_rel_error: f64,
+    threads: usize,
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scenario = mgopt_bench::houston();
+    let compositions = scenario.config.space.len();
+    let samples = 5usize;
+
+    // Warm-up + agreement check.
+    let scalar_results = sweep_all_scalar(&scenario);
+    let batched_results = sweep_all(&scenario);
+    let mut max_rel_error = 0.0f64;
+    for (s, b) in scalar_results.iter().zip(&batched_results) {
+        assert_eq!(s.composition, b.composition);
+        for (x, y) in [
+            (
+                s.metrics.operational_t_per_day,
+                b.metrics.operational_t_per_day,
+            ),
+            (s.metrics.coverage, b.metrics.coverage),
+            (s.metrics.grid_import_mwh, b.metrics.grid_import_mwh),
+            (s.metrics.energy_cost_usd, b.metrics.energy_cost_usd),
+            (s.metrics.battery_cycles, b.metrics.battery_cycles),
+        ] {
+            max_rel_error = max_rel_error.max((x - y).abs() / x.abs().max(1.0));
+        }
+    }
+    assert!(
+        max_rel_error <= 1e-9,
+        "engines disagree: max relative error {max_rel_error:e}"
+    );
+
+    let mut scalar_ms = Vec::with_capacity(samples);
+    let mut batched_ms = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(sweep_all_scalar(&scenario));
+        scalar_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t0 = Instant::now();
+        std::hint::black_box(sweep_all(&scenario));
+        batched_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let scalar_med = median_ms(&mut scalar_ms);
+    let batched_med = median_ms(&mut batched_ms);
+    let bench = SweepBench {
+        site: scenario.site_name().to_string(),
+        compositions,
+        steps_per_year: scenario.data.len(),
+        samples,
+        scalar_ms_median: scalar_med,
+        batched_ms_median: batched_med,
+        speedup: scalar_med / batched_med,
+        max_rel_error,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
+
+    println!(
+        "sweep of {} compositions ({} steps): scalar {:.1} ms, batched {:.1} ms, speedup {:.2}x",
+        bench.compositions, bench.steps_per_year, scalar_med, batched_med, bench.speedup
+    );
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench artifact");
+    std::fs::write(&path, json + "\n").expect("write BENCH_sweep.json");
+    println!("[artifact] {}", path.display());
+}

@@ -18,7 +18,11 @@ fn main() {
         println!();
         let name = format!(
             "fig3_{}",
-            if out.site.starts_with("Houston") { "houston" } else { "berkeley" }
+            if out.site.starts_with("Houston") {
+                "houston"
+            } else {
+                "berkeley"
+            }
         );
         mgopt_bench::write_artifact(&name, &out);
     }

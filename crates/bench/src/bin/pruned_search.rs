@@ -36,13 +36,20 @@ fn main() {
             "  full-year-equivalent cost:  {:.1}",
             out.equivalent_full_evaluations
         );
-        println!("  Pareto recovery:            {:.1} %", out.recovery * 100.0);
+        println!(
+            "  Pareto recovery:            {:.1} %",
+            out.recovery * 100.0
+        );
         println!("  IGD (normalized):           {:.4}", out.igd);
         println!("  speed-up (cost):            {:.2}x", out.speedup_by_cost);
         println!();
         let name = format!(
             "pruned_{}",
-            if out.site.starts_with("Houston") { "houston" } else { "berkeley" }
+            if out.site.starts_with("Houston") {
+                "houston"
+            } else {
+                "berkeley"
+            }
         );
         mgopt_bench::write_artifact(&name, &out);
     }

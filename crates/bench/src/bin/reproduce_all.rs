@@ -35,7 +35,11 @@ fn main() {
         let out = fig3::run(&table.site, &table.rows, 20);
         print!("{}", report::render_fig3(&out));
         println!();
-        let slug = if table.site.starts_with("Houston") { "houston" } else { "berkeley" };
+        let slug = if table.site.starts_with("Houston") {
+            "houston"
+        } else {
+            "berkeley"
+        };
         mgopt_bench::write_artifact(&format!("fig3_{slug}"), &out);
     }
 
@@ -84,7 +88,10 @@ fn main() {
     for p in &bc.policies {
         println!(
             "  {:<26} {:>7.2} t/d  {:>9.0} $/yr  {:>5.0} cycles  {:>5.1} yrs",
-            p.policy, p.operational_t_per_day, p.energy_cost_usd, p.battery_cycles,
+            p.policy,
+            p.operational_t_per_day,
+            p.energy_cost_usd,
+            p.battery_cycles,
             p.battery_lifetime_years
         );
     }

@@ -33,7 +33,11 @@ fn main() {
         println!();
         let name = format!(
             "search_{}",
-            if out.site.starts_with("Houston") { "houston" } else { "berkeley" }
+            if out.site.starts_with("Houston") {
+                "houston"
+            } else {
+                "berkeley"
+            }
         );
         mgopt_bench::write_artifact(&name, &out);
     }

@@ -16,11 +16,7 @@ fn main() {
         println!("Table {n}:");
         print!("{}", report::render_candidate_table(&table));
         println!();
-        let name = format!(
-            "table{}_{}",
-            n,
-            if n == 1 { "houston" } else { "berkeley" }
-        );
+        let name = format!("table{}_{}", n, if n == 1 { "houston" } else { "berkeley" });
         mgopt_bench::write_artifact(&name, &table);
     }
 }

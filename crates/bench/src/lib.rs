@@ -24,7 +24,9 @@ use serde::Serialize;
 
 /// `true` when `MGOPT_FAST=1` (reduced spaces for smoke runs).
 pub fn fast_mode() -> bool {
-    std::env::var("MGOPT_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MGOPT_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The search space for the current mode.

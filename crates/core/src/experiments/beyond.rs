@@ -10,7 +10,9 @@
 //! 3. **Three-objective search** (operational, embodied, cost) via
 //!    NSGA-II, reporting the front size and extreme points.
 
-use mgopt_microgrid::{simulate_year, shift_load_carbon_aware, Composition, DispatchPolicy, SimConfig};
+use mgopt_microgrid::{
+    shift_load_carbon_aware, simulate_year, Composition, DispatchPolicy, SimConfig,
+};
 use mgopt_optimizer::{Nsga2Config, Sampler, Study};
 use mgopt_storage::degradation::{assess_year, DegradationParams};
 use serde::{Deserialize, Serialize};
@@ -75,7 +77,11 @@ pub struct BeyondCarbonOutput {
     pub tri_objective: TriObjectiveSummary,
 }
 
-fn policy_row(scenario: &PreparedScenario, comp: &Composition, policy: DispatchPolicy) -> PolicyRow {
+fn policy_row(
+    scenario: &PreparedScenario,
+    comp: &Composition,
+    policy: DispatchPolicy,
+) -> PolicyRow {
     let cfg = SimConfig {
         policy,
         record_soc: true,
@@ -225,8 +231,7 @@ mod tests {
         // Battery/dispatch interactions make strict per-step monotonicity
         // too strong a claim; the end-to-end effect must be a clear win.
         assert!(
-            out.shifting[3].operational_t_per_day
-                <= out.shifting[0].operational_t_per_day + 1e-9,
+            out.shifting[3].operational_t_per_day <= out.shifting[0].operational_t_per_day + 1e-9,
             "30% flexibility should not hurt: {} -> {}",
             out.shifting[0].operational_t_per_day,
             out.shifting[3].operational_t_per_day

@@ -215,7 +215,10 @@ mod tests {
                 "{}: one battery replacement must land within 20 years",
                 r.label
             );
-            assert_eq!(r.cumulative_t[0], n.cumulative_t[0], "initial purchase equal");
+            assert_eq!(
+                r.cumulative_t[0], n.cumulative_t[0],
+                "initial purchase equal"
+            );
         }
         // Crossover moves earlier (or stays) when investments re-pay
         // batteries: the baseline has no reinvestment burden.
@@ -223,7 +226,10 @@ mod tests {
             naive.baseline_becomes_worst_year,
             reinvested.baseline_becomes_worst_year,
         ) {
-            assert!(b + 1.5 >= a, "reinvestment should not wildly shift crossover: {a} vs {b}");
+            assert!(
+                b + 1.5 >= a,
+                "reinvestment should not wildly shift crossover: {a} vs {b}"
+            );
         }
     }
 
@@ -241,7 +247,10 @@ mod tests {
         let out = run_with_reinvestment("X", &rows, 20, 10);
         let c = &out.series[0].cumulative_t;
         assert!((c[0] - 465.0).abs() < 1e-9);
-        assert!((c[10] - 465.0).abs() < 1e-9, "no replacement through year 10");
+        assert!(
+            (c[10] - 465.0).abs() < 1e-9,
+            "no replacement through year 10"
+        );
         assert!((c[11] - 930.0).abs() < 1e-9, "replacement in year 11");
         assert!((c[20] - 930.0).abs() < 1e-9);
     }

@@ -35,12 +35,8 @@ pub fn run(scenario: &PreparedScenario) -> Fig4Output {
                 .iter()
                 .map(|&s| {
                     let comp = Composition::new(w, s, 0.0);
-                    let r = simulate_year(
-                        &scenario.data,
-                        &scenario.load,
-                        &comp,
-                        &scenario.config.sim,
-                    );
+                    let r =
+                        simulate_year(&scenario.data, &scenario.load, &comp, &scenario.config.sim);
                     // "This specific analysis excludes battery storage to
                     // isolate the impact of generation capacity": direct
                     // coverage, not battery-assisted coverage.

@@ -131,7 +131,11 @@ mod tests {
     fn renewable_build_has_real_interannual_variability() {
         let out = run(&base(), Composition::new(4, 8_000.0, 22_500.0), 5);
         // Weather-driven: std must be visible but bounded.
-        assert!(out.coverage_pct.std > 0.05, "cov std {}", out.coverage_pct.std);
+        assert!(
+            out.coverage_pct.std > 0.05,
+            "cov std {}",
+            out.coverage_pct.std
+        );
         assert!(out.coverage_pct.std < 5.0);
         assert!(out.operational_t_per_day.std > 0.01);
         // Percentiles bracket the mean.

@@ -26,4 +26,4 @@ pub mod sweep;
 pub use objectives::{ObjectiveKind, ObjectiveSet};
 pub use problem::CompositionProblem;
 pub use scenario::{PreparedScenario, ScenarioConfig, SitePreset, WorkloadConfig};
-pub use sweep::sweep_all;
+pub use sweep::{sweep_all, sweep_all_scalar};

@@ -136,7 +136,10 @@ mod tests {
         assert_eq!(set.len(), 2);
         let v = set.extract(&result());
         assert_eq!(v, vec![5.88, 4_649.0]);
-        assert_eq!(set.names(), vec!["operational_tCO2_per_day", "embodied_tCO2"]);
+        assert_eq!(
+            set.names(),
+            vec!["operational_tCO2_per_day", "embodied_tCO2"]
+        );
     }
 
     #[test]

@@ -1,7 +1,16 @@
 //! The composition space as an optimizer [`Problem`].
+//!
+//! Scalar evaluations go through the reference [`simulate_year`] path;
+//! cohort evaluations override [`Problem::evaluate_batch`] /
+//! [`MultiFidelityProblem::evaluate_batch_at_fidelity`] with the columnar
+//! [`BatchEvaluator`], so NSGA-II generations, exhaustive sweeps, random
+//! cohorts and successive-halving rungs are each a single time-major pass
+//! over the site data.
 
-use mgopt_microgrid::{simulate_period, simulate_year, Composition, CompositionSpace};
-use mgopt_optimizer::{MultiFidelityProblem, Problem};
+use mgopt_microgrid::{
+    simulate_period, simulate_year, BatchEvaluator, Composition, CompositionSpace, Evaluator,
+};
+use mgopt_optimizer::{Genome, MultiFidelityProblem, Problem};
 
 use crate::objectives::ObjectiveSet;
 use crate::scenario::PreparedScenario;
@@ -46,7 +55,10 @@ impl<'a> CompositionProblem<'a> {
     /// Genome encoding a composition (must lie on the grid).
     pub fn genome_of(&self, c: &Composition) -> Option<Vec<u16>> {
         let space = &self.scenario.config.space;
-        let w = space.wind_choices.iter().position(|&x| x == c.wind_turbines)?;
+        let w = space
+            .wind_choices
+            .iter()
+            .position(|&x| x == c.wind_turbines)?;
         let s = space
             .solar_choices_kw
             .iter()
@@ -66,6 +78,21 @@ impl<'a> CompositionProblem<'a> {
     /// The objective set.
     pub fn objective_set(&self) -> &ObjectiveSet {
         &self.objectives
+    }
+
+    /// The batched engine over this scenario's prepared inputs.
+    pub fn evaluator(&self) -> BatchEvaluator<'_> {
+        BatchEvaluator::new(
+            &self.scenario.data,
+            &self.scenario.load,
+            &self.scenario.config.sim,
+        )
+    }
+
+    /// The number of simulated steps for a fidelity in `(0, 1]`.
+    fn steps_for_fidelity(&self, fidelity: f64) -> usize {
+        ((self.scenario.data.len() as f64 * fidelity).round() as usize)
+            .clamp(1, self.scenario.data.len())
     }
 }
 
@@ -88,6 +115,15 @@ impl Problem for CompositionProblem<'_> {
         );
         self.objectives.extract(&result)
     }
+
+    fn evaluate_batch(&self, genomes: &[Genome]) -> Vec<Vec<f64>> {
+        let comps: Vec<Composition> = genomes.iter().map(|g| self.composition(g)).collect();
+        self.evaluator()
+            .evaluate_batch(&comps)
+            .iter()
+            .map(|r| self.objectives.extract(r))
+            .collect()
+    }
 }
 
 impl MultiFidelityProblem for CompositionProblem<'_> {
@@ -96,16 +132,23 @@ impl MultiFidelityProblem for CompositionProblem<'_> {
     /// noisy (seasonal bias) but unbiased enough for pruning.
     fn evaluate_at_fidelity(&self, genome: &[u16], fidelity: f64) -> Vec<f64> {
         let comp = self.composition(genome);
-        let n = ((self.scenario.data.len() as f64 * fidelity).round() as usize)
-            .clamp(1, self.scenario.data.len());
         let result = simulate_period(
             &self.scenario.data,
             &self.scenario.load,
             &comp,
             &self.scenario.config.sim,
-            n,
+            self.steps_for_fidelity(fidelity),
         );
         self.objectives.extract(&result)
+    }
+
+    fn evaluate_batch_at_fidelity(&self, genomes: &[Genome], fidelity: f64) -> Vec<Vec<f64>> {
+        let comps: Vec<Composition> = genomes.iter().map(|g| self.composition(g)).collect();
+        self.evaluator()
+            .evaluate_batch_period(&comps, self.steps_for_fidelity(fidelity))
+            .iter()
+            .map(|r| self.objectives.extract(r))
+            .collect()
     }
 }
 

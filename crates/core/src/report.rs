@@ -262,7 +262,12 @@ mod tests {
         ];
         let out = fig3::run("Houston, TX", &rows, 20);
         let text = render_fig3(&out);
-        assert_eq!(text.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 21);
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            21
+        );
         assert!(text.contains("(12, 0, 7)") || text.contains("(12, 0, 8)"));
     }
 
@@ -309,11 +314,7 @@ mod tests {
         };
         let text = render_fig2_plot(&fig, 60, 16);
         // Count markers in the grid only (the header prose contains 'o's).
-        let grid_markers: usize = text
-            .lines()
-            .skip(1)
-            .map(|l| l.matches('o').count())
-            .sum();
+        let grid_markers: usize = text.lines().skip(1).map(|l| l.matches('o').count()).sum();
         assert_eq!(grid_markers, 3);
         assert_eq!(text.lines().count(), 18, "header + grid + axis");
         // Top-left point (baseline) and bottom-right (max build) present:

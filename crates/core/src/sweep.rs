@@ -1,24 +1,34 @@
-//! The exhaustive sweep: every composition in the space, simulated in
-//! parallel — the ground truth the paper's §4.4 compares NSGA-II against,
-//! and the data source for Figure 2 and Tables 1/2.
+//! The exhaustive sweep: every composition in the space — the ground truth
+//! the paper's §4.4 compares NSGA-II against, and the data source for
+//! Figure 2 and Tables 1/2.
+//!
+//! Since the batched engine landed this is a thin wrapper: one columnar
+//! [`BatchEvaluator`] pass over the space (time-major, chunk-parallel)
+//! instead of one scalar year-simulation per composition.
 
-use mgopt_microgrid::{simulate_year, AnnualResult};
-use rayon::prelude::*;
+use mgopt_microgrid::{AnnualResult, BatchEvaluator, Composition, Evaluator, ScalarEvaluator};
 
 use crate::scenario::PreparedScenario;
 
-/// Simulate every composition of the scenario's space (rayon-parallel).
+/// Simulate every composition of the scenario's space with the batched
+/// columnar engine.
 ///
 /// Results are returned in the space's flat index order.
 pub fn sweep_all(scenario: &PreparedScenario) -> Vec<AnnualResult> {
-    let space = &scenario.config.space;
-    (0..space.len())
-        .into_par_iter()
-        .map(|i| {
-            let comp = space.at(i);
-            simulate_year(&scenario.data, &scenario.load, &comp, &scenario.config.sim)
-        })
-        .collect()
+    let comps: Vec<Composition> = scenario.config.space.iter().collect();
+    BatchEvaluator::new(&scenario.data, &scenario.load, &scenario.config.sim).evaluate_batch(&comps)
+}
+
+/// The same sweep through the scalar reference engine (one simulation per
+/// composition, rayon-parallel). Kept for cross-checks and benchmarks.
+pub fn sweep_all_scalar(scenario: &PreparedScenario) -> Vec<AnnualResult> {
+    let comps: Vec<Composition> = scenario.config.space.iter().collect();
+    ScalarEvaluator {
+        data: &scenario.data,
+        load: &scenario.load,
+        cfg: &scenario.config.sim,
+    }
+    .evaluate_batch(&comps)
 }
 
 #[cfg(test)]
@@ -54,5 +64,39 @@ mod tests {
         let a = sweep_all(&scenario);
         let b = sweep_all(&scenario);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_reference() {
+        let scenario = ScenarioConfig {
+            space: CompositionSpace::tiny(),
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare();
+        let batched = sweep_all(&scenario);
+        let scalar = sweep_all_scalar(&scenario);
+        assert_eq!(batched.len(), scalar.len());
+        for (b, s) in batched.iter().zip(&scalar) {
+            assert_eq!(b.composition, s.composition);
+            let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
+            assert!(
+                close(
+                    b.metrics.operational_t_per_day,
+                    s.metrics.operational_t_per_day
+                ),
+                "{}",
+                b.composition
+            );
+            assert!(
+                close(b.metrics.coverage, s.metrics.coverage),
+                "{}",
+                b.composition
+            );
+            assert!(
+                close(b.metrics.energy_cost_usd, s.metrics.energy_cost_usd),
+                "{}",
+                b.composition
+            );
+        }
     }
 }

@@ -202,7 +202,12 @@ mod tests {
 
         let mut fixed = build();
         let mut a = MemoryMonitor::new();
-        fixed.run(SimTime::START, SimDuration::from_hours(24.0), dt, &mut [&mut a]);
+        fixed.run(
+            SimTime::START,
+            SimDuration::from_hours(24.0),
+            dt,
+            &mut [&mut a],
+        );
 
         let mut eventful = build();
         let mut b = MemoryMonitor::new();
@@ -219,7 +224,9 @@ mod tests {
     fn coarse_actor_holds_value_between_events() {
         // Producer evaluated every 2 h, bus default 1 h: its power must be
         // held constant within each 2 h window.
-        let mut mg = make_mg(vec![Box::new(ramp_producer(Some(SimDuration::from_hours(2.0))))]);
+        let mut mg = make_mg(vec![Box::new(ramp_producer(Some(
+            SimDuration::from_hours(2.0),
+        )))]);
         let mut mon = MemoryMonitor::new();
         EventEngine::new(SimDuration::from_hours(1.0)).run(
             &mut mg,
@@ -240,7 +247,9 @@ mod tests {
     #[test]
     fn energy_integration_is_exact_over_intervals() {
         // A single coarse actor: total energy = sum over hold intervals.
-        let mut mg = make_mg(vec![Box::new(ramp_producer(Some(SimDuration::from_hours(3.0))))]);
+        let mut mg = make_mg(vec![Box::new(ramp_producer(Some(
+            SimDuration::from_hours(3.0),
+        )))]);
         let mut mon = MemoryMonitor::new();
         EventEngine::new(SimDuration::from_hours(3.0)).run(
             &mut mg,
@@ -278,7 +287,10 @@ mod tests {
         let dts: Vec<i64> = mon.records().iter().map(|r| r.dt.secs()).collect();
         assert_eq!(dts.iter().sum::<i64>(), 6 * 3_600);
         assert!(dts.contains(&1_800), "expected a 0.5h interval: {dts:?}");
-        assert!(dts.iter().all(|&d| d <= 3_600), "bus tick caps intervals: {dts:?}");
+        assert!(
+            dts.iter().all(|&d| d <= 3_600),
+            "bus tick caps intervals: {dts:?}"
+        );
     }
 
     #[test]

@@ -70,7 +70,8 @@ impl<S: Signal> PersistenceForecast<S> {
 
 impl<S: Signal> Forecaster for PersistenceForecast<S> {
     fn forecast(&self, _t_now: SimTime, t_target: SimTime) -> f64 {
-        self.signal.at(SimTime::from_secs(t_target.secs() - self.period.secs()))
+        self.signal
+            .at(SimTime::from_secs(t_target.secs() - self.period.secs()))
     }
 }
 
@@ -213,14 +214,20 @@ mod tests {
     fn perfect_forecast_is_the_truth() {
         let f = PerfectForecast::new(ramp());
         assert_eq!(f.forecast(SimTime::START, SimTime::from_hours(5.0)), 5.0);
-        assert_eq!(f.forecast(SimTime::from_hours(100.0), SimTime::from_hours(5.0)), 5.0);
+        assert_eq!(
+            f.forecast(SimTime::from_hours(100.0), SimTime::from_hours(5.0)),
+            5.0
+        );
     }
 
     #[test]
     fn persistence_looks_one_period_back() {
         let f = PersistenceForecast::daily(ramp());
         // Forecast for t=30h is the value at t=6h.
-        assert_eq!(f.forecast(SimTime::from_hours(25.0), SimTime::from_hours(30.0)), 6.0);
+        assert_eq!(
+            f.forecast(SimTime::from_hours(25.0), SimTime::from_hours(30.0)),
+            6.0
+        );
         let f2 = PersistenceForecast::with_period(ramp(), SimDuration::from_hours(2.0));
         assert_eq!(f2.forecast(SimTime::START, SimTime::from_hours(10.0)), 8.0);
     }
@@ -249,7 +256,10 @@ mod tests {
             short_err += (f.forecast(now, near) - 100.0).abs();
             long_err += (f.forecast(now, far) - 100.0).abs();
         }
-        assert!(long_err > 5.0 * short_err, "near {short_err} far {long_err}");
+        assert!(
+            long_err > 5.0 * short_err,
+            "near {short_err} far {long_err}"
+        );
     }
 
     #[test]
@@ -274,8 +284,7 @@ mod tests {
                 -500.0
             }
         });
-        let mut strategy =
-            ForecastPrecharge::new(Box::new(PerfectForecast::new(net)), 250.0);
+        let mut strategy = ForecastPrecharge::new(Box::new(PerfectForecast::new(net)), 250.0);
         // Deficit over next 24 h: 18 h * 500 kW = 9,000 kWh.
         let deficit = strategy.forecast_deficit_kwh(SimTime::START);
         assert!((deficit - 9_000.0).abs() < 1e-9);
@@ -365,7 +374,7 @@ mod tests {
 
         // Plain self-consumption: the battery drains on day one and there
         // is never surplus to recharge it, so evenings import 400 kW.
-        let plain_peak = run(build(Box::new(crate::dispatch::SelfConsumption::default())));
+        let plain_peak = run(build(Box::<crate::dispatch::SelfConsumption>::default()));
         // Pre-charge at 150 kW during off-peak hours: evening rides on the
         // battery; peak import becomes 50 + 150 = 200 kW.
         let forecast_net = FnSignal::new(move |t: SimTime| -day_load(t));

@@ -54,7 +54,11 @@ mod tests {
             Box::new(SignalActor::producer("pv", ConstantSignal::new(100.0))),
             Box::new(SignalActor::consumer("dc", ConstantSignal::new(160.0))),
         ];
-        let mut mg = Microgrid::new(actors, Box::new(NullStorage::new()), Box::new(SelfConsumption::default()));
+        let mut mg = Microgrid::new(
+            actors,
+            Box::new(NullStorage::new()),
+            Box::new(SelfConsumption::default()),
+        );
         let mut mon = MemoryMonitor::new();
         mg.run(
             SimTime::START,

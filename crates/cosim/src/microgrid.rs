@@ -250,9 +250,10 @@ mod tests {
             1.0,
         );
         let mut mg = Microgrid::new(
-            vec![
-                Box::new(SignalActor::consumer("load", ConstantSignal::new(80.0))),
-            ],
+            vec![Box::new(SignalActor::consumer(
+                "load",
+                ConstantSignal::new(80.0),
+            ))],
             Box::new(battery),
             Box::new(Islanded::default()),
         );

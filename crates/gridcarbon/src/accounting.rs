@@ -84,7 +84,10 @@ pub fn project_with_battery_reinvestment_t(
     horizon_years: usize,
     battery_lifetime_years: usize,
 ) -> Vec<f64> {
-    assert!(battery_lifetime_years > 0, "battery lifetime must be positive");
+    assert!(
+        battery_lifetime_years > 0,
+        "battery lifetime must be positive"
+    );
     (0..=horizon_years)
         .map(|y| {
             // Replacements purchased strictly before the end of year y:
@@ -204,8 +207,7 @@ mod tests {
     fn reinvestment_strictly_raises_battery_heavy_builds() {
         let naive = project_cumulative_emissions_t(4_649.0, 5.88, 20);
         // (12,0,7.5): 4,184 t wind + 465 t battery.
-        let reinvested =
-            project_with_battery_reinvestment_t(4_184.0, 465.0, 5.88, 20, 12);
+        let reinvested = project_with_battery_reinvestment_t(4_184.0, 465.0, 5.88, 20, 12);
         assert_eq!(naive[0], reinvested[0], "identical initial purchase");
         assert!(reinvested[20] > naive[20], "one replacement by year 20");
         assert!((reinvested[20] - naive[20] - 465.0).abs() < 1e-9);

@@ -102,8 +102,7 @@ impl CarbonIntensityModel {
         let base = self.diurnal_shape[i] * (1.0 - frac) + self.diurnal_shape[j] * frac;
         // Summer deepens the diurnal swing around its mean of ~1:
         // the weight is 1 in mid-July and 0 in mid-January.
-        let summer = 0.5
-            * (1.0 + ((month_frac - 6.5) / 12.0 * std::f64::consts::TAU).cos());
+        let summer = 0.5 * (1.0 + ((month_frac - 6.5) / 12.0 * std::f64::consts::TAU).cos());
         let gain = 1.0 + (self.summer_shape_gain - 1.0) * summer;
         let diurnal = 1.0 + (base - 1.0) * gain;
         (seasonal * diurnal).max(0.05)
@@ -113,7 +112,10 @@ impl CarbonIntensityModel {
     /// exactly mean-calibrated to `annual_mean_g_per_kwh`.
     pub fn generate(&self, step: SimDuration, seed: u64) -> TimeSeries {
         let step_s = step.secs();
-        assert!(step_s > 0 && SECONDS_PER_YEAR % step_s == 0, "step must divide the year");
+        assert!(
+            step_s > 0 && SECONDS_PER_YEAR % step_s == 0,
+            "step must divide the year"
+        );
         let n = (SECONDS_PER_YEAR / step_s) as usize;
 
         let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xc0_2e_11_55);
@@ -165,7 +167,10 @@ mod tests {
         let caiso_daily_t = caiso.mean() * 38_880.0 / 1e6;
         let ercot_daily_t = ercot.mean() * 38_880.0 / 1e6;
         assert!((caiso_daily_t - 9.33).abs() < 0.05, "caiso {caiso_daily_t}");
-        assert!((ercot_daily_t - 15.54).abs() < 0.05, "ercot {ercot_daily_t}");
+        assert!(
+            (ercot_daily_t - 15.54).abs() < 0.05,
+            "ercot {ercot_daily_t}"
+        );
     }
 
     #[test]
@@ -231,7 +236,10 @@ mod tests {
         let m = CarbonIntensityModel::for_region(GridRegion::Caiso);
         let jan_noon = m.relative_shape(SimTime::from_secs(15 * 86_400 + 12 * 3_600));
         let jul_noon = m.relative_shape(SimTime::from_secs(196 * 86_400 + 12 * 3_600));
-        assert!(jul_noon < jan_noon, "summer noon {jul_noon} vs winter {jan_noon}");
+        assert!(
+            jul_noon < jan_noon,
+            "summer noon {jul_noon} vs winter {jan_noon}"
+        );
     }
 
     #[test]

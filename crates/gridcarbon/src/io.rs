@@ -62,9 +62,10 @@ pub fn read_csv(r: impl Read) -> Result<TimeSeries, CiFileError> {
         if let Some(rest) = line.strip_prefix('#') {
             if let Some((k, v)) = rest.trim().split_once('=') {
                 if k.trim() == "step_s" {
-                    step_s = v.trim().parse().map_err(|e| {
-                        CiFileError::Format(format!("metadata step_s: {e}"))
-                    })?;
+                    step_s = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| CiFileError::Format(format!("metadata step_s: {e}")))?;
                 }
             }
             continue;
@@ -82,9 +83,10 @@ pub fn read_csv(r: impl Read) -> Result<TimeSeries, CiFileError> {
         let (idx, val) = line.split_once(',').ok_or_else(|| {
             CiFileError::Format(format!("line {}: expected two fields", lineno + 1))
         })?;
-        let idx: usize = idx.trim().parse().map_err(|e| {
-            CiFileError::Format(format!("line {}: bad index: {e}", lineno + 1))
-        })?;
+        let idx: usize = idx
+            .trim()
+            .parse()
+            .map_err(|e| CiFileError::Format(format!("line {}: bad index: {e}", lineno + 1)))?;
         if idx != values.len() {
             return Err(CiFileError::Format(format!(
                 "line {}: index {idx} out of order (expected {})",
@@ -92,9 +94,10 @@ pub fn read_csv(r: impl Read) -> Result<TimeSeries, CiFileError> {
                 values.len()
             )));
         }
-        let v: f64 = val.trim().parse().map_err(|e| {
-            CiFileError::Format(format!("line {}: bad value: {e}", lineno + 1))
-        })?;
+        let v: f64 = val
+            .trim()
+            .parse()
+            .map_err(|e| CiFileError::Format(format!("line {}: bad value: {e}", lineno + 1)))?;
         if v < 0.0 {
             return Err(CiFileError::Format(format!(
                 "line {}: negative carbon intensity {v}",

@@ -93,7 +93,10 @@ mod tests {
         for &v in marginal.values() {
             seen.insert(v as i64);
         }
-        assert!(seen.contains(&0), "surplus hours exist in CAISO (duck curve)");
+        assert!(
+            seen.contains(&0),
+            "surplus hours exist in CAISO (duck curve)"
+        );
         assert!(seen.contains(&390), "CCGT hours dominate");
         assert!(seen.len() <= 3);
     }

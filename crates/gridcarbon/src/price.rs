@@ -78,7 +78,7 @@ impl PriceModel {
         let (start, end) = self.onpeak_hours;
         let factor = if h >= start && h < end {
             self.onpeak_factor
-        } else if h < 6 || h >= 22 {
+        } else if !(6..22).contains(&h) {
             self.offpeak_factor
         } else {
             1.0
@@ -89,7 +89,10 @@ impl PriceModel {
     /// Generate a year of prices ($/MWh) at the given step.
     pub fn generate(&self, step: SimDuration, seed: u64) -> TimeSeries {
         let step_s = step.secs();
-        assert!(step_s > 0 && SECONDS_PER_YEAR % step_s == 0, "step must divide the year");
+        assert!(
+            step_s > 0 && SECONDS_PER_YEAR % step_s == 0,
+            "step must divide the year"
+        );
         let n = (SECONDS_PER_YEAR / step_s) as usize;
         let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x9e1c_e000);
         let steps_per_hour = 3_600.0 / step_s as f64;

@@ -141,7 +141,10 @@ impl CompositionSpace {
 
     /// Flat index of a composition, if it lies on the grid.
     pub fn index_of(&self, c: &Composition) -> Option<usize> {
-        let iw = self.wind_choices.iter().position(|&w| w == c.wind_turbines)?;
+        let iw = self
+            .wind_choices
+            .iter()
+            .position(|&w| w == c.wind_turbines)?;
         let is = self
             .solar_choices_kw
             .iter()
@@ -210,7 +213,10 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let c = Composition::new(2, 8_000.0, 7_500.0);
-        assert_eq!(format!("{c}"), "2 turbines / 8.0 MW solar / 7.5 MWh battery");
+        assert_eq!(
+            format!("{c}"),
+            "2 turbines / 8.0 MW solar / 7.5 MWh battery"
+        );
     }
 
     #[test]

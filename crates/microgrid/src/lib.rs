@@ -3,26 +3,41 @@
 //! # mgopt-microgrid
 //!
 //! The microgrid domain library: compositions and their embodied carbon,
-//! data-center sites, dispatch policies, the year simulator, and the
+//! data-center sites, dispatch policies, the year simulators, and the
 //! sustainability metrics reported in the paper's tables.
+//!
+//! Three engines share the physics: the scalar reference loop
+//! ([`simulate_year`]), the cosim bus ([`simulate_year_cosim`]) and the
+//! batched columnar engine ([`simulate_batch`], module [`batch`]) that
+//! evaluates a whole cohort of compositions in one time-major pass — the
+//! engine the search layers use. [`Evaluator`] abstracts over them.
 //!
 //! ## Quick tour
 //!
 //! ```
-//! use mgopt_microgrid::{Composition, Site, SimConfig, simulate_year};
+//! use mgopt_microgrid::{
+//!     simulate_year, BatchEvaluator, Composition, Evaluator, SimConfig, Site,
+//! };
 //! use mgopt_units::SimDuration;
 //! use mgopt_workload::HpcWorkload;
 //!
 //! // Precompute site data once (weather → SAM models → unit profiles).
 //! let data = Site::houston().prepare(SimDuration::from_hours(1.0), 42);
 //! let load = HpcWorkload::perlmutter_like(42).generate(SimDuration::from_hours(1.0));
+//! let cfg = SimConfig::default();
 //!
-//! // Simulate one candidate composition.
+//! // Simulate one candidate composition through the reference path.
 //! let comp = Composition::new(4, 0.0, 7_500.0); // 12 MW wind, 7.5 MWh battery
-//! let result = simulate_year(&data, &load, &comp, &SimConfig::default());
+//! let result = simulate_year(&data, &load, &comp, &cfg);
 //! assert!(result.metrics.coverage > 0.5);
+//!
+//! // Score a whole cohort in one columnar pass (what the optimizer does).
+//! let cohort = [comp, Composition::new(0, 16_000.0, 22_500.0)];
+//! let batch = BatchEvaluator::new(&data, &load, &cfg).evaluate_batch(&cohort);
+//! assert!((batch[0].metrics.coverage - result.metrics.coverage).abs() < 1e-9);
 //! ```
 
+pub mod batch;
 pub mod composition;
 pub mod embodied;
 pub mod metrics;
@@ -30,6 +45,10 @@ pub mod policy;
 pub mod simulate;
 pub mod site;
 
+pub use batch::{
+    simulate_batch, simulate_batch_period, BatchEvaluator, Evaluator, ScalarEvaluator,
+    StorageKernel,
+};
 pub use composition::{Composition, CompositionSpace};
 pub use embodied::EmbodiedDb;
 pub use metrics::{AnnualMetrics, AnnualResult};

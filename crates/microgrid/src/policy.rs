@@ -102,13 +102,22 @@ pub fn shift_load_carbon_aware(
     flexible_fraction: f64,
     headroom_factor: f64,
 ) -> TimeSeries {
-    assert!((0.0..=1.0).contains(&flexible_fraction), "flexible_fraction in [0,1]");
-    assert!(headroom_factor >= 1.0, "headroom must allow at least the peak");
+    assert!(
+        (0.0..=1.0).contains(&flexible_fraction),
+        "flexible_fraction in [0,1]"
+    );
+    assert!(
+        headroom_factor >= 1.0,
+        "headroom must allow at least the peak"
+    );
     assert_eq!(load_kw.step(), ci_g_per_kwh.step(), "step mismatch");
     assert_eq!(load_kw.len(), ci_g_per_kwh.len(), "length mismatch");
 
     let steps_per_day = (mgopt_units::SECONDS_PER_DAY / load_kw.step().secs()) as usize;
-    assert!(steps_per_day > 0 && load_kw.len() % steps_per_day == 0, "series must cover whole days");
+    assert!(
+        steps_per_day > 0 && load_kw.len().is_multiple_of(steps_per_day),
+        "series must cover whole days"
+    );
 
     let mut out = load_kw.values().to_vec();
     let days = load_kw.len() / steps_per_day;
@@ -167,7 +176,10 @@ mod tests {
     fn self_consumption_passes_through() {
         let p = DispatchPolicy::SelfConsumption;
         assert_eq!(p.storage_request(Power::from_kw(5.0), 0.5, 300.0).kw(), 5.0);
-        assert_eq!(p.storage_request(Power::from_kw(-5.0), 0.5, 300.0).kw(), -5.0);
+        assert_eq!(
+            p.storage_request(Power::from_kw(-5.0), 0.5, 300.0).kw(),
+            -5.0
+        );
         assert!(!p.is_islanded());
     }
 
@@ -187,9 +199,15 @@ mod tests {
         let req = p.storage_request(Power::from_kw(-50.0), 0.5, 80.0);
         assert!(req.kw() > 1e9);
         // Dirty grid: plain self-consumption.
-        assert_eq!(p.storage_request(Power::from_kw(-50.0), 0.5, 300.0).kw(), -50.0);
+        assert_eq!(
+            p.storage_request(Power::from_kw(-50.0), 0.5, 300.0).kw(),
+            -50.0
+        );
         // Battery above target: plain self-consumption even when clean.
-        assert_eq!(p.storage_request(Power::from_kw(-50.0), 0.95, 80.0).kw(), -50.0);
+        assert_eq!(
+            p.storage_request(Power::from_kw(-50.0), 0.95, 80.0).kw(),
+            -50.0
+        );
     }
 
     #[test]
@@ -197,8 +215,14 @@ mod tests {
         let p = DispatchPolicy::BatterySparing {
             deficit_threshold_kw: 100.0,
         };
-        assert_eq!(p.storage_request(Power::from_kw(-50.0), 0.5, 0.0), Power::ZERO);
-        assert_eq!(p.storage_request(Power::from_kw(-150.0), 0.5, 0.0).kw(), -150.0);
+        assert_eq!(
+            p.storage_request(Power::from_kw(-50.0), 0.5, 0.0),
+            Power::ZERO
+        );
+        assert_eq!(
+            p.storage_request(Power::from_kw(-150.0), 0.5, 0.0).kw(),
+            -150.0
+        );
         // Surplus charging unaffected.
         assert_eq!(p.storage_request(Power::from_kw(30.0), 0.5, 0.0).kw(), 30.0);
     }
@@ -218,7 +242,10 @@ mod tests {
         for d in 0..2 {
             let before: f64 = load.day_slice(d).iter().sum();
             let after: f64 = shifted.day_slice(d).iter().sum();
-            assert!((before - after).abs() < 1e-6, "day {d}: {before} vs {after}");
+            assert!(
+                (before - after).abs() < 1e-6,
+                "day {d}: {before} vs {after}"
+            );
         }
     }
 
@@ -228,7 +255,15 @@ mod tests {
         // Hours 0-5 clean, 18-23 dirty.
         let ci = two_day_series(
             (0..24)
-                .map(|h| if h < 6 { 50.0 } else if h >= 18 { 500.0 } else { 250.0 })
+                .map(|h| {
+                    if h < 6 {
+                        50.0
+                    } else if h >= 18 {
+                        500.0
+                    } else {
+                        250.0
+                    }
+                })
                 .collect(),
         );
         let shifted = shift_load_carbon_aware(&load, &ci, 0.25, 1.5);
@@ -262,7 +297,11 @@ mod tests {
     fn shifted_emissions_never_higher() {
         // Emissions under the same CI must not increase after shifting.
         let load = two_day_series((0..24).map(|h| 100.0 + 5.0 * h as f64).collect());
-        let ci = two_day_series((0..24).map(|h| 150.0 + 15.0 * ((h + 6) % 24) as f64).collect());
+        let ci = two_day_series(
+            (0..24)
+                .map(|h| 150.0 + 15.0 * ((h + 6) % 24) as f64)
+                .collect(),
+        );
         let shifted = shift_load_carbon_aware(&load, &ci, 0.3, 2.0);
         let emis = |l: &TimeSeries| -> f64 {
             l.values()

@@ -16,6 +16,7 @@ use mgopt_storage::{ClcBattery, ClcParams, NullStorage, Storage};
 use mgopt_units::{Power, SimDuration, SimTime, TimeSeries};
 use serde::{Deserialize, Serialize};
 
+use crate::batch::StorageKernel;
 use crate::composition::Composition;
 use crate::embodied::EmbodiedDb;
 use crate::metrics::{AnnualMetrics, AnnualResult};
@@ -85,14 +86,9 @@ pub fn simulate_period(
     let dt = data.step();
     let steps_per_hour = (3_600 / data.step().secs()).max(1) as usize;
 
-    let mut battery: Box<dyn Storage + Send> = if comp.battery_kwh > 0.0 {
-        Box::new(ClcBattery::new(
-            mgopt_units::Energy::from_kwh(comp.battery_kwh),
-            cfg.battery.clone(),
-        ))
-    } else {
-        Box::new(NullStorage::new())
-    };
+    // Enum dispatch (same kernel as the batch engine): no allocation, no
+    // virtual call per step.
+    let mut battery = StorageKernel::for_composition(comp, &cfg.battery);
 
     let pv = data.pv_unit_kw.values();
     let wind = data.wind_unit_kw.values();
@@ -115,7 +111,7 @@ pub fn simulate_period(
         let request = cfg
             .policy
             .storage_request(Power::from_kw(p_delta), battery.soc(), ci[i]);
-        let p_storage = battery.update(request, dt).kw();
+        let p_storage = battery.update_kw(request, dt);
 
         let residual = p_delta - p_storage;
         let (import, export, unmet) = if islanded && residual < 0.0 {
@@ -127,7 +123,15 @@ pub fn simulate_period(
         };
 
         acc.record(
-            gen, demand, import, export, p_storage, unmet, ci[i], price[i], dt_h,
+            gen,
+            demand,
+            import,
+            export,
+            p_storage,
+            unmet,
+            ci[i],
+            price[i],
+            dt_h,
             cfg.export_price_factor,
         );
         if cfg.record_soc && i % steps_per_hour == 0 {
@@ -263,16 +267,17 @@ pub fn build_cosim_microgrid(
     comp: &Composition,
     cfg: &SimConfig,
 ) -> Microgrid {
-    let mut actors: Vec<Box<dyn Actor>> = Vec::with_capacity(3);
-    actors.push(Box::new(SignalActor::producer(
-        "solar-farm",
-        data.pv_unit_kw.scaled(comp.solar_kw),
-    )));
-    actors.push(Box::new(SignalActor::producer(
-        "wind-farm",
-        data.wind_unit_kw.scaled(comp.wind_turbines as f64),
-    )));
-    actors.push(Box::new(SignalActor::consumer("data-center", load_kw.clone())));
+    let actors: Vec<Box<dyn Actor>> = vec![
+        Box::new(SignalActor::producer(
+            "solar-farm",
+            data.pv_unit_kw.scaled(comp.solar_kw),
+        )),
+        Box::new(SignalActor::producer(
+            "wind-farm",
+            data.wind_unit_kw.scaled(comp.wind_turbines as f64),
+        )),
+        Box::new(SignalActor::consumer("data-center", load_kw.clone())),
+    ];
 
     let storage: Box<dyn Storage + Send> = if comp.battery_kwh > 0.0 {
         Box::new(ClcBattery::new(
@@ -427,11 +432,20 @@ mod tests {
             let cosim = simulate_year_cosim(&data, &load, &comp, &cfg);
             let a = &fast.metrics;
             let b = &cosim.metrics;
-            assert!((a.operational_t_per_day - b.operational_t_per_day).abs() < 1e-9, "{comp}");
-            assert!((a.grid_import_mwh - b.grid_import_mwh).abs() < 1e-6, "{comp}");
+            assert!(
+                (a.operational_t_per_day - b.operational_t_per_day).abs() < 1e-9,
+                "{comp}"
+            );
+            assert!(
+                (a.grid_import_mwh - b.grid_import_mwh).abs() < 1e-6,
+                "{comp}"
+            );
             assert!((a.coverage - b.coverage).abs() < 1e-9, "{comp}");
             assert!((a.battery_cycles - b.battery_cycles).abs() < 1e-9, "{comp}");
-            assert!((a.energy_cost_usd - b.energy_cost_usd).abs() < 1e-3, "{comp}");
+            assert!(
+                (a.energy_cost_usd - b.energy_cost_usd).abs() < 1e-3,
+                "{comp}"
+            );
         }
     }
 
@@ -444,8 +458,14 @@ mod tests {
         };
         let r = simulate_year(&data, &load, &Composition::new(4, 8_000.0, 30_000.0), &cfg);
         assert_eq!(r.metrics.grid_import_mwh, 0.0);
-        assert!(r.metrics.unmet_mwh > 0.0, "a 4-turbine island cannot cover everything");
-        assert!(r.metrics.coverage == 1.0, "no imports implies full (served) coverage");
+        assert!(
+            r.metrics.unmet_mwh > 0.0,
+            "a 4-turbine island cannot cover everything"
+        );
+        assert!(
+            r.metrics.coverage == 1.0,
+            "no imports implies full (served) coverage"
+        );
     }
 
     #[test]
@@ -475,7 +495,10 @@ mod tests {
         // even though total imports grow (charging losses).
         let base_ci = base.metrics.operational_t_per_year / base.metrics.grid_import_mwh;
         let aware_ci = aware.metrics.operational_t_per_year / aware.metrics.grid_import_mwh;
-        assert!(aware_ci < base_ci, "effective CI should drop: {aware_ci} vs {base_ci}");
+        assert!(
+            aware_ci < base_ci,
+            "effective CI should drop: {aware_ci} vs {base_ci}"
+        );
     }
 
     #[test]

@@ -214,7 +214,11 @@ mod tests {
     fn unit_profiles_are_per_unit() {
         let d = prep(Site::houston());
         // pv_unit peaks below ~0.9 kW per kW DC (inverter + losses).
-        assert!(d.pv_unit_kw.max() <= 0.95, "pv unit max {}", d.pv_unit_kw.max());
+        assert!(
+            d.pv_unit_kw.max() <= 0.95,
+            "pv unit max {}",
+            d.pv_unit_kw.max()
+        );
         // one turbine peaks at ~3 MW derated by wake+availability.
         assert!(d.wind_unit_kw.max() <= 3_000.0 * 0.94 * 0.97 + 1.0);
     }

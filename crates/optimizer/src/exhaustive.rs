@@ -1,21 +1,19 @@
 //! Exhaustive grid search — the paper's ground-truth baseline ("evaluates
 //! all 1,089 valid combinations").
 
-use rayon::prelude::*;
-
-use crate::problem::{Problem, Trial};
+use crate::problem::{Genome, Problem, Trial};
 use crate::study::OptimizationResult;
 
-/// Evaluate every point of the space (rayon-parallel).
+/// Evaluate every point of the space in one batched pass
+/// ([`Problem::evaluate_batch`] parallelizes internally).
 pub fn exhaustive_search(problem: &dyn Problem) -> OptimizationResult {
     let n = problem.space_size();
-    let history: Vec<Trial> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let genome = problem.genome_at(i);
-            let objectives = problem.evaluate(&genome);
-            Trial::new(genome, objectives)
-        })
+    let genomes: Vec<Genome> = (0..n).map(|i| problem.genome_at(i)).collect();
+    let objectives = problem.evaluate_batch(&genomes);
+    let history: Vec<Trial> = genomes
+        .into_iter()
+        .zip(objectives)
+        .map(|(g, o)| Trial::new(g, o))
         .collect();
     OptimizationResult::from_history(history, n, n)
 }
@@ -41,10 +39,7 @@ mod tests {
     fn pareto_front_of_grid_is_exact() {
         // Objectives (x, 10 - x): every x is non-dominated at y_noise = 0.
         let problem = FnProblem::new(vec![11, 3], 2, |g| {
-            vec![
-                g[0] as f64 + g[1] as f64,
-                10.0 - g[0] as f64 + g[1] as f64,
-            ]
+            vec![g[0] as f64 + g[1] as f64, 10.0 - g[0] as f64 + g[1] as f64]
         });
         let result = exhaustive_search(&problem);
         let front = result.pareto_front();

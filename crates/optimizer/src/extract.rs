@@ -164,14 +164,14 @@ pub fn kmeans_representatives(trials: &[Trial], k: usize, seed: u64) -> Vec<Tria
 
     // One representative per non-empty cluster: nearest to centroid.
     let mut reps: Vec<Trial> = Vec::new();
-    for c in 0..k {
+    for (c, centroid) in centroids.iter().enumerate().take(k) {
         let best = points
             .iter()
             .enumerate()
             .filter(|(i, _)| assignment[*i] == c)
             .min_by(|(_, a), (_, b)| {
-                sq_dist(a, &centroids[c])
-                    .partial_cmp(&sq_dist(b, &centroids[c]))
+                sq_dist(a, centroid)
+                    .partial_cmp(&sq_dist(b, centroid))
                     .expect("NaN distance")
             })
             .map(|(i, _)| i);

@@ -30,7 +30,7 @@ pub mod study;
 pub use exhaustive::exhaustive_search;
 pub use nsga2::{Nsga2Config, Nsga2Optimizer};
 pub use pareto::{crowding_distance, dominates, fast_non_dominated_sort, non_dominated_indices};
-pub use problem::{FnProblem, Problem, Trial};
+pub use problem::{FnProblem, Genome, Problem, Trial};
 pub use pruning::{successive_halving, MultiFidelityProblem, SuccessiveHalvingConfig};
 pub use random_search::random_search;
 pub use study::{OptimizationResult, Sampler, Study};

@@ -20,7 +20,6 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::pareto::{crowding_distance, fast_non_dominated_sort};
@@ -66,7 +65,10 @@ impl Nsga2Optimizer {
     /// # Panics
     /// Panics on a zero population or a budget smaller than one population.
     pub fn new(config: Nsga2Config) -> Self {
-        assert!(config.population_size >= 2, "population must hold at least 2");
+        assert!(
+            config.population_size >= 2,
+            "population must hold at least 2"
+        );
         assert!(
             config.max_trials >= config.population_size,
             "budget must cover the initial population"
@@ -109,10 +111,7 @@ impl Nsga2Optimizer {
             let (rank, crowd) = rank_and_crowding(&obj, &fronts);
 
             // Offspring generation.
-            let n_children = cfg
-                .population_size
-                .min(cfg.max_trials - sampled)
-                .max(1);
+            let n_children = cfg.population_size.min(cfg.max_trials - sampled).max(1);
             let mut children: Vec<Genome> = Vec::with_capacity(n_children);
             while children.len() < n_children {
                 let a = tournament(&population, &rank, &crowd, &mut rng);
@@ -138,21 +137,17 @@ impl Nsga2Optimizer {
             combined.dedup_by(|a, b| a == b);
             let comb_obj: Vec<Vec<f64>> = combined.iter().map(|g| cache[g].clone()).collect();
             let comb_fronts = fast_non_dominated_sort(&comb_obj);
-            population = select_next_population(
-                &combined,
-                &comb_obj,
-                &comb_fronts,
-                cfg.population_size,
-            );
+            population =
+                select_next_population(&combined, &comb_obj, &comb_fronts, cfg.population_size);
         }
 
         OptimizationResult::from_history(history, sampled, cache.len())
     }
 }
 
-/// Evaluate genomes not in the cache (in parallel), extending the history
-/// with one trial per *sampled* genome (duplicates repeat their cached
-/// objectives, matching how Optuna counts trials).
+/// Evaluate genomes not in the cache (one batched pass), extending the
+/// history with one trial per *sampled* genome (duplicates repeat their
+/// cached objectives, matching how Optuna counts trials).
 fn evaluate_batch(
     problem: &dyn Problem,
     genomes: &[Genome],
@@ -165,23 +160,15 @@ fn evaluate_batch(
             unseen.push(g.clone());
         }
     }
-    let evaluated: Vec<(Genome, Vec<f64>)> = unseen
-        .into_par_iter()
-        .map(|g| {
-            let obj = problem.evaluate(&g);
-            (g, obj)
-        })
-        .collect();
-    cache.extend(evaluated);
+    let objectives = problem.evaluate_batch(&unseen);
+    cache.extend(unseen.into_iter().zip(objectives));
     for g in genomes {
         history.push(Trial::new(g.clone(), cache[g].clone()));
     }
 }
 
 fn random_genome(dims: &[usize], rng: &mut ChaCha12Rng) -> Genome {
-    dims.iter()
-        .map(|&d| rng.gen_range(0..d) as u16)
-        .collect()
+    dims.iter().map(|&d| rng.gen_range(0..d) as u16).collect()
 }
 
 /// Per-individual `(front rank, crowding distance)` lookup tables.

@@ -83,6 +83,9 @@ pub fn crowding_distance(points: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
     let n_obj = points[front[0]].len();
     let mut distance = vec![0.0f64; m];
 
+    // Indexing is clearer than an iterator here: `obj` selects a column
+    // across `points` through two levels of indirection.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..n_obj {
         let mut order: Vec<usize> = (0..m).collect();
         order.sort_by(|&a, &b| {
@@ -315,8 +318,8 @@ mod tests {
             vec![1.0, 4.0],
             vec![2.0, 2.0],
             vec![4.0, 1.0],
-            vec![3.0, 3.0],  // dominated
-            vec![9.0, 0.5],  // beyond reference in x? no: 9 > 5 -> clipped
+            vec![3.0, 3.0], // dominated
+            vec![9.0, 0.5], // beyond reference in x? no: 9 > 5 -> clipped
         ];
         let hv = hypervolume_2d(&pts, &[5.0, 5.0]);
         assert!((hv - 11.0).abs() < 1e-12);

@@ -4,7 +4,15 @@
 //! into a finite choice list, exactly like Optuna's `suggest_categorical` /
 //! `suggest_int` over the paper's composition grid. A genome is the vector
 //! of per-dimension choice indices.
+//!
+//! Every search strategy funnels its cohorts through
+//! [`Problem::evaluate_batch`], so a problem backed by a batched engine
+//! (like `mgopt-core`'s `CompositionProblem` over the columnar microgrid
+//! evaluator) accelerates NSGA-II, random, exhaustive and pruning searches
+//! at once. The default implementation falls back to rayon-parallel scalar
+//! evaluation, so closure-defined problems keep working unchanged.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A candidate solution: one choice index per dimension.
@@ -22,6 +30,16 @@ pub trait Problem: Sync {
 
     /// Evaluate a genome. Must be deterministic and pure.
     fn evaluate(&self, genome: &[u16]) -> Vec<f64>;
+
+    /// Evaluate a cohort of genomes, returning objective vectors in input
+    /// order.
+    ///
+    /// The default evaluates scalars in parallel; implementations backed
+    /// by a batched engine should override this with a single batched
+    /// pass. Results must equal per-genome [`Problem::evaluate`] calls.
+    fn evaluate_batch(&self, genomes: &[Genome]) -> Vec<Vec<f64>> {
+        genomes.par_iter().map(|g| self.evaluate(g)).collect()
+    }
 
     /// Total number of points in the space.
     fn space_size(&self) -> usize {

@@ -29,6 +29,17 @@ use crate::study::OptimizationResult;
 pub trait MultiFidelityProblem: Problem {
     /// Evaluate a genome at the given fidelity.
     fn evaluate_at_fidelity(&self, genome: &[u16], fidelity: f64) -> Vec<f64>;
+
+    /// Evaluate a whole rung cohort at one fidelity, in input order.
+    ///
+    /// The default evaluates scalars in parallel; batched-engine problems
+    /// override this so every rung is a single columnar pass.
+    fn evaluate_batch_at_fidelity(&self, genomes: &[Genome], fidelity: f64) -> Vec<Vec<f64>> {
+        genomes
+            .par_iter()
+            .map(|g| self.evaluate_at_fidelity(g, fidelity))
+            .collect()
+    }
 }
 
 /// Successive-halving configuration.
@@ -89,8 +100,7 @@ fn rank_cohort(objectives: &[Vec<f64>]) -> Vec<usize> {
     let mut order: Vec<usize> = Vec::with_capacity(objectives.len());
     for front in &fronts {
         let d = crowding_distance(objectives, front);
-        let mut members: Vec<(usize, f64)> =
-            front.iter().copied().zip(d.into_iter()).collect();
+        let mut members: Vec<(usize, f64)> = front.iter().copied().zip(d).collect();
         members.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN crowding"));
         order.extend(members.into_iter().map(|(i, _)| i));
     }
@@ -126,10 +136,9 @@ pub fn successive_halving(
         let fidelity_now = if at_full { 1.0 } else { fidelity };
         rung_fidelities.push(fidelity_now);
 
-        let evaluated: Vec<(Genome, Vec<f64>)> = cohort
-            .par_iter()
-            .map(|g| (g.clone(), problem.evaluate_at_fidelity(g, fidelity_now)))
-            .collect();
+        let objectives_now = problem.evaluate_batch_at_fidelity(&cohort, fidelity_now);
+        let evaluated: Vec<(Genome, Vec<f64>)> =
+            cohort.iter().cloned().zip(objectives_now).collect();
         cost += fidelity_now * evaluated.len() as f64;
         raw += evaluated.len();
         if at_full {
@@ -267,11 +276,7 @@ mod tests {
             },
         );
         // The true front lives at g1 = 0; most survivors should have g1 <= 2.
-        let clean = result
-            .survivors
-            .iter()
-            .filter(|t| t.genome[1] <= 2)
-            .count();
+        let clean = result.survivors.iter().filter(|t| t.genome[1] <= 2).count();
         assert!(
             clean * 2 >= result.survivors.len(),
             "only {clean}/{} survivors near the true front",

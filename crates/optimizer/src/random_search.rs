@@ -3,24 +3,23 @@
 
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use rayon::prelude::*;
 
 use crate::nsga2::sample_unique_genomes;
 use crate::problem::{Problem, Trial};
 use crate::study::OptimizationResult;
 
 /// Sample `n_trials` genomes uniformly without replacement (falling back
-/// to the full space when it is smaller) and evaluate them in parallel.
+/// to the full space when it is smaller) and evaluate them in one batched
+/// pass ([`Problem::evaluate_batch`] parallelizes internally).
 pub fn random_search(problem: &dyn Problem, n_trials: usize, seed: u64) -> OptimizationResult {
     let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7a2d_0b5f);
     let genomes = sample_unique_genomes(problem.dims(), n_trials, &mut rng);
     let sampled = genomes.len();
+    let objectives = problem.evaluate_batch(&genomes);
     let history: Vec<Trial> = genomes
-        .into_par_iter()
-        .map(|g| {
-            let obj = problem.evaluate(&g);
-            Trial::new(g, obj)
-        })
+        .into_iter()
+        .zip(objectives)
+        .map(|(g, o)| Trial::new(g, o))
         .collect();
     OptimizationResult::from_history(history, sampled, sampled)
 }
@@ -55,7 +54,13 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let p = problem();
-        assert_eq!(random_search(&p, 50, 3).history, random_search(&p, 50, 3).history);
-        assert_ne!(random_search(&p, 50, 3).history, random_search(&p, 50, 4).history);
+        assert_eq!(
+            random_search(&p, 50, 3).history,
+            random_search(&p, 50, 3).history
+        );
+        assert_ne!(
+            random_search(&p, 50, 3).history,
+            random_search(&p, 50, 4).history
+        );
     }
 }

@@ -56,7 +56,10 @@ mod tests {
         let weather =
             WeatherGenerator::new(Climate::berkeley(), 1).generate(SimDuration::from_hours(1.0));
         let systems: Vec<Box<dyn GenerationModel>> = vec![
-            Box::new(PvSystem::with_capacity_kw(4_000.0, weather.location.latitude_deg)),
+            Box::new(PvSystem::with_capacity_kw(
+                4_000.0,
+                weather.location.latitude_deg,
+            )),
             Box::new(WindFarm::with_turbines(2)),
         ];
         for s in &systems {

@@ -103,7 +103,10 @@ impl PvSystem {
     pub fn new(params: PvSystemParams) -> Self {
         assert!(params.capacity_dc_kw > 0.0, "capacity must be positive");
         assert!((0.0..=90.0).contains(&params.tilt_deg), "tilt out of range");
-        assert!((0.0..360.0).contains(&params.azimuth_deg), "azimuth out of range");
+        assert!(
+            (0.0..360.0).contains(&params.azimuth_deg),
+            "azimuth out of range"
+        );
         assert!(params.dc_ac_ratio > 0.0);
         assert!((0.0..=1.0).contains(&params.inverter_efficiency));
         assert!((0.0..1.0).contains(&params.system_losses));
@@ -149,10 +152,18 @@ impl PvSystem {
                 // Anisotropy index: beam transmittance of the atmosphere.
                 let ext = mgopt_weather::solar_pos::extraterrestrial_normal_w_m2(day_of_year);
                 let cos_z = pos.cos_zenith();
-                let ai = if ext > 1.0 { (dni / ext).clamp(0.0, 1.0) } else { 0.0 };
+                let ai = if ext > 1.0 {
+                    (dni / ext).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
                 let rb = if cos_z > 0.017 { cos_aoi / cos_z } else { 0.0 };
                 // Horizon-brightening modulation (Reindl).
-                let f = if ghi > 0.0 { (beam.max(0.0) / ghi).sqrt().min(1.0) } else { 0.0 };
+                let f = if ghi > 0.0 {
+                    (beam.max(0.0) / ghi).sqrt().min(1.0)
+                } else {
+                    0.0
+                };
                 let iso = dhi * (1.0 - ai) * (1.0 + beta.cos()) / 2.0
                     * (1.0 + f * (beta / 2.0).sin().powi(3));
                 let circumsolar = dhi * ai * rb;
@@ -182,7 +193,8 @@ impl PvSystem {
         if poa_w_m2 <= 0.0 {
             return 0.0;
         }
-        let p = self.params.capacity_dc_kw * (poa_w_m2 / 1_000.0)
+        let p = self.params.capacity_dc_kw
+            * (poa_w_m2 / 1_000.0)
             * (1.0 + self.params.temp_coeff_per_c * (cell_temp_c - 25.0));
         (p * (1.0 - self.params.system_losses)).max(0.0)
     }
@@ -196,8 +208,8 @@ impl PvSystem {
         let pac0 = pdc0 / self.params.dc_ac_ratio * self.params.inverter_efficiency;
         // PVWatts v5 part-load efficiency, referenced to eta at full load.
         let zeta = (dc_kw / pdc0).clamp(0.01, 1.5);
-        let eta = self.params.inverter_efficiency / 0.9637
-            * (-0.0162 * zeta - 0.0059 / zeta + 0.9858);
+        let eta =
+            self.params.inverter_efficiency / 0.9637 * (-0.0162 * zeta - 0.0059 / zeta + 0.9858);
         (dc_kw * eta.clamp(0.0, 1.0)).min(pac0)
     }
 }
@@ -269,7 +281,8 @@ mod tests {
     #[test]
     fn berkeley_beats_houston_solar() {
         let wb = berkeley_weather();
-        let wh = WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
+        let wh =
+            WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
         let sys_b = PvSystem::with_capacity_kw(4_000.0, wb.location.latitude_deg);
         let sys_h = PvSystem::with_capacity_kw(4_000.0, wh.location.latitude_deg);
         let cfb = sys_b.capacity_factor(&wb);

@@ -73,7 +73,8 @@ impl PowerCurve {
                     if (v_ms - points[points.len() - 1].0).abs() < 1e-12 {
                         return points[points.len() - 1].1;
                     }
-                    return if v_ms < points[0].0 { 0.0 } else { 0.0 };
+                    // Below the first table point or beyond cut-out.
+                    return 0.0;
                 }
                 for w in points.windows(2) {
                     let (v0, p0) = w[0];
@@ -178,11 +179,20 @@ impl WindFarm {
         if self.params.n_turbines == 0 {
             return 0.0;
         }
-        let v_hub = power_law_shear(v_ref_ms, ref_height_m, self.params.turbine.hub_height_m, shear);
+        let v_hub = power_law_shear(
+            v_ref_ms,
+            ref_height_m,
+            self.params.turbine.hub_height_m,
+            shear,
+        );
         let frac = self.params.turbine.curve.power_fraction(v_hub);
-        let density_scaled = if frac < 1.0 { frac * (rho / RHO_REF) } else { frac };
-        let per_turbine = (density_scaled * self.params.turbine.rated_kw)
-            .min(self.params.turbine.rated_kw);
+        let density_scaled = if frac < 1.0 {
+            frac * (rho / RHO_REF)
+        } else {
+            frac
+        };
+        let per_turbine =
+            (density_scaled * self.params.turbine.rated_kw).min(self.params.turbine.rated_kw);
         per_turbine
             * self.params.n_turbines as f64
             * (1.0 - self.params.wake_loss)
@@ -267,7 +277,8 @@ mod tests {
 
     #[test]
     fn houston_capacity_factor_strong() {
-        let w = WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
+        let w =
+            WeatherGenerator::new(Climate::houston(), 42).generate(SimDuration::from_hours(1.0));
         let cf = WindFarm::with_turbines(4).capacity_factor(&w);
         // Gulf-coast onshore wind at 100 m hub (calibrated to the paper's
         // Houston coverage figures): ~0.18-0.32.
@@ -276,15 +287,18 @@ mod tests {
 
     #[test]
     fn berkeley_capacity_factor_weak() {
-        let w = WeatherGenerator::new(Climate::berkeley(), 42).generate(SimDuration::from_hours(1.0));
+        let w =
+            WeatherGenerator::new(Climate::berkeley(), 42).generate(SimDuration::from_hours(1.0));
         let cf = WindFarm::with_turbines(4).capacity_factor(&w);
         assert!((0.06..0.25).contains(&cf), "berkeley wind CF {cf}");
     }
 
     #[test]
     fn site_contrast_wind() {
-        let wh = WeatherGenerator::new(Climate::houston(), 3).generate(SimDuration::from_hours(1.0));
-        let wb = WeatherGenerator::new(Climate::berkeley(), 3).generate(SimDuration::from_hours(1.0));
+        let wh =
+            WeatherGenerator::new(Climate::houston(), 3).generate(SimDuration::from_hours(1.0));
+        let wb =
+            WeatherGenerator::new(Climate::berkeley(), 3).generate(SimDuration::from_hours(1.0));
         let farm = WindFarm::with_turbines(4);
         assert!(farm.capacity_factor(&wh) > 1.5 * farm.capacity_factor(&wb));
     }

@@ -142,7 +142,10 @@ impl ClcBattery {
 
     /// Force the state of charge (used by tests and scenario setup).
     pub fn set_soc(&mut self, soc: f64) {
-        assert!((self.params.min_soc..=1.0).contains(&soc), "soc out of range");
+        assert!(
+            (self.params.min_soc..=1.0).contains(&soc),
+            "soc out of range"
+        );
         self.soc = soc;
     }
 }
@@ -257,7 +260,11 @@ mod tests {
         let mut b = battery();
         b.set_soc(0.9);
         let got = b.update(Power::from_kw(500.0), DT);
-        assert!((got.kw() - 250.0).abs() < 1e-9, "expected taper limit, got {}", got.kw());
+        assert!(
+            (got.kw() - 250.0).abs() < 1e-9,
+            "expected taper limit, got {}",
+            got.kw()
+        );
     }
 
     #[test]
@@ -303,25 +310,36 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let mut p = ClcParams::default();
-        p.max_charge_c_rate = 0.0;
-        assert!(p.validate().is_err());
-        let mut p = ClcParams::default();
-        p.charge_taper_soc = 1.0;
-        assert!(p.validate().is_err());
-        let mut p = ClcParams::default();
-        p.initial_soc = 0.05; // below min_soc 0.1
-        assert!(p.validate().is_err());
-        let mut p = ClcParams::default();
-        p.round_trip_efficiency = 1.5;
-        assert!(p.validate().is_err());
+        let cases = [
+            ClcParams {
+                max_charge_c_rate: 0.0,
+                ..ClcParams::default()
+            },
+            ClcParams {
+                charge_taper_soc: 1.0,
+                ..ClcParams::default()
+            },
+            ClcParams {
+                initial_soc: 0.05, // below min_soc 0.1
+                ..ClcParams::default()
+            },
+            ClcParams {
+                round_trip_efficiency: 1.5,
+                ..ClcParams::default()
+            },
+        ];
+        for p in cases {
+            assert!(p.validate().is_err());
+        }
     }
 
     #[test]
     #[should_panic(expected = "invalid C/L/C parameters")]
     fn constructor_panics_on_invalid() {
-        let mut p = ClcParams::default();
-        p.discharge_taper_width = 0.0;
+        let p = ClcParams {
+            discharge_taper_width: 0.0,
+            ..ClcParams::default()
+        };
         ClcBattery::new(Energy::from_kwh(10.0), p);
     }
 }

@@ -68,7 +68,11 @@ pub fn assess_year(soc_trace: &[f64], params: &DegradationParams) -> Degradation
 
     let total = cycle_fade + params.calendar_fade_per_year;
     let budget = 1.0 - params.end_of_life_capacity;
-    let lifetime = if total <= 0.0 { f64::INFINITY } else { budget / total };
+    let lifetime = if total <= 0.0 {
+        f64::INFINITY
+    } else {
+        budget / total
+    };
 
     DegradationReport {
         cycle_fade_per_year: cycle_fade,

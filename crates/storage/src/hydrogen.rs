@@ -284,15 +284,23 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        let mut p = HydrogenParams::default();
-        p.electrolyzer_efficiency = 0.0;
-        assert!(p.validate().is_err());
-        let mut p = HydrogenParams::default();
-        p.electrolyzer_min_load = 1.0;
-        assert!(p.validate().is_err());
-        let mut p = HydrogenParams::default();
-        p.fuel_cell_kw = -1.0;
-        assert!(p.validate().is_err());
+        let cases = [
+            HydrogenParams {
+                electrolyzer_efficiency: 0.0,
+                ..HydrogenParams::default()
+            },
+            HydrogenParams {
+                electrolyzer_min_load: 1.0,
+                ..HydrogenParams::default()
+            },
+            HydrogenParams {
+                fuel_cell_kw: -1.0,
+                ..HydrogenParams::default()
+            },
+        ];
+        for p in cases {
+            assert!(p.validate().is_err());
+        }
     }
 
     #[test]

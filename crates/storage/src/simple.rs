@@ -41,7 +41,10 @@ impl SimpleBattery {
         round_trip_efficiency: f64,
     ) -> Self {
         assert!(capacity.kwh() > 0.0, "capacity must be positive");
-        assert!((0.0..=1.0).contains(&initial_soc), "initial_soc out of range");
+        assert!(
+            (0.0..=1.0).contains(&initial_soc),
+            "initial_soc out of range"
+        );
         assert!((0.0..1.0).contains(&min_soc), "min_soc out of range");
         assert!(initial_soc >= min_soc, "initial_soc below reserve");
         assert!(max_charge.kw() > 0.0 && max_discharge.kw() > 0.0);
@@ -197,7 +200,10 @@ mod tests {
     fn zero_requests_are_noops() {
         let mut b = battery(0.5);
         assert_eq!(b.update(Power::ZERO, DT), Power::ZERO);
-        assert_eq!(b.update(Power::from_kw(100.0), SimDuration::ZERO), Power::ZERO);
+        assert_eq!(
+            b.update(Power::from_kw(100.0), SimDuration::ZERO),
+            Power::ZERO
+        );
         assert_eq!(b.soc(), 0.5);
     }
 

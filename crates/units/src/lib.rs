@@ -27,4 +27,7 @@ pub mod time;
 
 pub use quantity::{CarbonIntensity, Emissions, Energy, Power};
 pub use series::TimeSeries;
-pub use time::{CalendarTime, SimDuration, SimTime, HOURS_PER_YEAR, SECONDS_PER_DAY, SECONDS_PER_HOUR, SECONDS_PER_YEAR};
+pub use time::{
+    CalendarTime, SimDuration, SimTime, HOURS_PER_YEAR, SECONDS_PER_DAY, SECONDS_PER_HOUR,
+    SECONDS_PER_YEAR,
+};

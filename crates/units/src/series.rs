@@ -31,7 +31,10 @@ impl TimeSeries {
     /// Panics if `step` is not positive or `values` is empty.
     pub fn new(step: SimDuration, values: Vec<f64>) -> Self {
         assert!(step.secs() > 0, "time series step must be positive");
-        assert!(!values.is_empty(), "time series must have at least one sample");
+        assert!(
+            !values.is_empty(),
+            "time series must have at least one sample"
+        );
         Self {
             step_s: step.secs(),
             values,
@@ -140,7 +143,10 @@ impl TimeSeries {
     /// Largest sample.
     #[inline]
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Sum of the samples.
@@ -175,7 +181,11 @@ impl TimeSeries {
     /// Panics when steps or lengths differ.
     pub fn zip_with(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
         assert_eq!(self.step_s, other.step_s, "zip_with: step mismatch");
-        assert_eq!(self.values.len(), other.values.len(), "zip_with: length mismatch");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "zip_with: length mismatch"
+        );
         Self {
             step_s: self.step_s,
             values: self

@@ -54,10 +54,7 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let num: f64 = xs
-        .windows(k + 1)
-        .map(|w| (w[0] - m) * (w[k] - m))
-        .sum();
+    let num: f64 = xs.windows(k + 1).map(|w| (w[0] - m) * (w[k] - m)).sum();
     num / denom
 }
 
@@ -70,11 +67,7 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
     if a.is_empty() {
         return 0.0;
     }
-    let sq: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum();
+    let sq: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum();
     (sq / a.len() as f64).sqrt()
 }
 
@@ -146,7 +139,9 @@ mod tests {
         let xs: Vec<f64> = (0..512).map(|i| (i as f64 * 0.02).sin()).collect();
         assert!(autocorrelation(&xs, 1) > 0.95);
         // alternating series: strongly negative
-        let alt: Vec<f64> = (0..512).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..512)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&alt, 1) < -0.9);
     }
 

@@ -50,7 +50,12 @@ mod tests {
         let b = Location::berkeley();
         let peak_on = |day: i64| {
             (0..24)
-                .map(|hr| clearsky_ghi(&b, SimTime::from_secs(day * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR)))
+                .map(|hr| {
+                    clearsky_ghi(
+                        &b,
+                        SimTime::from_secs(day * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR),
+                    )
+                })
                 .fold(0.0f64, f64::max)
         };
         assert!(peak_on(354) < 0.75 * peak_on(171));
@@ -76,10 +81,16 @@ mod tests {
         let mut wh = 0.0;
         for day in 0..365i64 {
             for hr in 0..24 {
-                wh += clearsky_ghi(&b, SimTime::from_secs(day * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR));
+                wh += clearsky_ghi(
+                    &b,
+                    SimTime::from_secs(day * SECONDS_PER_DAY + hr * SECONDS_PER_HOUR),
+                );
             }
         }
         let mwh_per_m2 = wh / 1e6;
-        assert!((2.0..3.2).contains(&mwh_per_m2), "annual {mwh_per_m2} MWh/m²");
+        assert!(
+            (2.0..3.2).contains(&mwh_per_m2),
+            "annual {mwh_per_m2} MWh/m²"
+        );
     }
 }

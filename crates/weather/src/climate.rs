@@ -106,7 +106,9 @@ impl Climate {
                 shear_exponent: 0.14,
             },
             temperature: TemperatureClimate {
-                monthly_mean_c: [9.5, 11.0, 12.5, 13.5, 15.0, 16.5, 17.0, 17.5, 17.5, 16.0, 12.5, 9.5],
+                monthly_mean_c: [
+                    9.5, 11.0, 12.5, 13.5, 15.0, 16.5, 17.0, 17.5, 17.5, 16.0, 12.5, 9.5,
+                ],
                 diurnal_swing_c: 7.0,
                 anomaly_std_c: 1.8,
             },
@@ -144,7 +146,9 @@ impl Climate {
                 shear_exponent: 0.14,
             },
             temperature: TemperatureClimate {
-                monthly_mean_c: [12.0, 14.0, 17.5, 21.0, 25.0, 28.0, 29.5, 29.5, 27.0, 22.0, 17.0, 13.0],
+                monthly_mean_c: [
+                    12.0, 14.0, 17.5, 21.0, 25.0, 28.0, 29.5, 29.5, 27.0, 22.0, 17.0, 13.0,
+                ],
                 diurnal_swing_c: 9.0,
                 anomaly_std_c: 2.5,
             },

@@ -150,7 +150,10 @@ pub fn read_csv(r: impl Read) -> Result<WeatherYear, WeatherFileError> {
     let step = SimDuration::from_secs(step_s);
 
     let location = Location {
-        name: meta.get("name").cloned().unwrap_or_else(|| "unknown".into()),
+        name: meta
+            .get("name")
+            .cloned()
+            .unwrap_or_else(|| "unknown".into()),
         latitude_deg: get_f64("latitude_deg", 0.0)?,
         longitude_deg: get_f64("longitude_deg", 0.0)?,
         elevation_m: get_f64("elevation_m", 0.0)?,

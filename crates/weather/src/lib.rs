@@ -116,7 +116,8 @@ impl WeatherGenerator {
     pub fn generate(&self, step: SimDuration) -> WeatherYear {
         let step_s = step.secs();
         assert!(
-            step_s > 0 && (3_600 % step_s == 0 || (step_s % 3_600 == 0 && SECONDS_PER_YEAR % step_s == 0)),
+            step_s > 0
+                && (3_600 % step_s == 0 || (step_s % 3_600 == 0 && SECONDS_PER_YEAR % step_s == 0)),
             "weather step must divide an hour or be a whole number of hours"
         );
         let n = (SECONDS_PER_YEAR / step_s) as usize;
@@ -142,7 +143,11 @@ impl WeatherGenerator {
 
             let ext = solar_pos::extraterrestrial_normal_w_m2(t.calendar().day_of_year)
                 * pos.cos_zenith();
-            let kt = if ext > 1.0 { (g / ext).clamp(0.0, 1.1) } else { 0.0 };
+            let kt = if ext > 1.0 {
+                (g / ext).clamp(0.0, 1.1)
+            } else {
+                0.0
+            };
             let comps = decomposition::decompose(g, kt, pos.cos_zenith());
 
             ghi.push(comps.ghi);
@@ -189,8 +194,8 @@ mod tests {
 
     #[test]
     fn subhourly_generation_works() {
-        let w = WeatherGenerator::new(Climate::berkeley(), 1)
-            .generate(SimDuration::from_minutes(15.0));
+        let w =
+            WeatherGenerator::new(Climate::berkeley(), 1).generate(SimDuration::from_minutes(15.0));
         assert_eq!(w.len(), 4 * 8_760);
     }
 
@@ -210,8 +215,8 @@ mod tests {
             .zip(w.dni.values().iter().zip(w.dhi.values()))
             .enumerate()
         {
-            assert!(g >= 0.0 && g < 1_300.0, "sample {i}: ghi {g}");
-            assert!(b >= 0.0 && b <= 1_100.0, "sample {i}: dni {b}");
+            assert!((0.0..1_300.0).contains(&g), "sample {i}: ghi {g}");
+            assert!((0.0..=1_100.0).contains(&b), "sample {i}: dni {b}");
             assert!(d >= 0.0 && d <= g + 1e-9, "sample {i}: dhi {d} > ghi {g}");
         }
     }

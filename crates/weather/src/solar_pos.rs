@@ -70,8 +70,7 @@ pub fn sun_position(loc: &Location, t: SimTime) -> SunPosition {
     let hour_angle = (solar_time_h - 12.0) * 15.0f64.to_radians();
     let lat = loc.latitude_rad();
 
-    let cos_zenith =
-        lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos();
+    let cos_zenith = lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos();
     let zenith = cos_zenith.clamp(-1.0, 1.0).acos();
     let elevation = std::f64::consts::FRAC_PI_2 - zenith;
 
@@ -200,10 +199,22 @@ mod tests {
     #[test]
     fn azimuth_sweeps_east_to_west() {
         let h = Location::houston();
-        let morning = sun_position(&h, SimTime::from_secs(100 * SECONDS_PER_DAY + 8 * SECONDS_PER_HOUR));
-        let evening = sun_position(&h, SimTime::from_secs(100 * SECONDS_PER_DAY + 17 * SECONDS_PER_HOUR));
-        assert!(morning.azimuth_rad.to_degrees() < 180.0, "morning sun in the east");
-        assert!(evening.azimuth_rad.to_degrees() > 180.0, "evening sun in the west");
+        let morning = sun_position(
+            &h,
+            SimTime::from_secs(100 * SECONDS_PER_DAY + 8 * SECONDS_PER_HOUR),
+        );
+        let evening = sun_position(
+            &h,
+            SimTime::from_secs(100 * SECONDS_PER_DAY + 17 * SECONDS_PER_HOUR),
+        );
+        assert!(
+            morning.azimuth_rad.to_degrees() < 180.0,
+            "morning sun in the east"
+        );
+        assert!(
+            evening.azimuth_rad.to_degrees() > 180.0,
+            "evening sun in the west"
+        );
     }
 
     #[test]

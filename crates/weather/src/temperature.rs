@@ -32,13 +32,14 @@ pub fn seasonal_mean_c(climate: &TemperatureClimate, day_of_year: u32) -> f64 {
     let d = day_of_year as f64 + 0.5;
     let (m0, m1, w) = if d < mid {
         let prev = (month + 11) % 12;
-        let prev_mid =
-            MONTH_STARTS[prev] as f64 + MONTH_LENGTHS[prev] as f64 / 2.0 - if month == 0 { 365.0 } else { 0.0 };
+        let prev_mid = MONTH_STARTS[prev] as f64 + MONTH_LENGTHS[prev] as f64 / 2.0
+            - if month == 0 { 365.0 } else { 0.0 };
         (prev, month, (d - prev_mid) / (mid - prev_mid))
     } else {
         let next = (month + 1) % 12;
-        let next_mid =
-            MONTH_STARTS[next] as f64 + MONTH_LENGTHS[next] as f64 / 2.0 + if month == 11 { 365.0 } else { 0.0 };
+        let next_mid = MONTH_STARTS[next] as f64
+            + MONTH_LENGTHS[next] as f64 / 2.0
+            + if month == 11 { 365.0 } else { 0.0 };
         (month, next, (d - mid) / (next_mid - mid))
     };
     climate.monthly_mean_c[m0] * (1.0 - w) + climate.monthly_mean_c[m1] * w
@@ -92,14 +93,18 @@ mod tests {
         let c = Climate::berkeley().temperature;
         let dec31 = seasonal_mean_c(&c, 364);
         let jan1 = seasonal_mean_c(&c, 0);
-        assert!((dec31 - jan1).abs() < 0.5, "discontinuity {dec31} vs {jan1}");
+        assert!(
+            (dec31 - jan1).abs() < 0.5,
+            "discontinuity {dec31} vs {jan1}"
+        );
     }
 
     #[test]
     fn diurnal_max_mid_afternoon() {
         let c = Climate::houston().temperature;
         let day = 200i64;
-        let at = |h: i64| baseline_temp_c(&c, SimTime::from_secs(day * SECONDS_PER_DAY + h * 3_600));
+        let at =
+            |h: i64| baseline_temp_c(&c, SimTime::from_secs(day * SECONDS_PER_DAY + h * 3_600));
         assert!(at(15) > at(5) + 0.8 * c.diurnal_swing_c);
         assert!(at(15) > at(0));
     }

@@ -47,8 +47,8 @@ impl WindGenerator {
         let u = norm_cdf(g);
 
         let cal = t.calendar();
-        let scale = self.climate.weibull_scale_ms
-            * self.climate.monthly_scale_factor[cal.month as usize];
+        let scale =
+            self.climate.weibull_scale_ms * self.climate.monthly_scale_factor[cal.month as usize];
         let speed = weibull_quantile(u, scale, self.climate.weibull_shape);
 
         // Diurnal modulation preserves the daily mean to first order:
@@ -172,7 +172,10 @@ mod tests {
         let speeds = generate_year(&c, 5);
         let spring = stats::mean(&speeds[59 * 24..151 * 24]); // Mar-May
         let late_summer = stats::mean(&speeds[212 * 24..243 * 24]); // Aug
-        assert!(spring > late_summer, "spring {spring} <= august {late_summer}");
+        assert!(
+            spring > late_summer,
+            "spring {spring} <= august {late_summer}"
+        );
     }
 }
 

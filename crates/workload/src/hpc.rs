@@ -88,7 +88,10 @@ impl HpcWorkload {
     /// Generate one year of facility power (kW) at the given step.
     pub fn generate(&self, step: SimDuration) -> TimeSeries {
         let step_s = step.secs();
-        assert!(step_s > 0 && SECONDS_PER_YEAR % step_s == 0, "step must divide the year");
+        assert!(
+            step_s > 0 && SECONDS_PER_YEAR % step_s == 0,
+            "step must divide the year"
+        );
         let n = (SECONDS_PER_YEAR / step_s) as usize;
         let p = &self.params;
         let mut rng = ChaCha12Rng::seed_from_u64(self.seed ^ 0x40ad_10ad);
@@ -103,7 +106,8 @@ impl HpcWorkload {
         // completion probability; arrivals are Bernoulli per step.
         let arrival_prob = p.job_arrivals_per_day / 24.0 / steps_per_hour;
         let completion_prob = 1.0 / (p.job_duration_h * steps_per_hour);
-        let mut active_jobs: u32 = (p.job_arrivals_per_day * p.job_duration_h / 24.0).round() as u32;
+        let mut active_jobs: u32 =
+            (p.job_arrivals_per_day * p.job_duration_h / 24.0).round() as u32;
 
         // Maintenance windows at deterministic-but-seeded days.
         let mut maintenance: Vec<(i64, i64)> = Vec::new();
@@ -127,16 +131,19 @@ impl HpcWorkload {
             if rng.gen::<f64>() < arrival_prob {
                 active_jobs += 1;
             }
+            // The completion sweep intentionally snapshots `active_jobs`:
+            // jobs finishing this hour do not shrink this hour's sweep
+            // (changing that would alter every calibrated trace).
+            #[allow(clippy::mut_range_bound)]
             for _ in 0..active_jobs {
                 if rng.gen::<f64>() < completion_prob {
                     active_jobs = active_jobs.saturating_sub(1);
                 }
             }
 
-            let mut util = base_util
-                + p.drift_std * drift
-                + p.job_utilization_step * active_jobs as f64
-                - p.job_utilization_step * (p.job_arrivals_per_day * p.job_duration_h / 24.0);
+            let mut util =
+                base_util + p.drift_std * drift + p.job_utilization_step * active_jobs as f64
+                    - p.job_utilization_step * (p.job_arrivals_per_day * p.job_duration_h / 24.0);
             // HPC runs near-flat through the week; a faint weekday bump.
             if !t.calendar().is_weekend() {
                 util += 0.01;
@@ -225,7 +232,10 @@ mod tests {
         // Maintenance covers ~48 h (0.55 % of the year) at the idle floor,
         // so the 0.3rd percentile sits well below the operating band.
         let p03 = stats::percentile(trace.values(), 0.3);
-        assert!(p03 < 0.75 * trace.mean(), "expected maintenance dips, p0.3 {p03}");
+        assert!(
+            p03 < 0.75 * trace.mean(),
+            "expected maintenance dips, p0.3 {p03}"
+        );
     }
 
     #[test]

@@ -82,9 +82,10 @@ pub fn read_csv(r: impl Read) -> Result<TimeSeries, TraceFileError> {
         let (_, val) = line.split_once(',').ok_or_else(|| {
             TraceFileError::Format(format!("line {}: expected two fields", lineno + 1))
         })?;
-        let v: f64 = val.trim().parse().map_err(|e| {
-            TraceFileError::Format(format!("line {}: bad power: {e}", lineno + 1))
-        })?;
+        let v: f64 = val
+            .trim()
+            .parse()
+            .map_err(|e| TraceFileError::Format(format!("line {}: bad power: {e}", lineno + 1)))?;
         if v < 0.0 {
             return Err(TraceFileError::Format(format!(
                 "line {}: negative power {v}",
@@ -136,7 +137,10 @@ mod tests {
     #[test]
     fn negative_power_rejected() {
         let text = "index,power_kw\n0,-5\n";
-        assert!(read_csv(text.as_bytes()).unwrap_err().to_string().contains("negative"));
+        assert!(read_csv(text.as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("negative"));
     }
 
     #[test]
@@ -156,10 +160,7 @@ mod tests {
 
     #[test]
     fn fit_truncates_long_traces() {
-        let two_years = TimeSeries::new(
-            SimDuration::from_hours(1.0),
-            vec![500.0; 2 * 8_760],
-        );
+        let two_years = TimeSeries::new(SimDuration::from_hours(1.0), vec![500.0; 2 * 8_760]);
         let year = fit_to_year(&two_years, SimDuration::from_hours(1.0));
         assert_eq!(year.len(), 8_760);
     }

@@ -21,7 +21,10 @@ pub fn constant_load(step: SimDuration, power_kw: f64) -> TimeSeries {
 pub fn diurnal_web_load(step: SimDuration, mean_power_kw: f64, seed: u64) -> TimeSeries {
     assert!(mean_power_kw > 0.0);
     let step_s = step.secs();
-    assert!(step_s > 0 && SECONDS_PER_YEAR % step_s == 0, "step must divide the year");
+    assert!(
+        step_s > 0 && SECONDS_PER_YEAR % step_s == 0,
+        "step must divide the year"
+    );
     let n = (SECONDS_PER_YEAR / step_s) as usize;
     let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0xd1f0_0d5e);
 

@@ -13,10 +13,7 @@ fn main() {
     // A mid-size build: 12 MW wind, 8 MW solar, 22.5 MWh storage.
     let comp = Composition::new(4, 8_000.0, 22_500.0);
 
-    println!(
-        "policies on {} with {comp}:",
-        scenario.site_name()
-    );
+    println!("policies on {} with {comp}:", scenario.site_name());
     let out = beyond::run(&scenario, comp, 42);
 
     println!(

@@ -47,7 +47,9 @@ fn north_sea_climate() -> Climate {
             shear_exponent: 0.11,
         },
         temperature: TemperatureClimate {
-            monthly_mean_c: [1.5, 1.5, 3.5, 7.0, 11.5, 14.5, 16.5, 16.5, 13.5, 9.5, 5.5, 2.5],
+            monthly_mean_c: [
+                1.5, 1.5, 3.5, 7.0, 11.5, 14.5, 16.5, 16.5, 13.5, 9.5, 5.5, 2.5,
+            ],
             diurnal_swing_c: 5.0,
             anomaly_std_c: 2.0,
         },

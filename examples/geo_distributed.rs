@@ -71,7 +71,12 @@ fn main() {
     }
     let fleet_t_day = (site_kg[0] + site_kg[1]) / 1e3 / 365.0;
     println!("\n  fleet operational total: {fleet_t_day:.2} tCO2/day");
-    println!("  fleet peak concurrent grid import: {:.2} MW", fleet_peak_import / 1e3);
+    println!(
+        "  fleet peak concurrent grid import: {:.2} MW",
+        fleet_peak_import / 1e3
+    );
     println!("\nthe fleet view is what a 24/7 carbon-free-energy program reports on:");
-    println!("site-level microgrids cut the fleet account from ~24.9 to ~{fleet_t_day:.0} tCO2/day.");
+    println!(
+        "site-level microgrids cut the fleet account from ~24.9 to ~{fleet_t_day:.0} tCO2/day."
+    );
 }

@@ -36,8 +36,8 @@ fn main() {
     println!("\npayback vs grid-only baseline:");
     let base = &rows[0];
     for row in &rows[1..] {
-        let years = row.embodied_t
-            / ((base.operational_t_per_day - row.operational_t_per_day) * 365.0);
+        let years =
+            row.embodied_t / ((base.operational_t_per_day - row.operational_t_per_day) * 365.0);
         println!(
             "  {:<14} embodied {:>7.0} t  pays back in {:>5.1} years",
             row.label(),

@@ -7,9 +7,7 @@
 //! cargo run --release --example long_duration_storage
 //! ```
 
-use microgrid_opt::cosim::{
-    Actor, MemoryMonitor, Microgrid, SelfConsumption, SignalActor,
-};
+use microgrid_opt::cosim::{Actor, MemoryMonitor, Microgrid, SelfConsumption, SignalActor};
 use microgrid_opt::prelude::*;
 use microgrid_opt::storage::{
     ClcBattery, HydrogenParams, HydrogenStorage, PumpedHydro, PumpedHydroParams, Storage,
@@ -42,7 +40,12 @@ fn run_with(storage: Box<dyn Storage + Send>, name: &str) {
     ];
     let mut mg = Microgrid::new(actors, storage, Box::new(SelfConsumption::default()));
     let mut mon = MemoryMonitor::new();
-    mg.run(SimTime::START, SimDuration::from_days(10), step, &mut [&mut mon]);
+    mg.run(
+        SimTime::START,
+        SimDuration::from_days(10),
+        step,
+        &mut [&mut mon],
+    );
 
     let import_kwh: f64 = mon.records().iter().map(|r| r.grid_import().kw()).sum();
     let export_kwh: f64 = mon.records().iter().map(|r| r.grid_export().kw()).sum();

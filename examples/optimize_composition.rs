@@ -59,10 +59,12 @@ fn main() {
 
     // Candidate extraction, all three strategies from the paper (§3.3).
     println!("\nbest under embodied budgets (threshold extraction):");
-    for (budget, pick) in [5_000.0, 10_000.0, 15_000.0]
-        .iter()
-        .zip(best_under_budgets(&front, &[5_000.0, 10_000.0, 15_000.0], 1, 0))
-    {
+    for (budget, pick) in [5_000.0, 10_000.0, 15_000.0].iter().zip(best_under_budgets(
+        &front,
+        &[5_000.0, 10_000.0, 15_000.0],
+        1,
+        0,
+    )) {
         match pick {
             Some(t) => println!(
                 "  <= {:>6.0} t: {} at {:.2} tCO2/day",

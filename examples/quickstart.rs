@@ -28,7 +28,10 @@ fn main() {
         "  mean grid CI:          {:.0} gCO2/kWh",
         scenario.data.ci_g_per_kwh.mean()
     );
-    println!("  mean IT load:          {:.2} MW", scenario.load.mean() / 1e3);
+    println!(
+        "  mean IT load:          {:.2} MW",
+        scenario.load.mean() / 1e3
+    );
 
     // 2. Pick a composition: 12 MW wind + 7.5 MWh battery (a Table-1
     //    candidate) and wire it as a cosim microgrid: three actors on a
@@ -73,9 +76,15 @@ fn main() {
     let m = &result.metrics;
     println!("\nfull-year summary:");
     println!("  embodied emissions:     {:>10.0} tCO2", m.embodied_t);
-    println!("  operational emissions:  {:>10.2} tCO2/day", m.operational_t_per_day);
+    println!(
+        "  operational emissions:  {:>10.2} tCO2/day",
+        m.operational_t_per_day
+    );
     println!("  on-site coverage:       {:>10.2} %", m.coverage_pct());
-    println!("  battery cycles:         {:>10.0} per year", m.battery_cycles);
+    println!(
+        "  battery cycles:         {:>10.0} per year",
+        m.battery_cycles
+    );
 
     // Cross-check the emission accounting against the import series.
     let import_series = TimeSeries::new(
@@ -83,7 +92,5 @@ fn main() {
         vec![m.grid_import_mwh * 1e3 / scenario.data.len() as f64; scenario.data.len()],
     );
     let approx = daily_operational_emissions_t(&import_series, &scenario.data.ci_g_per_kwh);
-    println!(
-        "  (sanity: flat-import approximation would give {approx:.2} tCO2/day)"
-    );
+    println!("  (sanity: flat-import approximation would give {approx:.2} tCO2/day)");
 }

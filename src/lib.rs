@@ -33,9 +33,29 @@
 //! | grid | [`gridcarbon`] | carbon-intensity + price signals |
 //! | load | [`workload`] | Perlmutter-like power traces |
 //! | bus | [`cosim`] | Vessim-style co-simulation engine |
-//! | domain | [`microgrid`] | compositions, policies, year simulation |
+//! | domain | [`microgrid`] | compositions, policies, year simulators |
 //! | search | [`optimizer`] | NSGA-II, exhaustive, Pareto tooling |
 //! | framework | [`core`] | scenarios, studies, paper experiments |
+//!
+//! ## Evaluation engines
+//!
+//! Three engines simulate the same physics and are pinned to agree
+//! (`tests/engine_agreement.rs`):
+//!
+//! * **scalar** — [`microgrid::simulate_year`]: the reference tight loop,
+//!   one composition per pass;
+//! * **cosim** — [`microgrid::simulate_year_cosim`]: the actor/bus
+//!   machinery, used by examples and as a cross-check;
+//! * **batch** — [`microgrid::simulate_batch`] behind the
+//!   [`microgrid::Evaluator`] abstraction: a time-major columnar pass over
+//!   a whole cohort of compositions at once (monomorphized battery
+//!   kernels, shared generation profiles, chunk-level parallelism).
+//!
+//! Every search layer funnels cohorts through
+//! `optimizer::Problem::evaluate_batch`, so NSGA-II generations,
+//! exhaustive sweeps, random cohorts and successive-halving rungs all ride
+//! the batch engine (`core::CompositionProblem` wires it up;
+//! `core::sweep_all` is a thin wrapper over it).
 
 pub use mgopt_core as core;
 pub use mgopt_cosim as cosim;
@@ -56,8 +76,8 @@ pub mod prelude {
         ScenarioConfig, SitePreset, WorkloadConfig,
     };
     pub use mgopt_microgrid::{
-        simulate_year, simulate_year_cosim, Composition, CompositionSpace, DispatchPolicy,
-        EmbodiedDb, SimConfig, Site,
+        simulate_batch, simulate_year, simulate_year_cosim, BatchEvaluator, Composition,
+        CompositionSpace, DispatchPolicy, EmbodiedDb, Evaluator, SimConfig, Site,
     };
     pub use mgopt_optimizer::{Nsga2Config, Sampler, Study};
     pub use mgopt_units::{

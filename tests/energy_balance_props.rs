@@ -17,9 +17,8 @@ fn scenario() -> &'static PreparedScenario {
 }
 
 fn arbitrary_composition() -> impl Strategy<Value = Composition> {
-    (0u32..=10, 0usize..=10, 0usize..=8).prop_map(|(w, s, b)| {
-        Composition::new(w, s as f64 * 4_000.0, b as f64 * 7_500.0)
-    })
+    (0u32..=10, 0usize..=10, 0usize..=8)
+        .prop_map(|(w, s, b)| Composition::new(w, s as f64 * 4_000.0, b as f64 * 7_500.0))
 }
 
 proptest! {

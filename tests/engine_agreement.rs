@@ -1,10 +1,17 @@
-//! Cross-engine agreement: the fast sweep path, the cosim fixed-step bus
-//! and the mosaik-style event engine must tell the same physical story.
+//! Cross-engine agreement: the fast sweep path, the cosim fixed-step bus,
+//! the mosaik-style event engine and the batched columnar engine must all
+//! tell the same physical story.
 
-use microgrid_opt::cosim::{EventEngine, MemoryMonitor};
+use std::sync::OnceLock;
+
 use microgrid_opt::cosim::engine as cosim_engine;
-use microgrid_opt::microgrid::{build_cosim_microgrid, simulate_year_cosim};
+use microgrid_opt::cosim::{EventEngine, MemoryMonitor};
+use microgrid_opt::microgrid::{
+    build_cosim_microgrid, simulate_batch, simulate_batch_period, simulate_period,
+    simulate_year_cosim, AnnualMetrics,
+};
 use microgrid_opt::prelude::*;
+use proptest::prelude::*;
 
 fn scenario() -> PreparedScenario {
     ScenarioConfig {
@@ -33,7 +40,10 @@ fn fast_path_matches_cosim_across_compositions() {
             b.operational_t_per_day
         );
         assert!((a.coverage - b.coverage).abs() < 1e-9, "{comp}");
-        assert!((a.grid_export_mwh - b.grid_export_mwh).abs() < 1e-6, "{comp}");
+        assert!(
+            (a.grid_export_mwh - b.grid_export_mwh).abs() < 1e-6,
+            "{comp}"
+        );
         assert!((a.battery_cycles - b.battery_cycles).abs() < 1e-9, "{comp}");
     }
 }
@@ -100,6 +110,138 @@ fn event_engine_with_coarse_actor_conserves_energy() {
         (simulated_kwh - expected).abs() < 1e-6,
         "{simulated_kwh} vs {expected}"
     );
+}
+
+// ---------------------------------------------------------------------
+// Three-engine property: scalar, cosim and batch agree on random
+// compositions across both paper scenarios, including partial-fidelity
+// simulate_period windows (scalar vs batch).
+// ---------------------------------------------------------------------
+
+fn houston() -> &'static PreparedScenario {
+    static S: OnceLock<PreparedScenario> = OnceLock::new();
+    S.get_or_init(|| ScenarioConfig::paper_houston().prepare())
+}
+
+fn berkeley() -> &'static PreparedScenario {
+    static S: OnceLock<PreparedScenario> = OnceLock::new();
+    S.get_or_init(|| ScenarioConfig::paper_berkeley().prepare())
+}
+
+fn arbitrary_composition() -> impl Strategy<Value = Composition> {
+    // The paper grid: wind 0-10 turbines, solar 0-40 MW, battery 0-60 MWh.
+    (0u32..=10, 0usize..=10, 0usize..=8)
+        .prop_map(|(w, s, b)| Composition::new(w, s as f64 * 4_000.0, b as f64 * 7_500.0))
+}
+
+/// Relative 1e-9 agreement on every metrics field.
+fn assert_all_fields_close(a: &AnnualMetrics, b: &AnnualMetrics, what: &str) {
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
+    let fields: [(&str, f64, f64); 16] = [
+        ("demand_mwh", a.demand_mwh, b.demand_mwh),
+        ("production_mwh", a.production_mwh, b.production_mwh),
+        ("grid_import_mwh", a.grid_import_mwh, b.grid_import_mwh),
+        ("grid_export_mwh", a.grid_export_mwh, b.grid_export_mwh),
+        ("direct_use_mwh", a.direct_use_mwh, b.direct_use_mwh),
+        (
+            "battery_charge_mwh",
+            a.battery_charge_mwh,
+            b.battery_charge_mwh,
+        ),
+        (
+            "battery_discharge_mwh",
+            a.battery_discharge_mwh,
+            b.battery_discharge_mwh,
+        ),
+        ("unmet_mwh", a.unmet_mwh, b.unmet_mwh),
+        (
+            "operational_t_per_day",
+            a.operational_t_per_day,
+            b.operational_t_per_day,
+        ),
+        (
+            "operational_t_per_year",
+            a.operational_t_per_year,
+            b.operational_t_per_year,
+        ),
+        ("embodied_t", a.embodied_t, b.embodied_t),
+        ("coverage", a.coverage, b.coverage),
+        ("direct_coverage", a.direct_coverage, b.direct_coverage),
+        ("battery_cycles", a.battery_cycles, b.battery_cycles),
+        (
+            "self_sufficient_fraction",
+            a.self_sufficient_fraction,
+            b.self_sufficient_fraction,
+        ),
+        ("energy_cost_usd", a.energy_cost_usd, b.energy_cost_usd),
+    ];
+    for (name, x, y) in fields {
+        assert!(close(x, y), "{what}: {name} {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn three_engines_agree_on_random_compositions(comp in arbitrary_composition()) {
+        for s in [houston(), berkeley()] {
+            let scalar = simulate_year(&s.data, &s.load, &comp, &s.config.sim);
+            let batch = simulate_batch(&s.data, &s.load, &[comp], &s.config.sim)
+                .pop()
+                .unwrap();
+            let cosim = simulate_year_cosim(&s.data, &s.load, &comp, &s.config.sim);
+            assert_all_fields_close(
+                &scalar.metrics,
+                &batch.metrics,
+                &format!("{} scalar-vs-batch {comp}", s.site_name()),
+            );
+            // The cosim bus accumulates in a different per-step order, so
+            // its agreement bound is the looser pre-existing guarantee.
+            prop_assert!(
+                (scalar.metrics.operational_t_per_day - cosim.metrics.operational_t_per_day).abs()
+                    < 1e-9
+            );
+            prop_assert!((scalar.metrics.coverage - cosim.metrics.coverage).abs() < 1e-9);
+            prop_assert!((scalar.metrics.battery_cycles - cosim.metrics.battery_cycles).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batch_period_windows_agree_with_scalar(
+        comp in arbitrary_composition(),
+        n_steps in prop::sample::select(vec![1usize, 24, 168, 1_095, 4_380, 8_760]),
+    ) {
+        for s in [houston(), berkeley()] {
+            let scalar = simulate_period(&s.data, &s.load, &comp, &s.config.sim, n_steps);
+            let batch = simulate_batch_period(&s.data, &s.load, &[comp], &s.config.sim, n_steps)
+                .pop()
+                .unwrap();
+            assert_all_fields_close(
+                &scalar.metrics,
+                &batch.metrics,
+                &format!("{} period={n_steps} {comp}", s.site_name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_tiny_sweep_agrees_with_scalar_engine_on_both_sites() {
+    for site in [SitePreset::Houston, SitePreset::Berkeley] {
+        let s = ScenarioConfig {
+            site,
+            space: CompositionSpace::tiny(),
+            ..ScenarioConfig::paper_houston()
+        }
+        .prepare();
+        let comps: Vec<Composition> = s.config.space.iter().collect();
+        let batch = simulate_batch(&s.data, &s.load, &comps, &s.config.sim);
+        for (comp, b) in comps.iter().zip(&batch) {
+            let scalar = simulate_year(&s.data, &s.load, comp, &s.config.sim);
+            assert_all_fields_close(&scalar.metrics, &b.metrics, &format!("{comp}"));
+        }
+    }
 }
 
 #[test]

@@ -47,11 +47,8 @@ fn run_microgrid_with_storage(
 #[test]
 fn hydrogen_and_pumped_hydro_reduce_imports_on_the_bus() {
     let s = scenario();
-    let (import_none, export_none) = run_microgrid_with_storage(
-        &s,
-        Box::new(microgrid_opt::storage::NullStorage::new()),
-        60,
-    );
+    let (import_none, export_none) =
+        run_microgrid_with_storage(&s, Box::new(microgrid_opt::storage::NullStorage::new()), 60);
     let (import_h2, export_h2) = run_microgrid_with_storage(
         &s,
         Box::new(HydrogenStorage::with_defaults(Energy::from_mwh(40.0))),
@@ -112,10 +109,8 @@ fn exported_ci_trace_round_trips_through_accounting() {
 
     let flat_import = TimeSeries::constant_year(s.data.step(), 1_620.0);
     let a = gridcarbon::accounting::daily_operational_emissions_t(&flat_import, &imported);
-    let b = gridcarbon::accounting::daily_operational_emissions_t(
-        &flat_import,
-        &s.data.ci_g_per_kwh,
-    );
+    let b =
+        gridcarbon::accounting::daily_operational_emissions_t(&flat_import, &s.data.ci_g_per_kwh);
     assert_eq!(a, b);
     assert!((a - 15.54).abs() < 0.05, "houston baseline via file {a}");
 }
@@ -135,7 +130,8 @@ fn partial_period_simulation_normalizes_rates() {
     // Q1 is winter-heavy, so rates differ — but must be the same order of
     // magnitude and internally consistent.
     assert!(quarter.metrics.demand_mwh < 0.3 * full.metrics.demand_mwh);
-    let ratio = quarter.metrics.operational_t_per_day / full.metrics.operational_t_per_day.max(1e-9);
+    let ratio =
+        quarter.metrics.operational_t_per_day / full.metrics.operational_t_per_day.max(1e-9);
     assert!(
         (0.2..5.0).contains(&ratio),
         "per-day rate should be period-normalized, ratio {ratio}"

@@ -1,0 +1,162 @@
+//! Workspace-local stand-in for the `rand_chacha` crate.
+//!
+//! Implements the ChaCha stream cipher core (Bernstein 2008) as a
+//! deterministic random generator. The state layout, round structure and
+//! word emission order match upstream `rand_chacha`: 16-word state of
+//! [constants, key×8, counter×2, stream×2], blocks emitted word-by-word in
+//! order, 64-bit little-endian block counter, zero stream id by default.
+
+pub use rand_core;
+use rand_core::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+macro_rules! chacha_rng {
+    ($(#[$meta:meta])* $name:ident, $rounds:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            stream: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CONSTANTS);
+                state[4..12].copy_from_slice(&self.key);
+                state[12] = self.counter as u32;
+                state[13] = (self.counter >> 32) as u32;
+                state[14] = self.stream as u32;
+                state[15] = (self.stream >> 32) as u32;
+                let mut working = state;
+                for _ in 0..($rounds / 2) {
+                    quarter_round(&mut working, 0, 4, 8, 12);
+                    quarter_round(&mut working, 1, 5, 9, 13);
+                    quarter_round(&mut working, 2, 6, 10, 14);
+                    quarter_round(&mut working, 3, 7, 11, 15);
+                    quarter_round(&mut working, 0, 5, 10, 15);
+                    quarter_round(&mut working, 1, 6, 11, 12);
+                    quarter_round(&mut working, 2, 7, 8, 13);
+                    quarter_round(&mut working, 3, 4, 9, 14);
+                }
+                for i in 0..16 {
+                    self.buffer[i] = working[i].wrapping_add(state[i]);
+                }
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    stream: 0,
+                    buffer: [0u32; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.buffer[self.index];
+                self.index += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds (the workspace's default generator).
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds.
+    ChaCha20Rng,
+    20
+);
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_matches_rfc7539_first_block() {
+        // RFC 7539 §2.3.2 test vector: key 00..1f, but with nonce/counter 0
+        // we cannot reuse the RFC block directly; instead check the core
+        // permutation is non-degenerate and deterministic.
+        let mut a = ChaCha20Rng::from_seed([7u8; 32]);
+        let mut b = ChaCha20Rng::from_seed([7u8; 32]);
+        let xs: Vec<u32> = (0..64).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..64).map(|_| b.next_u32()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<_> = xs.iter().collect();
+        assert!(distinct.len() > 60, "stream looks degenerate");
+    }
+
+    #[test]
+    fn zero_key_chacha20_known_answer() {
+        // ChaCha20, all-zero key, zero counter/nonce: first output word of
+        // the keystream is 0xade0b876 (djb reference / RFC 8439 appendix).
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn seeded_streams_differ_across_seeds_and_rounds() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(43);
+        let mut c = ChaCha8Rng::seed_from_u64(42);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_ne!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+}

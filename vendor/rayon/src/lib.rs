@@ -1,0 +1,253 @@
+//! Workspace-local stand-in for the `rayon` crate.
+//!
+//! Implements the surface this workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `map(...).collect()`, plus `for_each` and
+//! `sum` — with real parallelism: `std::thread::scope` workers pulling item
+//! indices from a shared atomic counter (dynamic load balancing, which
+//! matters because composition evaluation cost varies with battery size).
+//! Results are reassembled in input order, so `collect()` is deterministic
+//! exactly like upstream rayon's indexed parallel iterators.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads: one per available core, capped to the item
+/// count by the driver loop.
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Run `f(i)` for every index in `0..n` on a worker pool, collecting
+/// results in index order.
+fn parallel_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = thread_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                results.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut pairs = results.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A materialized parallel iterator: items are known up front.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+/// The `map` adapter over a [`ParVec`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel (no results).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+        T: Sync,
+    {
+        self.map(f).collect::<Vec<()>>();
+    }
+
+    /// Collect the items themselves.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Evaluate in parallel, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items: Vec<Option<T>> = self.items.into_iter().map(Some).collect();
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(Mutex::new).collect();
+        let f = &self.f;
+        parallel_indexed(slots.len(), |i| {
+            let item = slots[i].lock().unwrap().take().expect("item taken twice");
+            f(item)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Chain another map.
+    pub fn map<R2, F2>(self, f2: F2) -> ParMap<T, impl Fn(T) -> R2 + Sync>
+    where
+        R2: Send,
+        F2: Fn(R) -> R2 + Sync,
+    {
+        let f1 = self.f;
+        ParMap {
+            items: self.items,
+            f: move |t| f2(f1(t)),
+        }
+    }
+
+    /// Parallel sum of the mapped values.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.collect::<Vec<R>>().into_iter().sum()
+    }
+
+    /// Run for side effects.
+    pub fn for_each_unit(self)
+    where
+        R: Send,
+    {
+        let _ = self.collect::<Vec<R>>();
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParVec<usize> {
+        ParVec {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParVec<u64> {
+        ParVec {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParVec<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParVec<&'a T> {
+        ParVec {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The rayon prelude: the traits needed for `par_iter` syntax.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4, 5];
+        let squares: Vec<u64> = data.par_iter().map(|&x| x * x).collect();
+        assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+        assert_eq!(data.len(), 5, "borrowed, not consumed");
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // single-core runner: nothing to assert
+        }
+        let ids: std::collections::HashSet<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::current().id()
+            })
+            .collect();
+        assert!(ids.len() > 1, "expected multiple worker threads");
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

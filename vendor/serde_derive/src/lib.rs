@@ -1,0 +1,453 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! Supports the shapes present in this workspace: named-field structs,
+//! single-field tuple structs, and enums with unit / newtype / tuple /
+//! struct variants — plus the attributes `#[serde(transparent)]`,
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`.
+//! Generated values follow serde's externally-tagged JSON conventions.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (the offline build
+//! environment has no `syn`/`quote`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+/// Parse a `#[...]` attribute group's string form, updating attrs.
+fn apply_attr(text: &str, transparent: &mut bool, attrs: &mut FieldAttrs) {
+    let text = text.trim();
+    if !text.starts_with("serde") {
+        return;
+    }
+    if text.contains("transparent") {
+        *transparent = true;
+    }
+    if text.contains("default") {
+        attrs.default = true;
+    }
+    if let Some(pos) = text.find("skip_serializing_if") {
+        let rest = &text[pos..];
+        if let Some(start) = rest.find('"') {
+            if let Some(end) = rest[start + 1..].find('"') {
+                attrs.skip_serializing_if = Some(rest[start + 1..start + 1 + end].to_string());
+            }
+        }
+    }
+}
+
+/// Split a brace/paren group's tokens into comma-separated entries,
+/// tracking `<`/`>` nesting so generic type arguments stay intact.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse one named field entry: leading attrs, optional `pub`, name, `:`, type.
+fn parse_field(entry: &[TokenTree]) -> Option<Field> {
+    let mut attrs = FieldAttrs::default();
+    let mut ignored = false;
+    let mut i = 0;
+    while i < entry.len() {
+        match &entry[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = entry.get(i + 1) {
+                    apply_attr(&g.stream().to_string(), &mut ignored, &mut attrs);
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = entry.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                // Field name must be followed by ':'.
+                if matches!(entry.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    return Some(Field {
+                        name: id.to_string(),
+                        attrs,
+                    });
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<Field> {
+    split_top_level(group_tokens)
+        .iter()
+        .filter_map(|entry| parse_field(entry))
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut container_attrs = FieldAttrs::default();
+    let mut i = 0;
+    let mut is_enum = false;
+
+    // Container attributes, visibility, `struct` / `enum` keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    apply_attr(
+                        &g.stream().to_string(),
+                        &mut transparent,
+                        &mut container_attrs,
+                    );
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: could not find struct/enum keyword"),
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub does not support generic types (on `{name}`)");
+    }
+
+    let shape = if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        };
+        let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+        let mut variants = Vec::new();
+        for entry in split_top_level(&body_tokens) {
+            let mut j = 0;
+            // Skip attrs (doc comments).
+            while matches!(entry.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                j += 2;
+            }
+            let vname = match entry.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => continue,
+            };
+            let kind = match entry.get(j + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Struct(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Tuple(split_top_level(&inner).len())
+                }
+                _ => VariantKind::Unit,
+            };
+            variants.push(Variant { name: vname, kind });
+        }
+        Shape::Enum(variants)
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(split_top_level(&inner).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    };
+
+    Item {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+fn serialize_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from("{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        let access = format!("{access_prefix}{}", f.name);
+        let push = format!(
+            "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&{access})));\n",
+            n = f.name
+        );
+        if let Some(skip) = &f.attrs.skip_serializing_if {
+            code.push_str(&format!("if !({skip}(&{access})) {{ {push} }}\n"));
+        } else {
+            code.push_str(&push);
+        }
+    }
+    code.push_str("::serde::Value::Map(__m) }");
+    code
+}
+
+fn deserialize_named_fields(fields: &[Field], source: &str) -> String {
+    // Produces `field: <expr>, ...` initializer fragments.
+    let mut code = String::new();
+    for f in fields {
+        if f.attrs.default {
+            code.push_str(&format!(
+                "{n}: match ::serde::__private::field_opt({source}, \"{n}\") {{ \
+                 Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                 None => ::std::default::Default::default() }},\n",
+                n = f.name
+            ));
+        } else {
+            code.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::__private::field({source}, \"{n}\")?)?,\n",
+                n = f.name
+            ));
+        }
+    }
+    code
+}
+
+/// Derive `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                serialize_named_fields(fields, "self.")
+            }
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = serialize_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                )
+            } else {
+                let inits = deserialize_named_fields(fields, "__v");
+                format!(
+                    "if __v.as_map().is_none() {{ \
+                     return Err(::serde::DeError::custom(\"expected map for {name}\")); }}\n\
+                     Ok({name} {{\n{inits}}})"
+                )
+            }
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!(
+                        "::serde::Deserialize::from_value(__s.get({k}).ok_or_else(|| ::serde::DeError::custom(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__s.get({k}).ok_or_else(|| ::serde::DeError::custom(\"tuple variant too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __s = __inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?; Ok({name}::{vn}({})) }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = deserialize_named_fields(fields, "__inner");
+                        map_arms
+                            .push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 match __k.as_str() {{\n{map_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::custom(\"expected string or single-key map for {name}\")),\n}}"
+            )
+        }
+    };
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    );
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
