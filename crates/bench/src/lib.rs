@@ -29,10 +29,33 @@ pub fn fast_mode() -> bool {
         .unwrap_or(false)
 }
 
-/// The search space for the current mode.
+/// The denser-than-paper grid requested via `MGOPT_DENSE="<mw>,<mwh>"`
+/// (solar step in MW, battery step in MWh), if any.
+///
+/// # Panics
+/// Panics when the variable is set but not two comma-separated positive
+/// numbers — a silently ignored typo would mislabel benchmark artifacts.
+pub fn dense_steps() -> Option<(f64, f64)> {
+    let v = std::env::var("MGOPT_DENSE").ok()?;
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("MGOPT_DENSE: bad number {s:?} (want \"<mw>,<mwh>\")"))
+    };
+    match v.split(',').collect::<Vec<_>>()[..] {
+        [mw, mwh] => Some((parse(mw), parse(mwh))),
+        _ => panic!("MGOPT_DENSE: want \"<step_mw>,<step_mwh>\", got {v:?}"),
+    }
+}
+
+/// The search space for the current mode: `MGOPT_FAST=1` shrinks it to 27
+/// points, `MGOPT_DENSE="<mw>,<mwh>"` densifies the paper envelope (see
+/// [`CompositionSpace::dense`]), default is the paper's 1,089-point grid.
 pub fn space() -> CompositionSpace {
     if fast_mode() {
         CompositionSpace::tiny()
+    } else if let Some((mw, mwh)) = dense_steps() {
+        CompositionSpace::dense(mw, mwh)
     } else {
         CompositionSpace::paper()
     }

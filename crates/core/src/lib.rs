@@ -9,6 +9,8 @@
 //! the Hydra + Optuna-sweeper setup the authors describe).
 //!
 //! * [`scenario`] — serializable scenario configs and their preparation;
+//! * [`fleet`] — multi-site fleet scenarios and the interleaved fleet
+//!   sweep (geo-distributed studies, fleet-level carbon accounts);
 //! * [`objectives`] — objective sets over simulation results (§3.3/§4.3);
 //! * [`problem`] — the composition space as an optimizer problem;
 //! * [`sweep`] — the rayon-parallel exhaustive sweep (ground truth);
@@ -17,12 +19,16 @@
 //! * [`report`] — plain-text renderings of the paper's tables and figures.
 
 pub mod experiments;
+pub mod fleet;
 pub mod objectives;
 pub mod problem;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 
+pub use fleet::{
+    fleet_plans, fleet_sweep, FleetAssignment, FleetMember, FleetScenario, PreparedFleet,
+};
 pub use objectives::{ObjectiveKind, ObjectiveSet};
 pub use problem::CompositionProblem;
 pub use scenario::{PreparedScenario, ScenarioConfig, SitePreset, WorkloadConfig};

@@ -78,25 +78,11 @@ mod tests {
         assert_eq!(batched.len(), scalar.len());
         for (b, s) in batched.iter().zip(&scalar) {
             assert_eq!(b.composition, s.composition);
-            let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
-            assert!(
-                close(
-                    b.metrics.operational_t_per_day,
-                    s.metrics.operational_t_per_day
-                ),
-                "{}",
-                b.composition
-            );
-            assert!(
-                close(b.metrics.coverage, s.metrics.coverage),
-                "{}",
-                b.composition
-            );
-            assert!(
-                close(b.metrics.energy_cost_usd, s.metrics.energy_cost_usd),
-                "{}",
-                b.composition
-            );
+            // One shared, symmetric tolerance definition across every
+            // engine-agreement check (mgopt_units::rel_error), over every
+            // metrics field rather than a hand-picked subset.
+            let (err, field) = b.metrics.max_rel_error(&s.metrics);
+            assert!(err <= 1e-9, "{}: {field} rel err {err:e}", b.composition);
         }
     }
 }

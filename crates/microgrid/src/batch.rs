@@ -48,7 +48,8 @@ use crate::site::SiteData;
 /// Candidates per parallel chunk. A multiple of the sweep's battery-
 /// dimension length (9) keeps shared-generation groups intact; 63 ≈ the
 /// sweet spot between scheduling granularity and per-chunk state locality.
-const CHUNK: usize = 63;
+/// Shared with the fleet engine ([`crate::fleet`]).
+pub(crate) const CHUNK: usize = 63;
 
 /// Monomorphized storage dispatch: an enum over the storage models a
 /// composition can carry, replacing `Box<dyn Storage + Send>` in hot loops.
@@ -108,8 +109,10 @@ impl StorageKernel {
 /// The scalar path multiplies by `dt_h` and divides by 1e3 on every step;
 /// those are pure output transforms (nothing feeds back into simulation
 /// state), so the batch engine applies them once in [`BatchAcc::finish`].
+/// Shared with the fleet engine ([`crate::fleet`]) so per-site fleet
+/// metrics are bit-identical to single-site batch runs.
 #[derive(Debug, Clone, Default)]
-struct BatchAcc {
+pub(crate) struct BatchAcc {
     production: f64,
     import: f64,
     export: f64,
@@ -128,7 +131,7 @@ impl BatchAcc {
     /// `price` ($/MWh); `demand` is the step's load.
     #[inline]
     #[allow(clippy::too_many_arguments)]
-    fn record(
+    pub(crate) fn record(
         &mut self,
         gen: f64,
         demand: f64,
@@ -160,7 +163,7 @@ impl BatchAcc {
     /// Scale the raw sums into [`AnnualMetrics`] (mirrors the scalar
     /// `Accumulators::finish` formulas).
     #[allow(clippy::too_many_arguments)]
-    fn finish(
+    pub(crate) fn finish(
         &self,
         comp: &Composition,
         cfg: &SimConfig,
@@ -438,52 +441,12 @@ mod tests {
     }
 
     fn assert_metrics_close(a: &AnnualMetrics, b: &AnnualMetrics, what: &str) {
-        let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
-        assert!(close(a.demand_mwh, b.demand_mwh), "{what}: demand");
-        assert!(
-            close(a.production_mwh, b.production_mwh),
-            "{what}: production"
-        );
-        assert!(
-            close(a.grid_import_mwh, b.grid_import_mwh),
-            "{what}: import"
-        );
-        assert!(
-            close(a.grid_export_mwh, b.grid_export_mwh),
-            "{what}: export"
-        );
-        assert!(close(a.direct_use_mwh, b.direct_use_mwh), "{what}: direct");
-        assert!(
-            close(a.battery_charge_mwh, b.battery_charge_mwh),
-            "{what}: charge"
-        );
-        assert!(
-            close(a.battery_discharge_mwh, b.battery_discharge_mwh),
-            "{what}: discharge"
-        );
-        assert!(close(a.unmet_mwh, b.unmet_mwh), "{what}: unmet");
-        assert!(
-            close(a.operational_t_per_day, b.operational_t_per_day),
-            "{what}: op/day {} vs {}",
-            a.operational_t_per_day,
-            b.operational_t_per_day
-        );
-        assert!(
-            close(a.operational_t_per_year, b.operational_t_per_year),
-            "{what}: op/yr"
-        );
+        // The shared symmetric tolerance (mgopt_units::rel_error) over
+        // every metrics field; embodied carbon is pure bookkeeping and
+        // must match exactly.
+        let (err, field) = a.max_rel_error(b);
+        assert!(err <= 1e-9, "{what}: {field} rel err {err:e}");
         assert!(a.embodied_t == b.embodied_t, "{what}: embodied");
-        assert!(close(a.coverage, b.coverage), "{what}: coverage");
-        assert!(
-            close(a.direct_coverage, b.direct_coverage),
-            "{what}: direct cov"
-        );
-        assert!(close(a.battery_cycles, b.battery_cycles), "{what}: cycles");
-        assert!(
-            close(a.self_sufficient_fraction, b.self_sufficient_fraction),
-            "{what}: self-suff"
-        );
-        assert!(close(a.energy_cost_usd, b.energy_cost_usd), "{what}: cost");
     }
 
     #[test]
@@ -608,6 +571,30 @@ mod tests {
         let (data, load) = setup();
         let out = simulate_batch(&data, &load, &[], &SimConfig::default());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_steps must be positive")]
+    fn zero_step_period_panics_instead_of_reporting_garbage_rates() {
+        // Regression: a zero-step window used to fall through to the
+        // `days.max(1e-9)` guard in the finish formulas and report
+        // near-zero-day rates; the API boundary now rejects it.
+        let (data, load) = setup();
+        simulate_batch_period(
+            &data,
+            &load,
+            &[Composition::BASELINE],
+            &SimConfig::default(),
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n_steps must be positive")]
+    fn evaluator_zero_step_period_panics() {
+        let (data, load) = setup();
+        let cfg = SimConfig::default();
+        BatchEvaluator::new(&data, &load, &cfg).evaluate_batch_period(&[Composition::BASELINE], 0);
     }
 
     #[test]

@@ -109,6 +109,31 @@ impl CompositionSpace {
         }
     }
 
+    /// A denser grid over the paper's envelope: wind 0–10 turbines,
+    /// solar 0–40 MW in `step_mw` increments, battery 0–60 MWh in
+    /// `step_mwh` increments. `dense(4.0, 7.5)` reproduces [`paper`]
+    /// (CompositionSpace::paper); `dense(2.0, 3.75)` is the ~4× grid that
+    /// the batched and fleet engines make interactive.
+    ///
+    /// # Panics
+    /// Panics when either step is non-positive.
+    pub fn dense(step_mw: f64, step_mwh: f64) -> Self {
+        assert!(
+            step_mw > 0.0 && step_mwh > 0.0,
+            "grid steps must be positive"
+        );
+        // The epsilon keeps decimal steps that tile the envelope exactly
+        // (e.g. 0.4 MW: 40/0.4 = 99.999… in f64) from dropping the
+        // endpoint choice.
+        let n_solar = (40.0 / step_mw + 1e-9).floor() as usize;
+        let n_battery = (60.0 / step_mwh + 1e-9).floor() as usize;
+        Self {
+            wind_choices: (0..=10).collect(),
+            solar_choices_kw: (0..=n_solar).map(|i| i as f64 * step_mw * 1e3).collect(),
+            battery_choices_kwh: (0..=n_battery).map(|i| i as f64 * step_mwh * 1e3).collect(),
+        }
+    }
+
     /// A reduced space for fast tests/benches (3 × 3 × 3 = 27 points).
     pub fn tiny() -> Self {
         Self {
@@ -223,6 +248,29 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn at_out_of_bounds_panics() {
         CompositionSpace::tiny().at(27);
+    }
+
+    #[test]
+    fn dense_at_paper_steps_reproduces_paper_space() {
+        assert_eq!(CompositionSpace::dense(4.0, 7.5), CompositionSpace::paper());
+    }
+
+    #[test]
+    fn dense_grid_scales_with_steps() {
+        let d = CompositionSpace::dense(2.0, 3.75);
+        assert_eq!(d.wind_choices.len(), 11);
+        assert_eq!(d.solar_choices_kw.len(), 21);
+        assert_eq!(d.battery_choices_kwh.len(), 17);
+        assert_eq!(d.len(), 11 * 21 * 17);
+        // Envelope preserved: same extremes as the paper grid.
+        assert_eq!(*d.solar_choices_kw.last().unwrap(), 40_000.0);
+        assert_eq!(*d.battery_choices_kwh.last().unwrap(), 60_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid steps must be positive")]
+    fn dense_rejects_zero_step() {
+        CompositionSpace::dense(0.0, 7.5);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! ([`simulate_year`]), the cosim bus ([`simulate_year_cosim`]) and the
 //! batched columnar engine ([`simulate_batch`], module [`batch`]) that
 //! evaluates a whole cohort of compositions in one time-major pass — the
-//! engine the search layers use. [`Evaluator`] abstracts over them.
+//! engine the search layers use. [`Evaluator`] abstracts over them. The
+//! [`fleet`] module extends the batch engine to several sites at once:
+//! [`FleetEvaluator`] interleaves every member's arrays in one time-major
+//! walk and reports fleet-level aggregates (peak *concurrent* grid import,
+//! fleet tCO2/day) alongside bit-identical per-site results.
 //!
 //! ## Quick tour
 //!
@@ -40,6 +44,7 @@
 pub mod batch;
 pub mod composition;
 pub mod embodied;
+pub mod fleet;
 pub mod metrics;
 pub mod policy;
 pub mod simulate;
@@ -51,6 +56,7 @@ pub use batch::{
 };
 pub use composition::{Composition, CompositionSpace};
 pub use embodied::EmbodiedDb;
+pub use fleet::{FleetEvaluator, FleetMetrics, FleetResult, FleetSite};
 pub use metrics::{AnnualMetrics, AnnualResult};
 pub use policy::{shift_load_carbon_aware, DispatchPolicy};
 pub use simulate::{

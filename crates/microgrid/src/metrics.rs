@@ -47,6 +47,67 @@ pub struct AnnualMetrics {
 }
 
 impl AnnualMetrics {
+    /// Every reported field as `(name, value)` pairs, in declaration
+    /// order — the data-driven form the cross-engine agreement checks
+    /// compare field by field.
+    pub fn fields(&self) -> [(&'static str, f64); 16] {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // AnnualMetrics without listing it here is a compile error, so a
+        // new metric can never silently drop out of the agreement checks.
+        let Self {
+            demand_mwh,
+            production_mwh,
+            grid_import_mwh,
+            grid_export_mwh,
+            direct_use_mwh,
+            battery_charge_mwh,
+            battery_discharge_mwh,
+            unmet_mwh,
+            operational_t_per_day,
+            operational_t_per_year,
+            embodied_t,
+            coverage,
+            direct_coverage,
+            battery_cycles,
+            self_sufficient_fraction,
+            energy_cost_usd,
+        } = *self;
+        [
+            ("demand_mwh", demand_mwh),
+            ("production_mwh", production_mwh),
+            ("grid_import_mwh", grid_import_mwh),
+            ("grid_export_mwh", grid_export_mwh),
+            ("direct_use_mwh", direct_use_mwh),
+            ("battery_charge_mwh", battery_charge_mwh),
+            ("battery_discharge_mwh", battery_discharge_mwh),
+            ("unmet_mwh", unmet_mwh),
+            ("operational_t_per_day", operational_t_per_day),
+            ("operational_t_per_year", operational_t_per_year),
+            ("embodied_t", embodied_t),
+            ("coverage", coverage),
+            ("direct_coverage", direct_coverage),
+            ("battery_cycles", battery_cycles),
+            ("self_sufficient_fraction", self_sufficient_fraction),
+            ("energy_cost_usd", energy_cost_usd),
+        ]
+    }
+
+    /// Worst symmetric relative error across all fields against `other`,
+    /// with the offending field's name — the one shared definition behind
+    /// every engine-agreement check (see [`mgopt_units::rel_error`]).
+    /// A NaN on either side reports as the worst field with a NaN error,
+    /// so `max_rel_error(..).0 <= tol` can never pass silently.
+    pub fn max_rel_error(&self, other: &Self) -> (f64, &'static str) {
+        let mut worst = (0.0, "none");
+        for ((name, x), (_, y)) in self.fields().into_iter().zip(other.fields()) {
+            let e = mgopt_units::rel_error(x, y);
+            if e.is_nan() || e > worst.0 {
+                worst = (e, name);
+            }
+        }
+        worst
+    }
+
     /// Coverage as the percentage printed in the paper's tables.
     pub fn coverage_pct(&self) -> f64 {
         self.coverage * 100.0
@@ -118,6 +179,30 @@ mod tests {
         assert_eq!(m.cumulative_t_after(0.0), 4_649.0);
         let at20 = m.cumulative_t_after(20.0);
         assert!((at20 - (4_649.0 + 5.88 * 365.0 * 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_rel_error_is_symmetric_and_names_worst_field() {
+        let a = metrics();
+        let mut b = metrics();
+        b.grid_import_mwh *= 1.0 + 1e-6;
+        let (err_ab, field_ab) = a.max_rel_error(&b);
+        let (err_ba, field_ba) = b.max_rel_error(&a);
+        assert_eq!(err_ab, err_ba, "symmetric under argument swap");
+        assert_eq!(field_ab, "grid_import_mwh");
+        assert_eq!(field_ba, "grid_import_mwh");
+        assert!(err_ab > 1e-9 && err_ab < 1e-5);
+        assert_eq!(a.max_rel_error(&a), (0.0, "none"));
+    }
+
+    #[test]
+    fn max_rel_error_surfaces_nan() {
+        let a = metrics();
+        let mut b = metrics();
+        b.coverage = f64::NAN;
+        let (err, field) = a.max_rel_error(&b);
+        assert!(err.is_nan(), "NaN must fail any tolerance check");
+        assert_eq!(field, "coverage");
     }
 
     #[test]

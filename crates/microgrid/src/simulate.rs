@@ -522,4 +522,45 @@ mod tests {
         let short = TimeSeries::new(SimDuration::from_hours(1.0), vec![1.0; 100]);
         simulate_year(&data, &short, &Composition::BASELINE, &SimConfig::default());
     }
+
+    #[test]
+    #[should_panic(expected = "n_steps must be positive")]
+    fn zero_step_period_panics_instead_of_reporting_garbage_rates() {
+        // Regression: a zero-step window used to fall through to the
+        // `days.max(1e-9)` guard in `Accumulators::finish` and report
+        // near-zero-day rates; the API boundary now rejects it (matching
+        // the `steps_for_fidelity` clamp upstream).
+        let (data, load) = setup();
+        simulate_period(
+            &data,
+            &load,
+            &Composition::BASELINE,
+            &SimConfig::default(),
+            0,
+        );
+    }
+
+    #[test]
+    fn one_step_period_reports_finite_rates() {
+        // The smallest legal window: every rate must be finite and the
+        // per-day normalization must use the true (tiny) day count.
+        let (data, load) = setup();
+        let r = simulate_period(
+            &data,
+            &load,
+            &Composition::BASELINE,
+            &SimConfig::default(),
+            1,
+        );
+        assert!(r.metrics.operational_t_per_day.is_finite());
+        assert!(r.metrics.operational_t_per_year.is_finite());
+        // One baseline hour of grid import: the per-day rate is 24x the
+        // hour's emissions, not an absurd near-zero-day blow-up.
+        let hour_t = r.metrics.grid_import_mwh * 1e3 * data.ci_g_per_kwh.values()[0] / 1e6;
+        assert!((r.metrics.operational_t_per_day - hour_t * 24.0).abs() < 1e-9);
+        assert!(
+            (r.metrics.operational_t_per_year - r.metrics.operational_t_per_day * 365.0).abs()
+                < 1e-9
+        );
+    }
 }

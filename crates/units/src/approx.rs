@@ -1,0 +1,86 @@
+//! Symmetric relative-tolerance comparison.
+//!
+//! The engine-agreement tests and benchmark artifacts pin independent
+//! simulation engines to a relative 1e-9 on every reported metric. The
+//! original ad-hoc check, `(x - y).abs() <= tol * x.abs().max(1.0)`, was
+//! copied into several test modules and is *asymmetric*: the tolerance
+//! scales with whichever argument happens to be passed first, so swapping
+//! "expected" and "actual" can flip the verdict near the boundary. These
+//! helpers normalize by `max(|x|, |y|, 1)` so argument order never
+//! matters, and give every agreement check one shared definition.
+
+/// Symmetric relative error: `|x − y| / max(|x|, |y|, 1)`.
+///
+/// The `1` floor makes the error absolute for quantities smaller than one
+/// unit (coverage fractions, near-zero flows) and relative above it, the
+/// same convention the asymmetric original intended.
+pub fn rel_error(x: f64, y: f64) -> f64 {
+    (x - y).abs() / x.abs().max(y.abs()).max(1.0)
+}
+
+/// `true` when `x` and `y` agree to the symmetric relative tolerance
+/// `tol`. `rel_close(x, y, tol) == rel_close(y, x, tol)` always holds.
+pub fn rel_close(x: f64, y: f64, tol: f64) -> bool {
+    rel_error(x, y) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_equality_is_close() {
+        assert!(rel_close(0.0, 0.0, 1e-9));
+        assert!(rel_close(1.234e12, 1.234e12, 1e-9));
+        assert!(rel_close(-5.5, -5.5, 0.0));
+    }
+
+    #[test]
+    fn small_quantities_use_absolute_floor() {
+        // Below 1, the error is absolute: 1e-10 apart is within 1e-9.
+        assert!(rel_close(0.1, 0.1 + 1e-10, 1e-9));
+        assert!(!rel_close(0.1, 0.1 + 1e-8, 1e-9));
+    }
+
+    #[test]
+    fn large_quantities_use_relative_scale() {
+        // 1e12-scale values a few hundred apart are within 1e-9 relative.
+        assert!(rel_close(1e12, 1e12 + 500.0, 1e-9));
+        assert!(!rel_close(1e12, 1e12 + 5_000.0, 1e-9));
+    }
+
+    #[test]
+    fn symmetric_under_argument_swap() {
+        let cases = [
+            (0.0, 1.5e-9),
+            (1.0, 1.0 + 2e-9),
+            (3e9, 3e9 + 2.0),
+            (-7.25, -7.25 - 1e-8),
+            (1e-12, 2e-12),
+        ];
+        for (x, y) in cases {
+            assert_eq!(
+                rel_close(x, y, 1e-9),
+                rel_close(y, x, 1e-9),
+                "asymmetric verdict for ({x}, {y})"
+            );
+            assert_eq!(rel_error(x, y), rel_error(y, x));
+        }
+    }
+
+    #[test]
+    fn rel_error_values() {
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+        assert_eq!(rel_error(2.0, 1.0), 0.5);
+        assert_eq!(rel_error(0.5, 0.25), 0.25);
+        // Normalized by max(|x|, |y|) = 2.00000002e10, so the error is
+        // 1e-8/1.00000001 — within one part in 1e8 of 1e-8.
+        assert!((rel_error(2e10, 2.00000002e10) - 1e-8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nan_is_never_close() {
+        assert!(!rel_close(f64::NAN, 1.0, 1e-9));
+        assert!(!rel_close(1.0, f64::NAN, 1e-9));
+    }
+}

@@ -20,11 +20,13 @@
 //! * Sign convention for power flows follows Vessim: producers are
 //!   positive, consumers negative.
 
+pub mod approx;
 pub mod quantity;
 pub mod series;
 pub mod stats;
 pub mod time;
 
+pub use approx::{rel_close, rel_error};
 pub use quantity::{CarbonIntensity, Emissions, Energy, Power};
 pub use series::TimeSeries;
 pub use time::{

@@ -56,6 +56,14 @@
 //! exhaustive sweeps, random cohorts and successive-halving rungs all ride
 //! the batch engine (`core::CompositionProblem` wires it up;
 //! `core::sweep_all` is a thin wrapper over it).
+//!
+//! Multi-site studies ride [`microgrid::FleetEvaluator`]: one interleaved
+//! time-major walk over several prepared sites, yielding per-site results
+//! bit-identical to single-site batch runs plus fleet aggregates (fleet
+//! tCO2/day, peak *concurrent* grid import). `core::FleetScenario` /
+//! `core::fleet_sweep` are the configuration and sweep layers on top
+//! (`tests/fleet_agreement.rs` pins the fleet engine to both the batch
+//! engine and the cosim `Environment` oracle).
 
 pub use mgopt_core as core;
 pub use mgopt_cosim as cosim;
@@ -72,12 +80,13 @@ pub use mgopt_workload as workload;
 pub mod prelude {
     pub use mgopt_core::experiments;
     pub use mgopt_core::{
-        sweep_all, CompositionProblem, ObjectiveKind, ObjectiveSet, PreparedScenario,
-        ScenarioConfig, SitePreset, WorkloadConfig,
+        fleet_sweep, sweep_all, CompositionProblem, FleetAssignment, FleetScenario, ObjectiveKind,
+        ObjectiveSet, PreparedFleet, PreparedScenario, ScenarioConfig, SitePreset, WorkloadConfig,
     };
     pub use mgopt_microgrid::{
         simulate_batch, simulate_year, simulate_year_cosim, BatchEvaluator, Composition,
-        CompositionSpace, DispatchPolicy, EmbodiedDb, Evaluator, SimConfig, Site,
+        CompositionSpace, DispatchPolicy, EmbodiedDb, Evaluator, FleetEvaluator, FleetResult,
+        FleetSite, SimConfig, Site,
     };
     pub use mgopt_optimizer::{Nsga2Config, Sampler, Study};
     pub use mgopt_units::{

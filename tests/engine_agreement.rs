@@ -134,50 +134,13 @@ fn arbitrary_composition() -> impl Strategy<Value = Composition> {
         .prop_map(|(w, s, b)| Composition::new(w, s as f64 * 4_000.0, b as f64 * 7_500.0))
 }
 
-/// Relative 1e-9 agreement on every metrics field.
+/// Relative 1e-9 agreement on every metrics field, through the one shared
+/// symmetric tolerance definition (`mgopt_units::rel_error` via
+/// `AnnualMetrics::max_rel_error`) — the old per-test copies scaled the
+/// tolerance by whichever argument came first.
 fn assert_all_fields_close(a: &AnnualMetrics, b: &AnnualMetrics, what: &str) {
-    let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * x.abs().max(1.0);
-    let fields: [(&str, f64, f64); 16] = [
-        ("demand_mwh", a.demand_mwh, b.demand_mwh),
-        ("production_mwh", a.production_mwh, b.production_mwh),
-        ("grid_import_mwh", a.grid_import_mwh, b.grid_import_mwh),
-        ("grid_export_mwh", a.grid_export_mwh, b.grid_export_mwh),
-        ("direct_use_mwh", a.direct_use_mwh, b.direct_use_mwh),
-        (
-            "battery_charge_mwh",
-            a.battery_charge_mwh,
-            b.battery_charge_mwh,
-        ),
-        (
-            "battery_discharge_mwh",
-            a.battery_discharge_mwh,
-            b.battery_discharge_mwh,
-        ),
-        ("unmet_mwh", a.unmet_mwh, b.unmet_mwh),
-        (
-            "operational_t_per_day",
-            a.operational_t_per_day,
-            b.operational_t_per_day,
-        ),
-        (
-            "operational_t_per_year",
-            a.operational_t_per_year,
-            b.operational_t_per_year,
-        ),
-        ("embodied_t", a.embodied_t, b.embodied_t),
-        ("coverage", a.coverage, b.coverage),
-        ("direct_coverage", a.direct_coverage, b.direct_coverage),
-        ("battery_cycles", a.battery_cycles, b.battery_cycles),
-        (
-            "self_sufficient_fraction",
-            a.self_sufficient_fraction,
-            b.self_sufficient_fraction,
-        ),
-        ("energy_cost_usd", a.energy_cost_usd, b.energy_cost_usd),
-    ];
-    for (name, x, y) in fields {
-        assert!(close(x, y), "{what}: {name} {x} vs {y}");
-    }
+    let (err, field) = a.max_rel_error(b);
+    assert!(err <= 1e-9, "{what}: {field} rel err {err:e}");
 }
 
 proptest! {

@@ -19,6 +19,14 @@ fn thread_count() -> usize {
         .unwrap_or(4)
 }
 
+/// The pool size parallel calls will use for large batches — upstream
+/// rayon's `current_num_threads`. Benchmark artifacts record this instead
+/// of re-deriving core counts (whose detection failure would mislabel the
+/// entry), since this is by construction the worker count actually used.
+pub fn current_num_threads() -> usize {
+    thread_count()
+}
+
 /// Run `f(i)` for every index in `0..n` on a worker pool, collecting
 /// results in index order.
 fn parallel_indexed<R, F>(n: usize, f: F) -> Vec<R>
@@ -241,6 +249,13 @@ mod tests {
             })
             .collect();
         assert!(ids.len() > 1, "expected multiple worker threads");
+    }
+
+    #[test]
+    fn current_num_threads_is_positive_and_stable() {
+        let n = crate::current_num_threads();
+        assert!(n >= 1);
+        assert_eq!(n, crate::current_num_threads());
     }
 
     #[test]
