@@ -1,0 +1,243 @@
+//! The bench-regression guard: re-read the freshly written
+//! `BENCH_sweep.json` / `BENCH_fleet.json` / `BENCH_fleet_search.json`
+//! and fail (exit 1) when a deliverable is missing or malformed, an
+//! engine-agreement bound is broken, or a recorded speedup degrades
+//! beyond the generous tolerance committed in `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run --release -p mgopt-bench --bin bench_guard
+//! ```
+//!
+//! Runs *after* the bench bins in CI, so a refactor that silently turns a
+//! batched path into a scalar one (or breaks an artifact schema that
+//! downstream tooling reads) fails the job instead of shipping. Every
+//! check is reported before exiting, not just the first failure.
+
+use std::path::{Path, PathBuf};
+
+use serde::Deserialize;
+
+/// Committed floors: a fresh speedup must stay above
+/// `baseline_speedup * (1 - tolerance)`.
+#[derive(Debug, Deserialize)]
+struct Baseline {
+    tolerance: f64,
+    sweep: BaselineEntry,
+    fleet: BaselineEntry,
+    fleet_search: BaselineEntry,
+}
+
+#[derive(Debug, Deserialize)]
+struct BaselineEntry {
+    baseline_speedup: f64,
+}
+
+/// The fields of `BENCH_sweep.json` the guard checks (extra fields are
+/// ignored, missing ones fail the parse — that *is* the deliverable
+/// check).
+#[derive(Debug, Deserialize)]
+struct SweepArtifact {
+    compositions: usize,
+    steps_per_year: usize,
+    scalar_ms_median: f64,
+    batched_ms_median: f64,
+    speedup: f64,
+    max_rel_error: f64,
+    threads: usize,
+}
+
+#[derive(Debug, Deserialize)]
+struct FleetArtifact {
+    sites: Vec<String>,
+    plans: usize,
+    interleaved_ms_min: f64,
+    interleaved_with_peak_ms_min: f64,
+    sequential_ms_min: f64,
+    speedup: f64,
+    speedup_with_peak: f64,
+    max_rel_error: f64,
+    peak_concurrent_import_mw: f64,
+    threads: usize,
+}
+
+#[derive(Debug, Deserialize)]
+struct FleetSearchArtifact {
+    sites: Vec<String>,
+    space_per_site: Vec<usize>,
+    plan_space: usize,
+    max_trials: usize,
+    unique_evaluations: usize,
+    front_size: usize,
+    batched_ms_min: f64,
+    scalar_ms_min: f64,
+    speedup: f64,
+    agreement: bool,
+    threads: usize,
+}
+
+/// Per-site composition count the current mode must have produced, if it
+/// is pinned (`MGOPT_DENSE` grids vary, so they skip the count check).
+fn expected_compositions() -> Option<usize> {
+    if std::env::var("MGOPT_DENSE").is_ok() {
+        return None;
+    }
+    Some(if mgopt_bench::fast_mode() { 27 } else { 1_089 })
+}
+
+fn read<T: Deserialize>(path: &Path, errors: &mut Vec<String>) -> Option<T> {
+    let name = path.file_name().unwrap_or_default().to_string_lossy();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            errors.push(format!("{name}: cannot read ({e})"));
+            return None;
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            errors.push(format!("{name}: deliverables mismatch ({e:?})"));
+            None
+        }
+    }
+}
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut errors: Vec<String> = Vec::new();
+
+    let baseline: Baseline = match read(&root.join("BENCH_baseline.json"), &mut errors) {
+        Some(b) => b,
+        None => {
+            eprintln!("bench-guard: FAIL {}", errors.join("; "));
+            std::process::exit(1);
+        }
+    };
+    assert!(
+        (0.0..1.0).contains(&baseline.tolerance),
+        "baseline tolerance must lie in [0, 1)"
+    );
+    let floor = |entry: &BaselineEntry| entry.baseline_speedup * (1.0 - baseline.tolerance);
+    let expected = expected_compositions();
+
+    let sweep: Option<SweepArtifact> = read(&root.join("BENCH_sweep.json"), &mut errors);
+    let fleet: Option<FleetArtifact> = read(&root.join("BENCH_fleet.json"), &mut errors);
+    let search: Option<FleetSearchArtifact> =
+        read(&root.join("BENCH_fleet_search.json"), &mut errors);
+
+    let mut checks = 0usize;
+    let mut check = |ok: bool, msg: String| {
+        checks += 1;
+        if !ok {
+            errors.push(msg);
+        }
+    };
+
+    if let Some(a) = sweep {
+        let f = floor(&baseline.sweep);
+        check(
+            a.speedup >= f,
+            format!("sweep: speedup {:.2} below floor {f:.2}", a.speedup),
+        );
+        check(
+            a.max_rel_error <= 1e-9,
+            format!("sweep: engines disagree at {:e}", a.max_rel_error),
+        );
+        if let Some(n) = expected {
+            check(
+                a.compositions == n,
+                format!("sweep: {} compositions, expected {n}", a.compositions),
+            );
+        }
+        check(
+            a.scalar_ms_median > 0.0 && a.batched_ms_median > 0.0,
+            "sweep: non-positive timing".into(),
+        );
+        check(
+            a.steps_per_year > 0 && a.threads >= 1,
+            "sweep: malformed steps/threads".into(),
+        );
+    }
+
+    if let Some(a) = fleet {
+        let f = floor(&baseline.fleet);
+        check(
+            a.speedup >= f,
+            format!("fleet: speedup {:.2} below floor {f:.2}", a.speedup),
+        );
+        check(
+            a.speedup_with_peak >= f,
+            format!(
+                "fleet: peak-tracking speedup {:.2} below floor {f:.2}",
+                a.speedup_with_peak
+            ),
+        );
+        check(
+            a.max_rel_error <= 1e-9,
+            format!("fleet: engines disagree at {:e}", a.max_rel_error),
+        );
+        if let Some(n) = expected {
+            check(
+                a.plans == n,
+                format!("fleet: {} plans, expected {n}", a.plans),
+            );
+        }
+        check(
+            a.peak_concurrent_import_mw > 0.0,
+            "fleet: concurrent peak not recorded".into(),
+        );
+        check(
+            a.sites.len() == 2
+                && a.interleaved_ms_min > 0.0
+                && a.interleaved_with_peak_ms_min > 0.0
+                && a.sequential_ms_min > 0.0
+                && a.threads >= 1,
+            "fleet: malformed sites/timings".into(),
+        );
+    }
+
+    if let Some(a) = search {
+        let f = floor(&baseline.fleet_search);
+        check(
+            a.speedup >= f,
+            format!("fleet_search: speedup {:.2} below floor {f:.2}", a.speedup),
+        );
+        check(
+            a.agreement,
+            "fleet_search: batched and scalar searches diverged".into(),
+        );
+        if let Some(n) = expected {
+            check(
+                a.space_per_site.iter().all(|&d| d == n) && a.plan_space == n * n,
+                format!(
+                    "fleet_search: space {:?} / {} plans, expected {n} per site",
+                    a.space_per_site, a.plan_space
+                ),
+            );
+        }
+        check(
+            a.unique_evaluations >= 1 && a.unique_evaluations <= a.max_trials,
+            format!(
+                "fleet_search: {} unique evaluations for {} trials",
+                a.unique_evaluations, a.max_trials
+            ),
+        );
+        check(
+            a.sites.len() == 2
+                && a.front_size >= 1
+                && a.batched_ms_min > 0.0
+                && a.scalar_ms_min > 0.0
+                && a.threads >= 1,
+            "fleet_search: malformed sites/front/timings".into(),
+        );
+    }
+
+    if errors.is_empty() {
+        println!("bench-guard: all {checks} checks passed");
+    } else {
+        for e in &errors {
+            eprintln!("bench-guard: FAIL {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Emit `BENCH_fleet_search.json`: wall-clock of NSGA-II over the
+//! cross-product fleet-plan space (both paper sites) with cohorts routed
+//! through the batched interleaved
+//! [`FleetEvaluator`](mgopt_microgrid::FleetEvaluator) pass, versus the
+//! same search forced onto the optimizer's default rayon-scalar fallback
+//! (one single-plan pass per unseen genome) — so the batching speedup on
+//! the *search* path is measured, not assumed.
+//!
+//! ```text
+//! cargo run --release -p mgopt-bench --bin fleet_search
+//! ```
+//!
+//! Writes the artifact to the repository root (next to `BENCH_fleet.json`)
+//! and prints the same numbers to stdout. `MGOPT_FAST=1` shrinks the
+//! per-site spaces for smoke runs.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mgopt_core::{FleetProblem, FleetScenario};
+use mgopt_optimizer::{Nsga2Config, Nsga2Optimizer, Problem};
+use serde::Serialize;
+
+/// The artifact schema. `agreement` records that the batched and scalar
+/// searches produced bit-identical trial histories (same seeds, and the
+/// fleet engine's cohort results are pinned to single-plan runs).
+#[derive(Debug, Serialize)]
+struct FleetSearchBench {
+    sites: Vec<String>,
+    space_per_site: Vec<usize>,
+    plan_space: usize,
+    population: usize,
+    max_trials: usize,
+    unique_evaluations: usize,
+    front_size: usize,
+    samples: usize,
+    batched_ms_min: f64,
+    scalar_ms_min: f64,
+    speedup: f64,
+    agreement: bool,
+    threads: usize,
+}
+
+/// Hides a problem's batched override so cohorts fall back to the
+/// optimizer's default rayon-parallel scalar path — the baseline every
+/// batched engine is measured against.
+struct ScalarFallback<'a>(&'a FleetProblem<'a>);
+
+impl Problem for ScalarFallback<'_> {
+    fn dims(&self) -> &[usize] {
+        self.0.dims()
+    }
+
+    fn n_objectives(&self) -> usize {
+        self.0.n_objectives()
+    }
+
+    fn evaluate(&self, genome: &[u16]) -> Vec<f64> {
+        self.0.evaluate(genome)
+    }
+}
+
+use mgopt_bench::min_ms;
+
+fn main() {
+    let mut scenario = FleetScenario::paper();
+    for m in &mut scenario.members {
+        m.scenario.space = mgopt_bench::space();
+    }
+    let fleet = scenario.prepare();
+    let problem = FleetProblem::new(&fleet);
+    let scalar = ScalarFallback(&problem);
+    let config = Nsga2Config {
+        population_size: 50,
+        max_trials: 350,
+        seed: 42,
+        ..Nsga2Config::default()
+    };
+    let optimizer = Nsga2Optimizer::new(config.clone());
+    let samples = 7usize;
+
+    // Warm-up + agreement: identical seeds must yield identical histories.
+    let batched_run = optimizer.run(&problem);
+    let scalar_run = optimizer.run(&scalar);
+    let agreement = batched_run.history == scalar_run.history;
+    assert!(
+        agreement,
+        "batched and scalar fleet searches diverged — the fleet engine \
+         broke its cohort/single-plan agreement guarantee"
+    );
+
+    let mut batched_ms = Vec::with_capacity(samples);
+    let mut scalar_ms = Vec::with_capacity(samples);
+    // Alternate A/B order per sample so clock drift cannot systematically
+    // favor either path.
+    for k in 0..samples {
+        let time = |f: &dyn Fn() -> usize, out: &mut Vec<f64>| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            out.push(t0.elapsed().as_secs_f64() * 1e3);
+        };
+        let run_batched = || optimizer.run(&problem).history.len();
+        let run_scalar = || optimizer.run(&scalar).history.len();
+        if k % 2 == 0 {
+            time(&run_batched, &mut batched_ms);
+            time(&run_scalar, &mut scalar_ms);
+        } else {
+            time(&run_scalar, &mut scalar_ms);
+            time(&run_batched, &mut batched_ms);
+        }
+    }
+
+    let batched_min = min_ms(&batched_ms);
+    let scalar_min = min_ms(&scalar_ms);
+    let bench = FleetSearchBench {
+        sites: fleet.names.clone(),
+        space_per_site: problem.dims().to_vec(),
+        plan_space: problem.space_size(),
+        population: config.population_size,
+        max_trials: config.max_trials,
+        unique_evaluations: batched_run.unique_evaluations,
+        front_size: batched_run.pareto_front().len(),
+        samples,
+        batched_ms_min: batched_min,
+        scalar_ms_min: scalar_min,
+        speedup: scalar_min / batched_min,
+        agreement,
+        threads: rayon::current_num_threads(),
+    };
+
+    println!(
+        "NSGA-II over {} fleet plans ({} trials, {} unique): batched {:.1} ms, \
+         rayon-scalar fallback {:.1} ms, speedup {:.2}x",
+        bench.plan_space,
+        bench.max_trials,
+        bench.unique_evaluations,
+        batched_min,
+        scalar_min,
+        bench.speedup
+    );
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet_search.json");
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench artifact");
+    std::fs::write(&path, json + "\n").expect("write BENCH_fleet_search.json");
+    println!("[artifact] {}", path.display());
+}

@@ -1,7 +1,8 @@
 //! Emit `BENCH_fleet.json`: wall-clock of the uniform fleet sweep (both
 //! paper sites, every composition of the space assigned fleet-wide)
-//! through the interleaved [`FleetEvaluator`] versus sequential per-site
-//! [`BatchEvaluator`] sweeps, plus the cross-engine agreement check.
+//! through the interleaved [`FleetEvaluator`](mgopt_microgrid::FleetEvaluator)
+//! versus sequential per-site [`BatchEvaluator`] sweeps, plus the
+//! cross-engine agreement check.
 //!
 //! ```text
 //! cargo run --release -p mgopt-bench --bin fleet_sweep
@@ -40,12 +41,7 @@ struct FleetBench {
     threads: usize,
 }
 
-/// Fastest observed wall-clock: on shared hosts timing noise is strictly
-/// additive (interference only ever slows a run down), so the minimum is
-/// the robust estimator of intrinsic cost.
-fn min_ms(samples: &[f64]) -> f64 {
-    samples.iter().copied().fold(f64::INFINITY, f64::min)
-}
+use mgopt_bench::min_ms;
 
 fn main() {
     let mut scenario = FleetScenario::paper();

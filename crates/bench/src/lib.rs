@@ -79,6 +79,13 @@ pub fn berkeley() -> PreparedScenario {
     .prepare()
 }
 
+/// Fastest observed wall-clock of a timing series: on shared hosts timing
+/// noise is strictly additive (interference only ever slows a run down),
+/// so the minimum is the robust estimator of intrinsic cost.
+pub fn min_ms(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
 /// Write a JSON artifact under `results/` (best effort — printing is the
 /// primary output; artifact failures only warn).
 pub fn write_artifact<T: Serialize>(name: &str, value: &T) {

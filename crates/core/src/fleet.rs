@@ -5,10 +5,21 @@
 //! into one [`PreparedFleet`] whose member sites share a simulation clock.
 //! [`fleet_sweep`] then scores a cohort of **fleet plans** (one composition
 //! per site) through the interleaved
-//! [`FleetEvaluator`](mgopt_microgrid::FleetEvaluator), producing per-site
+//! [`FleetEvaluator`], producing per-site
 //! results bit-identical to single-site sweeps plus fleet aggregates
 //! (fleet tCO2/day, peak concurrent grid import) that only a synchronized
 //! walk can report.
+//!
+//! ## Search layers
+//!
+//! [`fleet_sweep`] is the *exhaustive* layer (ground truth; exponential in
+//! the number of sites under [`FleetAssignment::CrossProduct`]). For
+//! searching the cross-product plan space directly, wrap the prepared
+//! fleet in a [`FleetProblem`](crate::problem::FleetProblem): one genome
+//! dimension per member, NSGA-II / random / exhaustive samplers all route
+//! their cohorts through the same interleaved engine, and a peak
+//! concurrent-import cap becomes a first-class constraint
+//! (`examples/fleet_search.rs` walks the whole stack).
 
 use mgopt_microgrid::{Composition, FleetEvaluator, FleetResult, FleetSite};
 use serde::{Deserialize, Serialize};
@@ -112,8 +123,8 @@ pub enum FleetAssignment {
     Uniform,
     /// Every combination of per-site compositions (cross product of member
     /// spaces): `∏ space.len()` plans. Exhaustive but exponential in the
-    /// number of sites — use reduced or [`dense`-stepped]
-    /// (mgopt_microgrid::CompositionSpace::dense) spaces.
+    /// number of sites — use reduced or
+    /// [`dense`](mgopt_microgrid::CompositionSpace::dense)-stepped spaces.
     CrossProduct,
 }
 

@@ -30,6 +30,6 @@ pub use fleet::{
     fleet_plans, fleet_sweep, FleetAssignment, FleetMember, FleetScenario, PreparedFleet,
 };
 pub use objectives::{ObjectiveKind, ObjectiveSet};
-pub use problem::CompositionProblem;
+pub use problem::{CompositionProblem, FleetProblem};
 pub use scenario::{PreparedScenario, ScenarioConfig, SitePreset, WorkloadConfig};
 pub use sweep::{sweep_all, sweep_all_scalar};

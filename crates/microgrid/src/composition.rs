@@ -111,8 +111,8 @@ impl CompositionSpace {
 
     /// A denser grid over the paper's envelope: wind 0–10 turbines,
     /// solar 0–40 MW in `step_mw` increments, battery 0–60 MWh in
-    /// `step_mwh` increments. `dense(4.0, 7.5)` reproduces [`paper`]
-    /// (CompositionSpace::paper); `dense(2.0, 3.75)` is the ~4× grid that
+    /// `step_mwh` increments. `dense(4.0, 7.5)` reproduces
+    /// [`paper`](CompositionSpace::paper); `dense(2.0, 3.75)` is the ~4× grid that
     /// the batched and fleet engines make interactive.
     ///
     /// # Panics

@@ -82,6 +82,23 @@ pub struct FleetMetrics {
     pub energy_cost_usd: f64,
 }
 
+impl FleetMetrics {
+    /// Violation of a peak concurrent-import cap, kW: `0.0` when the
+    /// fleet's peak stays at or under `cap_kw`, otherwise the exceedance.
+    /// This is the constraint magnitude fleet-plan searches feed into
+    /// constraint-dominance.
+    ///
+    /// # Panics
+    /// Panics when peak tracking was disabled — a cap check against an
+    /// untracked peak would silently pass.
+    pub fn peak_cap_violation_kw(&self, cap_kw: f64) -> f64 {
+        let peak = self
+            .peak_concurrent_import_kw
+            .expect("peak tracking disabled: cannot check an import cap");
+        (peak - cap_kw).max(0.0)
+    }
+}
+
 /// The result of evaluating one fleet plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetResult {
@@ -90,6 +107,14 @@ pub struct FleetResult {
     pub per_site: Vec<AnnualResult>,
     /// Fleet-level aggregates.
     pub fleet: FleetMetrics,
+}
+
+impl FleetResult {
+    /// The plan that produced this result: one composition per site, in
+    /// site order.
+    pub fn plan(&self) -> Vec<Composition> {
+        self.per_site.iter().map(|r| r.composition).collect()
+    }
 }
 
 /// The multi-site batched engine: one cohort of plans, all sites, one
@@ -535,6 +560,13 @@ mod tests {
             .map(|x| x.metrics.operational_t_per_day)
             .sum();
         assert_eq!(r.fleet.operational_t_per_day, sum_op);
+        assert_eq!(
+            r.plan(),
+            vec![
+                Composition::new(4, 0.0, 7_500.0),
+                Composition::new(0, 12_000.0, 37_500.0),
+            ]
+        );
         assert_eq!(r.fleet.site_import_mwh.len(), 2);
         assert!(r.fleet.grid_import_mwh > 0.0);
         // Peak concurrent import is at most the sum of per-site peaks and
@@ -656,6 +688,37 @@ mod tests {
             tracked.fleet.site_import_mwh,
             untracked.fleet.site_import_mwh
         );
+    }
+
+    #[test]
+    fn peak_cap_violation_is_exceedance_only() {
+        let m = FleetMetrics {
+            operational_t_per_day: 1.0,
+            operational_t_per_year: 365.0,
+            embodied_t: 0.0,
+            peak_concurrent_import_kw: Some(12_000.0),
+            site_import_mwh: vec![1.0],
+            grid_import_mwh: 1.0,
+            energy_cost_usd: 0.0,
+        };
+        assert_eq!(m.peak_cap_violation_kw(15_000.0), 0.0);
+        assert_eq!(m.peak_cap_violation_kw(12_000.0), 0.0);
+        assert_eq!(m.peak_cap_violation_kw(10_000.0), 2_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak tracking disabled")]
+    fn peak_cap_check_panics_without_tracking() {
+        let m = FleetMetrics {
+            operational_t_per_day: 1.0,
+            operational_t_per_year: 365.0,
+            embodied_t: 0.0,
+            peak_concurrent_import_kw: None,
+            site_import_mwh: vec![1.0],
+            grid_import_mwh: 1.0,
+            energy_cost_usd: 0.0,
+        };
+        m.peak_cap_violation_kw(10_000.0);
     }
 
     #[test]

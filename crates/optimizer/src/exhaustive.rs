@@ -5,15 +5,17 @@ use crate::problem::{Genome, Problem, Trial};
 use crate::study::OptimizationResult;
 
 /// Evaluate every point of the space in one batched pass
-/// ([`Problem::evaluate_batch`] parallelizes internally).
+/// ([`Problem::evaluate_batch_constrained`] parallelizes internally, and
+/// records constraint violations so the ground-truth front of a
+/// constrained problem is the *feasible* front).
 pub fn exhaustive_search(problem: &dyn Problem) -> OptimizationResult {
     let n = problem.space_size();
     let genomes: Vec<Genome> = (0..n).map(|i| problem.genome_at(i)).collect();
-    let objectives = problem.evaluate_batch(&genomes);
+    let evaluations = problem.evaluate_batch_constrained(&genomes);
     let history: Vec<Trial> = genomes
         .into_iter()
-        .zip(objectives)
-        .map(|(g, o)| Trial::new(g, o))
+        .zip(evaluations)
+        .map(|(g, e)| Trial::from_evaluation(g, e))
         .collect();
     OptimizationResult::from_history(history, n, n)
 }

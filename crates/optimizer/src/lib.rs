@@ -7,10 +7,12 @@
 //! the paper builds on.
 //!
 //! * [`problem`] — the discrete search-space / objective abstraction;
-//! * [`pareto`] — dominance, fast non-dominated sorting, crowding distance,
-//!   2-D hypervolume, IGD, and Pareto-recovery metrics;
+//! * [`pareto`] — dominance (plain and constrained), fast non-dominated
+//!   sorting, crowding distance, 2-D hypervolume, IGD, and Pareto-recovery
+//!   metrics;
 //! * [`nsga2`] — the NSGA-II genetic sampler (Deb et al. 2002) with
-//!   evaluation memoization and rayon-parallel trial evaluation;
+//!   evaluation memoization, rayon-parallel trial evaluation and
+//!   constraint-dominance for constrained problems;
 //! * [`mod@random_search`] — the naive sampler baseline;
 //! * [`exhaustive`] — full grid enumeration (the paper's ground-truth
 //!   baseline over 1,089 compositions);
@@ -29,8 +31,11 @@ pub mod study;
 
 pub use exhaustive::exhaustive_search;
 pub use nsga2::{Nsga2Config, Nsga2Optimizer};
-pub use pareto::{crowding_distance, dominates, fast_non_dominated_sort, non_dominated_indices};
-pub use problem::{FnProblem, Genome, Problem, Trial};
+pub use pareto::{
+    constrained_dominates, constrained_non_dominated_sort, crowding_distance, dominates,
+    fast_non_dominated_sort, non_dominated_indices,
+};
+pub use problem::{Evaluation, FnProblem, Genome, Problem, Trial};
 pub use pruning::{successive_halving, MultiFidelityProblem, SuccessiveHalvingConfig};
 pub use random_search::random_search;
 pub use study::{OptimizationResult, Sampler, Study};

@@ -13,6 +13,12 @@
 //! * **Determinism.** All stochastic choices flow from a seeded ChaCha12
 //!   stream; parallel evaluation only computes pure functions, so results
 //!   are reproducible regardless of thread scheduling.
+//! * **Constraints.** Problems with [`Problem::n_constraints`] > 0 are
+//!   handled by Deb's constraint-dominance: ranking, tournament and
+//!   environmental selection all use
+//!   [`constrained_non_dominated_sort`], so any feasible point outranks
+//!   every infeasible one and infeasible points are layered by total
+//!   violation. Unconstrained problems see the exact original behavior.
 
 use std::collections::HashMap;
 
@@ -22,8 +28,8 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::pareto::{crowding_distance, fast_non_dominated_sort};
-use crate::problem::{Genome, Problem, Trial};
+use crate::pareto::{constrained_non_dominated_sort, crowding_distance};
+use crate::problem::{Evaluation, Genome, Problem, Trial};
 use crate::study::OptimizationResult;
 
 /// NSGA-II configuration.
@@ -87,7 +93,7 @@ impl Nsga2Optimizer {
             .clamp(0.0, 1.0);
         let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0x4e59_a211);
 
-        let mut cache: HashMap<Genome, Vec<f64>> = HashMap::new();
+        let mut cache: HashMap<Genome, Evaluation> = HashMap::new();
         let mut history: Vec<Trial> = Vec::new();
         let mut sampled = 0usize;
 
@@ -106,8 +112,15 @@ impl Nsga2Optimizer {
         evaluate_batch(problem, &population, &mut cache, &mut history);
 
         while sampled < cfg.max_trials {
-            let obj: Vec<Vec<f64>> = population.iter().map(|g| cache[g].clone()).collect();
-            let fronts = fast_non_dominated_sort(&obj);
+            let obj: Vec<Vec<f64>> = population
+                .iter()
+                .map(|g| cache[g].objectives.clone())
+                .collect();
+            let viol: Vec<f64> = population
+                .iter()
+                .map(|g| cache[g].total_violation())
+                .collect();
+            let fronts = constrained_non_dominated_sort(&obj, &viol);
             let (rank, crowd) = rank_and_crowding(&obj, &fronts);
 
             // Offspring generation.
@@ -135,8 +148,15 @@ impl Nsga2Optimizer {
             let mut combined: Vec<Genome> = population.clone();
             combined.extend(children);
             combined.dedup_by(|a, b| a == b);
-            let comb_obj: Vec<Vec<f64>> = combined.iter().map(|g| cache[g].clone()).collect();
-            let comb_fronts = fast_non_dominated_sort(&comb_obj);
+            let comb_obj: Vec<Vec<f64>> = combined
+                .iter()
+                .map(|g| cache[g].objectives.clone())
+                .collect();
+            let comb_viol: Vec<f64> = combined
+                .iter()
+                .map(|g| cache[g].total_violation())
+                .collect();
+            let comb_fronts = constrained_non_dominated_sort(&comb_obj, &comb_viol);
             population =
                 select_next_population(&combined, &comb_obj, &comb_fronts, cfg.population_size);
         }
@@ -151,7 +171,7 @@ impl Nsga2Optimizer {
 fn evaluate_batch(
     problem: &dyn Problem,
     genomes: &[Genome],
-    cache: &mut HashMap<Genome, Vec<f64>>,
+    cache: &mut HashMap<Genome, Evaluation>,
     history: &mut Vec<Trial>,
 ) {
     let mut unseen: Vec<Genome> = Vec::new();
@@ -160,10 +180,10 @@ fn evaluate_batch(
             unseen.push(g.clone());
         }
     }
-    let objectives = problem.evaluate_batch(&unseen);
-    cache.extend(unseen.into_iter().zip(objectives));
+    let evaluations = problem.evaluate_batch_constrained(&unseen);
+    cache.extend(unseen.into_iter().zip(evaluations));
     for g in genomes {
-        history.push(Trial::new(g.clone(), cache[g].clone()));
+        history.push(Trial::from_evaluation(g.clone(), cache[g].clone()));
     }
 }
 
@@ -348,6 +368,59 @@ mod tests {
             front.len()
         );
         assert!(front.len() >= 10, "front too sparse: {}", front.len());
+    }
+
+    #[test]
+    fn constraint_dominance_returns_a_feasible_front() {
+        // Cap g0 at 10: the unconstrained front's low-x half (g0 > 10 gives
+        // the best second objective) becomes infeasible.
+        let problem = convex_problem().with_constraints(1, |g| vec![(g[0] as f64 - 10.0).max(0.0)]);
+        let result = Nsga2Optimizer::new(Nsga2Config {
+            population_size: 30,
+            max_trials: 400,
+            seed: 11,
+            ..Nsga2Config::default()
+        })
+        .run(&problem);
+
+        let front = result.pareto_front();
+        assert!(!front.is_empty());
+        assert!(
+            front.iter().all(|t| t.is_feasible()),
+            "infeasible trial on the front: {front:?}"
+        );
+        assert!(front.iter().all(|t| t.genome[0] <= 10));
+        // The search still spreads over the feasible part of the front.
+        assert!(front.len() >= 5, "front too sparse: {}", front.len());
+        // History records violations for the infeasible samples it visited.
+        assert!(result.history.iter().any(|t| !t.is_feasible()));
+    }
+
+    #[test]
+    fn unconstrained_behavior_is_unchanged_by_constraint_plumbing() {
+        // A constraint that never fires must not perturb the search: the
+        // zero-violation constrained sort is pinned to the plain sort, so
+        // the sampled history must be identical genome-for-genome.
+        let run = |constrained: bool| {
+            let base = convex_problem();
+            let p = if constrained {
+                base.with_constraints(1, |_| vec![0.0])
+            } else {
+                base
+            };
+            Nsga2Optimizer::new(Nsga2Config {
+                population_size: 16,
+                max_trials: 96,
+                seed: 5,
+                ..Nsga2Config::default()
+            })
+            .run(&p)
+            .history
+            .into_iter()
+            .map(|t| (t.genome, t.objectives))
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

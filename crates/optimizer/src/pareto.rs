@@ -1,5 +1,6 @@
-//! Pareto-dominance tooling: non-dominated sorting, crowding distance,
-//! quality indicators (hypervolume, IGD), and recovery metrics.
+//! Pareto-dominance tooling: non-dominated sorting (plain and
+//! constraint-aware), crowding distance, quality indicators (hypervolume,
+//! IGD), and recovery metrics.
 
 use crate::problem::Trial;
 
@@ -19,6 +20,29 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     strictly_better
 }
 
+/// Deb's constraint-dominance (NSGA-II, 2002): `a` constraint-dominates
+/// `b` when `a` is feasible and `b` is not, when both are infeasible and
+/// `a` violates less, or when both are feasible and `a` Pareto-dominates
+/// `b`. Violations are total magnitudes (`0.0` = feasible).
+pub fn constrained_dominates(a: &[f64], a_violation: f64, b: &[f64], b_violation: f64) -> bool {
+    match (a_violation > 0.0, b_violation > 0.0) {
+        (false, true) => true,
+        (true, false) => false,
+        (true, true) => a_violation < b_violation,
+        (false, false) => dominates(a, b),
+    }
+}
+
+/// [`fast_non_dominated_sort`] under constraint-dominance: all feasible
+/// fronts precede every infeasible point, and infeasible points layer by
+/// total violation. `violations[i]` is point `i`'s total magnitude.
+pub fn constrained_non_dominated_sort(points: &[Vec<f64>], violations: &[f64]) -> Vec<Vec<usize>> {
+    assert_eq!(points.len(), violations.len());
+    sort_by_dominance(points.len(), |i, j| {
+        constrained_dominates(&points[i], violations[i], &points[j], violations[j])
+    })
+}
+
 /// Indices of the non-dominated points (the Pareto front).
 pub fn non_dominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
     (0..points.len())
@@ -34,16 +58,21 @@ pub fn non_dominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
 /// NSGA-II fast non-dominated sort: partitions indices into fronts
 /// (front 0 = Pareto-optimal, front 1 = optimal after removing front 0, …).
 pub fn fast_non_dominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
-    let n = points.len();
+    sort_by_dominance(points.len(), |i, j| dominates(&points[i], &points[j]))
+}
+
+/// The fast non-dominated sort skeleton over an arbitrary (strict, acyclic)
+/// dominance relation.
+fn sort_by_dominance(n: usize, dom: impl Fn(usize, usize) -> bool) -> Vec<Vec<usize>> {
     let mut domination_count = vec![0usize; n];
     let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
 
     for i in 0..n {
         for j in (i + 1)..n {
-            if dominates(&points[i], &points[j]) {
+            if dom(i, j) {
                 dominated_by[i].push(j);
                 domination_count[j] += 1;
-            } else if dominates(&points[j], &points[i]) {
+            } else if dom(j, i) {
                 dominated_by[j].push(i);
                 domination_count[i] += 1;
             }
@@ -190,7 +219,11 @@ pub fn recovery_fraction(found: &[Trial], truth: &[Trial]) -> f64 {
     hit as f64 / truth.len() as f64
 }
 
-/// The non-dominated subset of a trial list (deduplicated by genome).
+/// The non-dominated subset of a trial list (deduplicated by genome),
+/// under constraint-dominance: any feasible trial beats every infeasible
+/// one, so the front of a constrained history only contains infeasible
+/// trials when *nothing* sampled was feasible. Unconstrained trials (empty
+/// violations) reduce to plain Pareto dominance.
 pub fn non_dominated_trials(trials: &[Trial]) -> Vec<Trial> {
     let mut unique: Vec<&Trial> = Vec::new();
     for t in trials {
@@ -198,9 +231,19 @@ pub fn non_dominated_trials(trials: &[Trial]) -> Vec<Trial> {
             unique.push(t);
         }
     }
-    let points: Vec<Vec<f64>> = unique.iter().map(|t| t.objectives.clone()).collect();
-    non_dominated_indices(&points)
-        .into_iter()
+    let viol: Vec<f64> = unique.iter().map(|t| t.total_violation()).collect();
+    (0..unique.len())
+        .filter(|&i| {
+            !(0..unique.len()).any(|j| {
+                j != i
+                    && constrained_dominates(
+                        &unique[j].objectives,
+                        viol[j],
+                        &unique[i].objectives,
+                        viol[i],
+                    )
+            })
+        })
         .map(|i| unique[i].clone())
         .collect()
 }
@@ -367,6 +410,70 @@ mod tests {
         ];
         let r = recovery_fraction(&found, &truth);
         assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_dominance_rules() {
+        // Feasible beats infeasible regardless of objectives.
+        assert!(constrained_dominates(&[9.0, 9.0], 0.0, &[1.0, 1.0], 0.1));
+        assert!(!constrained_dominates(&[1.0, 1.0], 0.1, &[9.0, 9.0], 0.0));
+        // Both infeasible: ordered by violation, objectives ignored.
+        assert!(constrained_dominates(&[9.0, 9.0], 0.1, &[1.0, 1.0], 0.2));
+        assert!(!constrained_dominates(&[1.0, 1.0], 0.2, &[9.0, 9.0], 0.1));
+        assert!(!constrained_dominates(&[1.0, 1.0], 0.2, &[9.0, 9.0], 0.2));
+        // Both feasible: plain Pareto dominance.
+        assert!(constrained_dominates(&[1.0, 1.0], 0.0, &[2.0, 2.0], 0.0));
+        assert!(!constrained_dominates(&[1.0, 3.0], 0.0, &[3.0, 1.0], 0.0));
+    }
+
+    #[test]
+    fn constrained_sort_layers_feasible_before_infeasible() {
+        let pts = vec![
+            vec![1.0, 4.0], // feasible, front 0
+            vec![4.0, 1.0], // feasible, front 0
+            vec![2.0, 5.0], // feasible, front 1
+            vec![0.0, 0.0], // infeasible (best objectives!), violation 0.3
+            vec![0.0, 0.0], // infeasible, violation 0.1
+        ];
+        let viol = vec![0.0, 0.0, 0.0, 0.3, 0.1];
+        let fronts = constrained_non_dominated_sort(&pts, &viol);
+        assert_eq!(fronts[0], vec![0, 1]);
+        assert_eq!(fronts[1], vec![2]);
+        // Infeasible points layer by violation behind every feasible front.
+        assert_eq!(fronts[2], vec![4]);
+        assert_eq!(fronts[3], vec![3]);
+    }
+
+    #[test]
+    fn constrained_sort_with_zero_violations_matches_plain_sort() {
+        let pts: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let zeros = vec![0.0; pts.len()];
+        assert_eq!(
+            constrained_non_dominated_sort(&pts, &zeros),
+            fast_non_dominated_sort(&pts)
+        );
+    }
+
+    #[test]
+    fn front_of_constrained_trials_prefers_feasible() {
+        let mut infeasible = t(vec![0], vec![0.0, 0.0]);
+        infeasible.violations = vec![5.0];
+        let trials = vec![
+            infeasible.clone(),
+            t(vec![1], vec![1.0, 2.0]),
+            t(vec![2], vec![2.0, 1.0]),
+        ];
+        let front = non_dominated_trials(&trials);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|x| x.is_feasible()));
+        // All-infeasible history: least-violating trial forms the front.
+        let mut worse = t(vec![3], vec![0.0, 0.0]);
+        worse.violations = vec![7.0];
+        let front = non_dominated_trials(&[infeasible.clone(), worse]);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].genome, vec![0]);
     }
 
     #[test]

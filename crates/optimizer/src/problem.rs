@@ -11,12 +11,48 @@
 //! evaluator) accelerates NSGA-II, random, exhaustive and pruning searches
 //! at once. The default implementation falls back to rayon-parallel scalar
 //! evaluation, so closure-defined problems keep working unchanged.
+//!
+//! Problems may additionally declare **constraints**: per-genome violation
+//! magnitudes (`0.0` = satisfied) returned alongside the objectives in an
+//! [`Evaluation`]. Samplers apply Deb's constraint-dominance (a feasible
+//! point beats any infeasible one; infeasible points rank by total
+//! violation) — see [`crate::pareto::constrained_dominates`].
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A candidate solution: one choice index per dimension.
 pub type Genome = Vec<u16>;
+
+/// Objectives plus constraint violations of one genome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Objective vector (all minimized).
+    pub objectives: Vec<f64>,
+    /// One violation magnitude per constraint: `0.0` when satisfied,
+    /// positive when violated (in the constraint's own units).
+    pub violations: Vec<f64>,
+}
+
+impl Evaluation {
+    /// An evaluation of an unconstrained problem.
+    pub fn unconstrained(objectives: Vec<f64>) -> Self {
+        Self {
+            objectives,
+            violations: Vec::new(),
+        }
+    }
+
+    /// `true` when every constraint is satisfied (vacuously for none).
+    pub fn is_feasible(&self) -> bool {
+        self.violations.iter().all(|&v| v <= 0.0)
+    }
+
+    /// Sum of the violation magnitudes (the constraint-dominance key).
+    pub fn total_violation(&self) -> f64 {
+        self.violations.iter().map(|v| v.max(0.0)).sum()
+    }
+}
 
 /// A multi-objective minimization problem over a discrete space.
 ///
@@ -39,6 +75,40 @@ pub trait Problem: Sync {
     /// pass. Results must equal per-genome [`Problem::evaluate`] calls.
     fn evaluate_batch(&self, genomes: &[Genome]) -> Vec<Vec<f64>> {
         genomes.par_iter().map(|g| self.evaluate(g)).collect()
+    }
+
+    /// Number of constraints (default: unconstrained).
+    fn n_constraints(&self) -> usize {
+        0
+    }
+
+    /// Evaluate a genome's objectives *and* constraint violations.
+    ///
+    /// The default wraps [`Problem::evaluate`] with no violations;
+    /// constrained problems must override it (and keep the objectives
+    /// identical to `evaluate`).
+    fn evaluate_constrained(&self, genome: &[u16]) -> Evaluation {
+        Evaluation::unconstrained(self.evaluate(genome))
+    }
+
+    /// Evaluate a cohort's objectives and violations, in input order.
+    ///
+    /// The unconstrained default rides [`Problem::evaluate_batch`] so
+    /// batched engines stay on the fast path; constrained problems fall
+    /// back to parallel scalar [`Problem::evaluate_constrained`] calls
+    /// unless they override this with a batched pass of their own.
+    fn evaluate_batch_constrained(&self, genomes: &[Genome]) -> Vec<Evaluation> {
+        if self.n_constraints() == 0 {
+            self.evaluate_batch(genomes)
+                .into_iter()
+                .map(Evaluation::unconstrained)
+                .collect()
+        } else {
+            genomes
+                .par_iter()
+                .map(|g| self.evaluate_constrained(g))
+                .collect()
+        }
     }
 
     /// Total number of points in the space.
@@ -70,11 +140,17 @@ pub trait Problem: Sync {
     }
 }
 
+/// Boxed constraint-violation closure, as attached by
+/// [`FnProblem::with_constraints`].
+type ViolationFn = Box<dyn Fn(&[u16]) -> Vec<f64> + Sync + Send>;
+
 /// A problem defined by a closure (used heavily in tests and benches).
 pub struct FnProblem<F: Fn(&[u16]) -> Vec<f64> + Sync> {
     dims: Vec<usize>,
     n_objectives: usize,
     f: F,
+    n_constraints: usize,
+    violations: Option<ViolationFn>,
 }
 
 impl<F: Fn(&[u16]) -> Vec<f64> + Sync> FnProblem<F> {
@@ -86,7 +162,22 @@ impl<F: Fn(&[u16]) -> Vec<f64> + Sync> FnProblem<F> {
             dims,
             n_objectives,
             f,
+            n_constraints: 0,
+            violations: None,
         }
+    }
+
+    /// Attach constraints: `violations` returns one magnitude per
+    /// constraint (`0.0` = satisfied, positive = violated).
+    pub fn with_constraints(
+        mut self,
+        n_constraints: usize,
+        violations: impl Fn(&[u16]) -> Vec<f64> + Sync + Send + 'static,
+    ) -> Self {
+        assert!(n_constraints >= 1);
+        self.n_constraints = n_constraints;
+        self.violations = Some(Box::new(violations));
+        self
     }
 }
 
@@ -102,6 +193,25 @@ impl<F: Fn(&[u16]) -> Vec<f64> + Sync> Problem for FnProblem<F> {
     fn evaluate(&self, genome: &[u16]) -> Vec<f64> {
         (self.f)(genome)
     }
+
+    fn n_constraints(&self) -> usize {
+        self.n_constraints
+    }
+
+    fn evaluate_constrained(&self, genome: &[u16]) -> Evaluation {
+        let violations = match &self.violations {
+            Some(v) => {
+                let out = v(genome);
+                debug_assert_eq!(out.len(), self.n_constraints);
+                out
+            }
+            None => Vec::new(),
+        };
+        Evaluation {
+            objectives: (self.f)(genome),
+            violations,
+        }
+    }
 }
 
 /// One evaluated trial.
@@ -111,12 +221,39 @@ pub struct Trial {
     pub genome: Genome,
     /// Its objective vector (minimized).
     pub objectives: Vec<f64>,
+    /// Constraint violation magnitudes (empty for unconstrained problems,
+    /// and in artifacts written before constraints existed).
+    #[serde(default)]
+    pub violations: Vec<f64>,
 }
 
 impl Trial {
-    /// Create a trial.
+    /// Create an unconstrained trial.
     pub fn new(genome: Genome, objectives: Vec<f64>) -> Self {
-        Self { genome, objectives }
+        Self {
+            genome,
+            objectives,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Create a trial from a full [`Evaluation`].
+    pub fn from_evaluation(genome: Genome, evaluation: Evaluation) -> Self {
+        Self {
+            genome,
+            objectives: evaluation.objectives,
+            violations: evaluation.violations,
+        }
+    }
+
+    /// `true` when every constraint is satisfied (vacuously for none).
+    pub fn is_feasible(&self) -> bool {
+        self.violations.iter().all(|&v| v <= 0.0)
+    }
+
+    /// Sum of the violation magnitudes (the constraint-dominance key).
+    pub fn total_violation(&self) -> f64 {
+        self.violations.iter().map(|v| v.max(0.0)).sum()
     }
 }
 
@@ -165,5 +302,51 @@ mod tests {
     #[should_panic]
     fn empty_dims_panics() {
         FnProblem::new(vec![], 1, |_| vec![0.0]);
+    }
+
+    #[test]
+    fn unconstrained_problems_report_no_violations() {
+        let p = problem();
+        assert_eq!(p.n_constraints(), 0);
+        let e = p.evaluate_constrained(&[2, 1, 3]);
+        assert_eq!(e.objectives, vec![2.0, 4.0]);
+        assert!(e.violations.is_empty() && e.is_feasible());
+        assert_eq!(e.total_violation(), 0.0);
+        // The batched default rides evaluate_batch.
+        let batch = p.evaluate_batch_constrained(&[vec![2, 1, 3], vec![0, 0, 0]]);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| e.is_feasible()));
+    }
+
+    #[test]
+    fn constrained_fn_problem_reports_violations() {
+        // Constraint: g0 <= 1, violation in units of exceedance.
+        let p = problem().with_constraints(1, |g| vec![(g[0] as f64 - 1.0).max(0.0)]);
+        assert_eq!(p.n_constraints(), 1);
+        assert!(p.evaluate_constrained(&[1, 0, 0]).is_feasible());
+        let e = p.evaluate_constrained(&[2, 1, 3]);
+        assert!(!e.is_feasible());
+        assert_eq!(e.total_violation(), 1.0);
+        // Objectives stay identical to the unconstrained path.
+        assert_eq!(e.objectives, p.evaluate(&[2, 1, 3]));
+        // The batched default now routes through evaluate_constrained.
+        let batch = p.evaluate_batch_constrained(&[vec![0, 0, 0], vec![2, 0, 0]]);
+        assert!(batch[0].is_feasible() && !batch[1].is_feasible());
+    }
+
+    #[test]
+    fn trial_violations_default_on_deserialize() {
+        // Artifacts written before constraints existed still load.
+        let t: Trial = serde_json::from_str(r#"{"genome":[1],"objectives":[2.0]}"#).unwrap();
+        assert!(t.violations.is_empty() && t.is_feasible());
+        let t = Trial::from_evaluation(
+            vec![1],
+            Evaluation {
+                objectives: vec![2.0],
+                violations: vec![0.5],
+            },
+        );
+        assert!(!t.is_feasible());
+        assert_eq!(t.total_violation(), 0.5);
     }
 }

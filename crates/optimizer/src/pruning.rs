@@ -108,6 +108,14 @@ fn rank_cohort(objectives: &[Vec<f64>]) -> Vec<usize> {
 }
 
 /// Run successive halving on a multi-fidelity problem.
+///
+/// Constrained problems are supported at the **final rung only**: the
+/// full-fidelity cohort goes through
+/// [`Problem::evaluate_batch_constrained`], so survivors are the feasible
+/// front of the full-fidelity history. Reduced-fidelity pruning decisions
+/// remain objective-only ([`MultiFidelityProblem`] defines no per-fidelity
+/// constraint semantics), so a genome may survive rungs it would fail at
+/// full fidelity — never the other way around.
 pub fn successive_halving(
     problem: &dyn MultiFidelityProblem,
     config: &SuccessiveHalvingConfig,
@@ -132,29 +140,22 @@ pub fn successive_halving(
     let mut full_fidelity_history: Vec<Trial> = Vec::new();
 
     loop {
-        let at_full = fidelity >= 1.0 - 1e-12;
-        let fidelity_now = if at_full { 1.0 } else { fidelity };
-        rung_fidelities.push(fidelity_now);
-
-        let objectives_now = problem.evaluate_batch_at_fidelity(&cohort, fidelity_now);
-        let evaluated: Vec<(Genome, Vec<f64>)> =
-            cohort.iter().cloned().zip(objectives_now).collect();
-        cost += fidelity_now * evaluated.len() as f64;
-        raw += evaluated.len();
-        if at_full {
+        if fidelity >= 1.0 - 1e-12 {
+            // Final rung: evaluate through the constrained path so any
+            // violations land on the trials — the (constraint-aware)
+            // non-dominated set of the full-fidelity history is then the
+            // *feasible* front for constrained problems.
+            rung_fidelities.push(1.0);
+            let evaluations = problem.evaluate_batch_constrained(&cohort);
+            cost += cohort.len() as f64;
+            raw += cohort.len();
             full_fidelity_history.extend(
-                evaluated
+                cohort
                     .iter()
-                    .map(|(g, o)| Trial::new(g.clone(), o.clone())),
+                    .cloned()
+                    .zip(evaluations)
+                    .map(|(g, e)| Trial::from_evaluation(g, e)),
             );
-        }
-
-        let objectives: Vec<Vec<f64>> = evaluated.iter().map(|(_, o)| o.clone()).collect();
-        let order = rank_cohort(&objectives);
-
-        if at_full {
-            // Final rung reached: survivors are the full cohort's
-            // non-dominated set (already inside full_fidelity_history).
             let survivors = crate::pareto::non_dominated_trials(&full_fidelity_history);
             return SuccessiveHalvingResult {
                 survivors,
@@ -165,12 +166,18 @@ pub fn successive_halving(
             };
         }
 
+        rung_fidelities.push(fidelity);
+        let objectives = problem.evaluate_batch_at_fidelity(&cohort, fidelity);
+        cost += fidelity * cohort.len() as f64;
+        raw += cohort.len();
+        let order = rank_cohort(&objectives);
+
         // Keep the best 1/eta (at least enough to stay meaningful).
         let keep = (cohort.len() / config.eta).max(1);
         cohort = order
             .into_iter()
             .take(keep)
-            .map(|i| evaluated[i].0.clone())
+            .map(|i| cohort[i].clone())
             .collect();
         fidelity = (fidelity * config.eta as f64).min(1.0);
     }
@@ -196,6 +203,12 @@ mod tests {
         }
         fn evaluate(&self, genome: &[u16]) -> Vec<f64> {
             self.inner.evaluate(genome)
+        }
+        fn n_constraints(&self) -> usize {
+            self.inner.n_constraints()
+        }
+        fn evaluate_constrained(&self, genome: &[u16]) -> crate::problem::Evaluation {
+            self.inner.evaluate_constrained(genome)
         }
     }
 
@@ -312,6 +325,40 @@ mod tests {
         assert_eq!(result.rung_fidelities, vec![1.0]);
         assert_eq!(result.raw_evaluations, 32);
         assert!((result.equivalent_full_evaluations - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_survivors_are_feasible() {
+        // Constraint: g0 <= 7. Low-fidelity rungs prune on objectives
+        // alone, but the final rung records violations, so no
+        // cap-breaking genome may reach the survivor front while any
+        // feasible genome was evaluated at full fidelity.
+        let p = NoisyProblem {
+            inner: FnProblem::new(vec![16, 16], 2, |g| {
+                let x = g[0] as f64 / 15.0;
+                let penalty = g[1] as f64 * 0.08;
+                vec![x + penalty, 1.0 - x + penalty]
+            })
+            .with_constraints(1, |g| vec![(g[0] as f64 - 7.0).max(0.0)]),
+        };
+        let result = successive_halving(
+            &p,
+            &SuccessiveHalvingConfig {
+                initial_cohort: 128,
+                eta: 2,
+                min_fidelity: 0.25,
+                seed: 4,
+            },
+        );
+        assert!(result
+            .full_fidelity_history
+            .iter()
+            .any(|t| t.genome[0] <= 7));
+        assert!(!result.survivors.is_empty());
+        for t in &result.survivors {
+            assert!(t.is_feasible(), "cap-breaking survivor: {t:?}");
+            assert!(t.genome[0] <= 7);
+        }
     }
 
     #[test]

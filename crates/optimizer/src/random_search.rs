@@ -10,16 +10,17 @@ use crate::study::OptimizationResult;
 
 /// Sample `n_trials` genomes uniformly without replacement (falling back
 /// to the full space when it is smaller) and evaluate them in one batched
-/// pass ([`Problem::evaluate_batch`] parallelizes internally).
+/// pass ([`Problem::evaluate_batch_constrained`] parallelizes internally
+/// and records any constraint violations).
 pub fn random_search(problem: &dyn Problem, n_trials: usize, seed: u64) -> OptimizationResult {
     let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7a2d_0b5f);
     let genomes = sample_unique_genomes(problem.dims(), n_trials, &mut rng);
     let sampled = genomes.len();
-    let objectives = problem.evaluate_batch(&genomes);
+    let evaluations = problem.evaluate_batch_constrained(&genomes);
     let history: Vec<Trial> = genomes
         .into_iter()
-        .zip(objectives)
-        .map(|(g, o)| Trial::new(g, o))
+        .zip(evaluations)
+        .map(|(g, e)| Trial::from_evaluation(g, e))
         .collect();
     OptimizationResult::from_history(history, sampled, sampled)
 }

@@ -63,7 +63,12 @@
 //! tCO2/day, peak *concurrent* grid import). `core::FleetScenario` /
 //! `core::fleet_sweep` are the configuration and sweep layers on top
 //! (`tests/fleet_agreement.rs` pins the fleet engine to both the batch
-//! engine and the cosim `Environment` oracle).
+//! engine and the cosim `Environment` oracle), and `core::FleetProblem`
+//! exposes the cross-product plan space (one composition index per site)
+//! to every sampler, with the peak concurrent-import cap as an optional
+//! constraint under NSGA-II's constraint-dominance
+//! (`tests/fleet_search_agreement.rs` pins the search against exhaustive
+//! fleet sweeps).
 
 pub use mgopt_core as core;
 pub use mgopt_cosim as cosim;
@@ -80,8 +85,9 @@ pub use mgopt_workload as workload;
 pub mod prelude {
     pub use mgopt_core::experiments;
     pub use mgopt_core::{
-        fleet_sweep, sweep_all, CompositionProblem, FleetAssignment, FleetScenario, ObjectiveKind,
-        ObjectiveSet, PreparedFleet, PreparedScenario, ScenarioConfig, SitePreset, WorkloadConfig,
+        fleet_sweep, sweep_all, CompositionProblem, FleetAssignment, FleetProblem, FleetScenario,
+        ObjectiveKind, ObjectiveSet, PreparedFleet, PreparedScenario, ScenarioConfig, SitePreset,
+        WorkloadConfig,
     };
     pub use mgopt_microgrid::{
         simulate_batch, simulate_year, simulate_year_cosim, BatchEvaluator, Composition,

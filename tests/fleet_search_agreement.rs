@@ -1,0 +1,184 @@
+//! Pins the fleet-plan search stack: `FleetProblem` + NSGA-II must
+//! recover the *exact* Pareto front that the exhaustive interleaved
+//! `fleet_sweep` produces on an `MGOPT_FAST`-sized grid, and under a peak
+//! concurrent-import cap every plan the search returns must satisfy the
+//! cap (constraint-dominance end to end).
+
+use std::collections::BTreeSet;
+
+use microgrid_opt::optimizer::{exhaustive_search, non_dominated_indices, Problem};
+use microgrid_opt::prelude::*;
+
+/// The paper fleet on a 2x2x2-per-site grid: 8 compositions per member,
+/// 64 fleet plans — small enough that exhaustive truth is instant and the
+/// genetic search can be required to be *exact*, not just close.
+fn tiny_fleet() -> PreparedFleet {
+    let mut scenario = FleetScenario::paper();
+    for m in &mut scenario.members {
+        m.scenario.space = CompositionSpace {
+            wind_choices: vec![0, 4],
+            solar_choices_kw: vec![0.0, 16_000.0],
+            battery_choices_kwh: vec![0.0, 22_500.0],
+        };
+    }
+    scenario.prepare()
+}
+
+/// Genomes of the true fleet Pareto front, from exhaustive sweep results.
+fn exhaustive_front(
+    fleet: &PreparedFleet,
+    problem: &FleetProblem<'_>,
+    results: &[FleetResult],
+) -> BTreeSet<Vec<u16>> {
+    assert_eq!(results.len(), problem.space_size());
+    assert_eq!(fleet.n_sites(), 2);
+    let objectives: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| vec![r.fleet.operational_t_per_day, r.fleet.embodied_t])
+        .collect();
+    non_dominated_indices(&objectives)
+        .into_iter()
+        .map(|i| problem.genome_at(i))
+        .collect()
+}
+
+fn paper_nsga2(seed: u64, space: usize) -> Study {
+    Study::new(Sampler::Nsga2(Nsga2Config {
+        population_size: 50,
+        max_trials: (4 * space).max(350),
+        seed,
+        ..Nsga2Config::default()
+    }))
+}
+
+#[test]
+fn nsga2_recovers_exact_exhaustive_fleet_front() {
+    let fleet = tiny_fleet();
+    let problem = FleetProblem::new(&fleet);
+    let sweep = fleet_sweep(&fleet, FleetAssignment::CrossProduct);
+    let truth = exhaustive_front(&fleet, &problem, &sweep);
+    assert!(
+        truth.len() >= 5,
+        "degenerate ground-truth front: {}",
+        truth.len()
+    );
+
+    let result = paper_nsga2(42, problem.space_size()).optimize(&problem);
+    let found: BTreeSet<Vec<u16>> = result
+        .pareto_front()
+        .iter()
+        .map(|t| t.genome.clone())
+        .collect();
+    assert_eq!(
+        found, truth,
+        "NSGA-II front differs from the exhaustive fleet-sweep front"
+    );
+
+    // The sweep's plan order and the problem's genome order agree, so the
+    // recovered objectives are bit-identical to the sweep's, not merely
+    // front-equivalent.
+    for t in result.pareto_front() {
+        let r = &sweep[problem.index_of(&t.genome)];
+        assert_eq!(t.objectives[0], r.fleet.operational_t_per_day);
+        assert_eq!(t.objectives[1], r.fleet.embodied_t);
+    }
+}
+
+#[test]
+fn exhaustive_search_over_fleet_problem_matches_fleet_sweep() {
+    // The optimizer-side exhaustive sampler and the core-side fleet_sweep
+    // enumerate the same plans in the same order with identical scores.
+    let fleet = tiny_fleet();
+    let problem = FleetProblem::new(&fleet);
+    let sweep = fleet_sweep(&fleet, FleetAssignment::CrossProduct);
+    let result = exhaustive_search(&problem);
+    assert_eq!(result.history.len(), sweep.len());
+    for (t, r) in result.history.iter().zip(&sweep) {
+        assert_eq!(problem.plan(&t.genome), r.plan());
+        assert_eq!(t.objectives[0], r.fleet.operational_t_per_day);
+        assert_eq!(t.objectives[1], r.fleet.embodied_t);
+        assert!(t.violations.is_empty(), "unconstrained problem");
+    }
+}
+
+#[test]
+fn capped_search_returns_only_cap_satisfying_plans() {
+    let fleet = tiny_fleet();
+    let sweep = fleet_sweep(&fleet, FleetAssignment::CrossProduct);
+    let peaks: Vec<f64> = sweep
+        .iter()
+        .map(|r| r.fleet.peak_concurrent_import_kw.expect("tracked"))
+        .collect();
+    let min_peak = peaks.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_peak = peaks.iter().copied().fold(0.0f64, f64::max);
+    // A binding cap: some plans feasible, the grid-heavy ones not.
+    let cap_kw = min_peak + 0.25 * (max_peak - min_peak);
+    assert!(peaks.iter().any(|&p| p <= cap_kw));
+    assert!(peaks.iter().any(|&p| p > cap_kw));
+
+    let problem = FleetProblem::new(&fleet).with_peak_cap_kw(cap_kw);
+    let result = paper_nsga2(7, problem.space_size()).optimize(&problem);
+    let front = result.pareto_front();
+    assert!(!front.is_empty());
+    for t in &front {
+        assert!(t.is_feasible(), "infeasible plan on the front: {t:?}");
+        // Re-check against the independently swept peak, not the
+        // problem's own bookkeeping.
+        let peak = peaks[problem.index_of(&t.genome)];
+        assert!(
+            peak <= cap_kw,
+            "plan {:?} breaks the cap: {peak} > {cap_kw} kW",
+            t.genome
+        );
+    }
+
+    // The constrained front equals the non-dominated subset of the
+    // *feasible* exhaustive plans.
+    let feasible: Vec<usize> = (0..sweep.len()).filter(|&i| peaks[i] <= cap_kw).collect();
+    let objectives: Vec<Vec<f64>> = feasible
+        .iter()
+        .map(|&i| {
+            vec![
+                sweep[i].fleet.operational_t_per_day,
+                sweep[i].fleet.embodied_t,
+            ]
+        })
+        .collect();
+    let truth: BTreeSet<Vec<u16>> = non_dominated_indices(&objectives)
+        .into_iter()
+        .map(|k| problem.genome_at(feasible[k]))
+        .collect();
+    let found: BTreeSet<Vec<u16>> = front.iter().map(|t| t.genome.clone()).collect();
+    assert_eq!(
+        found, truth,
+        "constrained front differs from feasible truth"
+    );
+}
+
+#[test]
+fn infeasible_cap_degrades_to_least_violating_plans() {
+    // A cap below every plan's peak: nothing is feasible, and the front
+    // must collapse onto the minimum-violation (= minimum-peak) plans
+    // instead of silently returning cap-breaking "optima" as feasible.
+    let fleet = tiny_fleet();
+    let sweep = fleet_sweep(&fleet, FleetAssignment::CrossProduct);
+    let peaks: Vec<f64> = sweep
+        .iter()
+        .map(|r| r.fleet.peak_concurrent_import_kw.expect("tracked"))
+        .collect();
+    let min_peak = peaks.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(min_peak > 0.0, "tiny grid should not fully cover the load");
+
+    let problem = FleetProblem::new(&fleet).with_peak_cap_kw(min_peak * 0.5);
+    let result = paper_nsga2(3, problem.space_size()).optimize(&problem);
+    let front = result.pareto_front();
+    assert!(!front.is_empty());
+    for t in &front {
+        assert!(!t.is_feasible());
+        let peak = peaks[problem.index_of(&t.genome)];
+        assert!(
+            (peak - min_peak).abs() < 1e-9,
+            "front member is not a least-violating plan: peak {peak} vs {min_peak}"
+        );
+    }
+}

@@ -163,7 +163,7 @@ pub mod strategies {
     pub mod collection {
         use super::*;
 
-        /// Lengths acceptable to [`vec`].
+        /// Lengths acceptable to [`vec()`].
         pub trait SizeRange {
             /// Draw a length.
             fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -193,7 +193,7 @@ pub mod strategies {
             VecStrategy { element, size }
         }
 
-        /// The [`vec`] strategy.
+        /// The [`vec()`] strategy.
         pub struct VecStrategy<S, Z> {
             element: S,
             size: Z,
