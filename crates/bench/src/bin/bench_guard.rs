@@ -15,6 +15,7 @@
 
 use std::path::{Path, PathBuf};
 
+use mgopt_bench::TelemetrySection;
 use serde::Deserialize;
 
 /// Committed floors: a fresh speedup must stay above
@@ -73,6 +74,11 @@ struct FleetSearchArtifact {
     speedup: f64,
     agreement: bool,
     threads: usize,
+    /// Optional instrumentation section: validated when present, tolerated
+    /// when absent (pre-telemetry artifacts — and the committed baseline —
+    /// keep loading unchanged).
+    #[serde(default)]
+    telemetry: Option<TelemetrySection>,
 }
 
 /// Per-site composition count the current mode must have produced, if it
@@ -230,6 +236,32 @@ fn main() {
                 && a.threads >= 1,
             "fleet_search: malformed sites/front/timings".into(),
         );
+        // Telemetry section: sanity-only (no overhead gating — enabled-run
+        // timing is too noisy for a CI floor). An instrumented fleet
+        // search must have walked the fleet kernel and seen cache traffic.
+        if let Some(t) = a.telemetry {
+            check(
+                t.stages
+                    .iter()
+                    .any(|s| s.name == "fleet.kernel" && s.calls > 0),
+                "fleet_search: telemetry section has no fleet.kernel spans".into(),
+            );
+            check(
+                t.stages.iter().all(|s| s.total_ms >= 0.0 && s.calls > 0),
+                "fleet_search: malformed telemetry stage row".into(),
+            );
+            check(
+                t.evals_per_sec > 0.0,
+                "fleet_search: telemetry evals_per_sec not positive".into(),
+            );
+            check(
+                (0.0..=1.0).contains(&t.cache_hit_rate),
+                format!(
+                    "fleet_search: cache hit rate {} outside [0, 1]",
+                    t.cache_hit_rate
+                ),
+            );
+        }
     }
 
     if errors.is_empty() {

@@ -17,13 +17,17 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use mgopt_bench::TelemetrySection;
 use mgopt_core::{FleetProblem, FleetScenario};
 use mgopt_optimizer::{Nsga2Config, Nsga2Optimizer, Problem};
+use mgopt_telemetry as telemetry;
 use serde::Serialize;
 
 /// The artifact schema. `agreement` records that the batched and scalar
 /// searches produced bit-identical trial histories (same seeds, and the
-/// fleet engine's cohort results are pinned to single-plan runs).
+/// fleet engine's cohort results are pinned to single-plan runs). The
+/// `telemetry_*` fields are the instrumentation A/B: the same batched
+/// search re-timed with collection on, plus the collected section.
 #[derive(Debug, Serialize)]
 struct FleetSearchBench {
     sites: Vec<String>,
@@ -32,6 +36,7 @@ struct FleetSearchBench {
     population: usize,
     max_trials: usize,
     unique_evaluations: usize,
+    cache_hit_rate: f64,
     front_size: usize,
     samples: usize,
     batched_ms_min: f64,
@@ -39,6 +44,9 @@ struct FleetSearchBench {
     speedup: f64,
     agreement: bool,
     threads: usize,
+    telemetry_enabled_ms_min: f64,
+    telemetry_overhead_pct: f64,
+    telemetry: TelemetrySection,
 }
 
 /// Hides a problem's batched override so cohorts fall back to the
@@ -63,6 +71,11 @@ impl Problem for ScalarFallback<'_> {
 use mgopt_bench::min_ms;
 
 fn main() {
+    // Resolve MGOPT_TRACE first (installing any requested sink), then force
+    // collection off so the A/B timing below starts from the disabled path.
+    telemetry::enabled();
+    telemetry::set_enabled(false);
+
     let mut scenario = FleetScenario::paper();
     for m in &mut scenario.members {
         m.scenario.space = mgopt_bench::space();
@@ -112,6 +125,25 @@ fn main() {
 
     let batched_min = min_ms(&batched_ms);
     let scalar_min = min_ms(&scalar_ms);
+
+    // Telemetry A/B: the same batched search with collection ON (spans,
+    // counters, and events to any MGOPT_TRACE sink). The disabled-path
+    // baseline is `batched_min` above — the overhead of telemetry-off
+    // instrumentation is already inside it, and the enabled re-run bounds
+    // the cost of switching collection on.
+    telemetry::reset_stats();
+    telemetry::set_enabled(true);
+    let mut enabled_ms = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        std::hint::black_box(optimizer.run(&problem).history.len());
+        enabled_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let section = mgopt_bench::collect_telemetry_section();
+    telemetry::set_enabled(false);
+    let enabled_min = min_ms(&enabled_ms);
+    let overhead_pct = (enabled_min / batched_min - 1.0) * 1e2;
+
     let bench = FleetSearchBench {
         sites: fleet.names.clone(),
         space_per_site: problem.dims().to_vec(),
@@ -119,6 +151,7 @@ fn main() {
         population: config.population_size,
         max_trials: config.max_trials,
         unique_evaluations: batched_run.unique_evaluations,
+        cache_hit_rate: batched_run.cache_hit_rate().unwrap_or(0.0),
         front_size: batched_run.pareto_front().len(),
         samples,
         batched_ms_min: batched_min,
@@ -126,6 +159,9 @@ fn main() {
         speedup: scalar_min / batched_min,
         agreement,
         threads: rayon::current_num_threads(),
+        telemetry_enabled_ms_min: enabled_min,
+        telemetry_overhead_pct: overhead_pct,
+        telemetry: section,
     };
 
     println!(
@@ -137,6 +173,27 @@ fn main() {
         batched_min,
         scalar_min,
         bench.speedup
+    );
+    println!(
+        "memo cache: {} hits / {} misses over {} sampled trials ({:.1}% hit rate)",
+        batched_run.cache_hits,
+        batched_run.cache_misses,
+        batched_run.sampled_trials,
+        bench.cache_hit_rate * 1e2
+    );
+    println!(
+        "telemetry: enabled run {enabled_min:.1} ms vs disabled {batched_min:.1} ms \
+         ({overhead_pct:+.1}% — timing noise dominates at near-zero overhead)"
+    );
+    for stage in &bench.telemetry.stages {
+        println!(
+            "  {:<16} {:>6} spans {:>10.1} ms (CPU)",
+            stage.name, stage.calls, stage.total_ms
+        );
+    }
+    println!(
+        "  engine throughput {:.2e} candidate-steps/s of kernel CPU time",
+        bench.telemetry.evals_per_sec
     );
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet_search.json");

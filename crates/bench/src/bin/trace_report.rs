@@ -1,0 +1,267 @@
+//! Summarize an `MGOPT_TRACE` JSONL trace: per-stage engine time
+//! breakdown, search-convergence table (NSGA-II generations), pruning
+//! rungs and sampler cohorts.
+//!
+//! ```text
+//! MGOPT_TRACE=trace.jsonl cargo run --release --example fleet_search
+//! cargo run --release -p mgopt-bench --bin trace_report -- trace.jsonl
+//! cargo run --release -p mgopt-bench --bin trace_report -- trace.jsonl --check
+//! ```
+//!
+//! `--check` validates the trace instead of summarizing it: every line
+//! must parse as a flat trace event, and every *known* event kind must
+//! carry its required fields (unknown kinds pass — the schema is
+//! forward-compatible). Exit status 1 on any violation, with line
+//! numbers. CI runs a traced example through `--check` so the event
+//! schema cannot silently rot.
+
+use std::process::ExitCode;
+
+use mgopt_telemetry::parse::{parse_line, TraceEvent};
+
+/// Required numeric fields per known event kind. `sampler` additionally
+/// requires a string `kind`; unknown event kinds are accepted as-is.
+fn required_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "trace_start" => &[],
+        "batch_eval" => &[
+            "candidates",
+            "steps",
+            "chunks",
+            "rows",
+            "prepare_ms",
+            "kernel_ms",
+            "wall_ms",
+        ],
+        "fleet_eval" => &[
+            "plans",
+            "sites",
+            "steps",
+            "chunks",
+            "rows",
+            "prepare_ms",
+            "kernel_ms",
+            "wall_ms",
+        ],
+        "generation" => &[
+            "gen",
+            "cohort",
+            "cache_hits",
+            "cache_misses",
+            "feasible",
+            "front",
+        ],
+        "rung" => &["rung", "fidelity", "cohort", "kept"],
+        "sampler" => &["evals"],
+        _ => &[],
+    }
+}
+
+fn check_event(ev: &TraceEvent) -> Result<(), String> {
+    for &field in required_fields(&ev.kind) {
+        if ev.num(field).is_none() {
+            return Err(format!(
+                "event `{}` missing numeric field `{field}`",
+                ev.kind
+            ));
+        }
+    }
+    if ev.kind == "sampler" && ev.str("kind").is_none() {
+        return Err("event `sampler` missing string field `kind`".into());
+    }
+    Ok(())
+}
+
+/// Aggregated engine-pass stats for one event kind.
+#[derive(Default)]
+struct EngineAgg {
+    calls: u64,
+    rows: u64,
+    chunks: u64,
+    prepare_ms: f64,
+    kernel_ms: f64,
+    wall_ms: f64,
+}
+
+impl EngineAgg {
+    fn absorb(&mut self, ev: &TraceEvent) {
+        self.calls += 1;
+        self.rows += ev.uint("rows").unwrap_or(0);
+        self.chunks += ev.uint("chunks").unwrap_or(0);
+        self.prepare_ms += ev.num("prepare_ms").unwrap_or(0.0);
+        self.kernel_ms += ev.num("kernel_ms").unwrap_or(0.0);
+        self.wall_ms += ev.num("wall_ms").unwrap_or(0.0);
+    }
+
+    fn print(&self, label: &str) {
+        if self.calls == 0 {
+            return;
+        }
+        let throughput = if self.kernel_ms > 0.0 {
+            self.rows as f64 / (self.kernel_ms / 1e3)
+        } else {
+            0.0
+        };
+        println!(
+            "  {label:<12} {:>6} passes {:>10} chunks {:>14} rows   \
+             prepare {:>9.1} ms   kernel {:>9.1} ms   wall {:>9.1} ms   {:>10.2e} rows/s",
+            self.calls,
+            self.chunks,
+            self.rows,
+            self.prepare_ms,
+            self.kernel_ms,
+            self.wall_ms,
+            throughput
+        );
+    }
+}
+
+fn summarize(events: &[TraceEvent]) {
+    let span_ms = events
+        .last()
+        .map(|e| e.t_ms)
+        .unwrap_or(0.0)
+        .max(events.first().map(|e| e.t_ms).unwrap_or(0.0));
+    println!(
+        "trace: {} events over {:.1} ms",
+        events.len(),
+        span_ms - events.first().map(|e| e.t_ms).unwrap_or(0.0)
+    );
+
+    // Engine passes.
+    let mut batch = EngineAgg::default();
+    let mut fleet = EngineAgg::default();
+    for ev in events {
+        match ev.kind.as_str() {
+            "batch_eval" => batch.absorb(ev),
+            "fleet_eval" => fleet.absorb(ev),
+            _ => {}
+        }
+    }
+    if batch.calls + fleet.calls > 0 {
+        println!("\nengine passes (stage times sum worker-thread CPU time):");
+        batch.print("batch");
+        fleet.print("fleet");
+    }
+
+    // Search convergence.
+    let generations: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "generation").collect();
+    if !generations.is_empty() {
+        let has_hv = generations.iter().any(|e| e.num("hv").is_some());
+        println!("\nsearch convergence ({} generations):", generations.len());
+        print!(
+            "  {:>5} {:>7} {:>6} {:>7} {:>9} {:>6}",
+            "gen", "cohort", "hits", "misses", "feasible", "front"
+        );
+        if has_hv {
+            print!(" {:>12}", "hv");
+        }
+        println!(" {:>14} {:>14}", "best_obj0", "best_obj1");
+        for ev in &generations {
+            print!(
+                "  {:>5} {:>7} {:>6} {:>7} {:>9} {:>6}",
+                ev.uint("gen").unwrap_or(0),
+                ev.uint("cohort").unwrap_or(0),
+                ev.uint("cache_hits").unwrap_or(0),
+                ev.uint("cache_misses").unwrap_or(0),
+                ev.uint("feasible").unwrap_or(0),
+                ev.uint("front").unwrap_or(0),
+            );
+            if has_hv {
+                match ev.num("hv") {
+                    Some(hv) => print!(" {hv:>12.4}"),
+                    None => print!(" {:>12}", "-"),
+                }
+            }
+            let best = |k: &str| {
+                ev.num(k)
+                    .map(|v| format!("{v:>14.4}"))
+                    .unwrap_or_else(|| format!("{:>14}", "-"))
+            };
+            println!("{}{}", best("best_obj0"), best("best_obj1"));
+        }
+    }
+
+    // Pruning rungs.
+    let rungs: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "rung").collect();
+    if !rungs.is_empty() {
+        println!("\nsuccessive-halving rungs:");
+        println!(
+            "  {:>5} {:>10} {:>8} {:>6}",
+            "rung", "fidelity", "cohort", "kept"
+        );
+        for ev in &rungs {
+            println!(
+                "  {:>5} {:>10.4} {:>8} {:>6}",
+                ev.uint("rung").unwrap_or(0),
+                ev.num("fidelity").unwrap_or(0.0),
+                ev.uint("cohort").unwrap_or(0),
+                ev.uint("kept").unwrap_or(0),
+            );
+        }
+    }
+
+    // Plain samplers.
+    for ev in events.iter().filter(|e| e.kind == "sampler") {
+        println!(
+            "\nsampler `{}`: {} evaluations",
+            ev.str("kind").unwrap_or("?"),
+            ev.uint("evals").unwrap_or(0)
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = paths[..] else {
+        eprintln!("usage: trace_report <trace.jsonl> [--check]");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut violations = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line).and_then(|ev| check_event(&ev).map(|()| ev)) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("trace_report: line {}: {e}", i + 1);
+                violations += 1;
+            }
+        }
+    }
+
+    if check {
+        if violations == 0 && !events.is_empty() {
+            println!("trace_report: {} events, schema OK", events.len());
+            return ExitCode::SUCCESS;
+        }
+        if events.is_empty() {
+            eprintln!("trace_report: no events in {path}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    if events.is_empty() {
+        eprintln!("trace_report: no parseable events in {path}");
+        return ExitCode::FAILURE;
+    }
+    summarize(&events);
+    if violations > 0 {
+        eprintln!("trace_report: {violations} malformed line(s) skipped");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

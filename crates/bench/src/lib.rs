@@ -13,14 +13,23 @@
 //! | `search_performance` | §4.4 comparison |
 //! | `beyond_carbon` | §4.3 additional objectives |
 //!
-//! Set `MGOPT_FAST=1` to run on a reduced composition space (for smoke
-//! tests); the default regenerates the full 1,089-point studies.
+//! ## Environment variables
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `MGOPT_FAST=1` | Reduced 27-point composition space (smoke tests). |
+//! | `MGOPT_DENSE="<mw>,<mwh>"` | Denser-than-paper grid: solar step in MW, battery step in MWh (e.g. `"2,5"`). Malformed values abort with a usage message. |
+//! | `MGOPT_TRACE=<path>` | Structured JSONL telemetry trace (spans, counters, per-generation search events) written to `path`; summarize with the `trace_report` bin. Disabled costs one relaxed atomic load per instrumented call. |
+//!
+//! The default (no variables) regenerates the full 1,089-point studies
+//! untraced.
 
 use std::path::PathBuf;
 
 use mgopt_core::{PreparedScenario, ScenarioConfig};
 use mgopt_microgrid::CompositionSpace;
-use serde::Serialize;
+use mgopt_telemetry::{self as telemetry, Counter, Stage};
+use serde::{Deserialize, Serialize};
 
 /// `true` when `MGOPT_FAST=1` (reduced spaces for smoke runs).
 pub fn fast_mode() -> bool {
@@ -32,19 +41,41 @@ pub fn fast_mode() -> bool {
 /// The denser-than-paper grid requested via `MGOPT_DENSE="<mw>,<mwh>"`
 /// (solar step in MW, battery step in MWh), if any.
 ///
-/// # Panics
-/// Panics when the variable is set but not two comma-separated positive
-/// numbers — a silently ignored typo would mislabel benchmark artifacts.
+/// A malformed value prints the [`parse_dense`] error (which states the
+/// expected format) and exits with status 2 — a silently ignored typo
+/// would mislabel benchmark artifacts, and a mid-bench panic buries the
+/// usage message under a backtrace.
 pub fn dense_steps() -> Option<(f64, f64)> {
     let v = std::env::var("MGOPT_DENSE").ok()?;
+    match parse_dense(&v) {
+        Ok(steps) => Some(steps),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse an `MGOPT_DENSE` value: two comma-separated positive numbers
+/// (solar step in MW, battery step in MWh). The `Err` message states the
+/// expected format.
+pub fn parse_dense(v: &str) -> Result<(f64, f64), String> {
+    const USAGE: &str = "want \"<step_mw>,<step_mwh>\" with positive numbers, e.g. \"2,5\"";
     let parse = |s: &str| {
         s.trim()
             .parse::<f64>()
-            .unwrap_or_else(|_| panic!("MGOPT_DENSE: bad number {s:?} (want \"<mw>,<mwh>\")"))
+            .map_err(|_| format!("MGOPT_DENSE: bad number {s:?} ({USAGE})"))
     };
     match v.split(',').collect::<Vec<_>>()[..] {
-        [mw, mwh] => Some((parse(mw), parse(mwh))),
-        _ => panic!("MGOPT_DENSE: want \"<step_mw>,<step_mwh>\", got {v:?}"),
+        [mw, mwh] => {
+            let steps = (parse(mw)?, parse(mwh)?);
+            if steps.0 > 0.0 && steps.1 > 0.0 {
+                Ok(steps)
+            } else {
+                Err(format!("MGOPT_DENSE: non-positive step in {v:?} ({USAGE})"))
+            }
+        }
+        _ => Err(format!("MGOPT_DENSE: got {v:?} ({USAGE})")),
     }
 }
 
@@ -84,6 +115,71 @@ pub fn berkeley() -> PreparedScenario {
 /// so the minimum is the robust estimator of intrinsic cost.
 pub fn min_ms(samples: &[f64]) -> f64 {
     samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// One stage row of a [`TelemetrySection`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryStage {
+    /// Stage name (`"batch.kernel"`, …).
+    pub name: String,
+    /// Completed spans.
+    pub calls: u64,
+    /// Summed span time, ms (CPU-time semantics across worker threads).
+    pub total_ms: f64,
+}
+
+/// The optional `telemetry` section of BENCH artifacts: per-stage time
+/// breakdown plus engine throughput and memo-cache effectiveness from an
+/// instrumented (telemetry-enabled) run. `bench_guard` sanity-checks the
+/// section when present and tolerates artifacts without one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySection {
+    /// Stages with at least one recorded span.
+    pub stages: Vec<TelemetryStage>,
+    /// Candidate-steps pushed through the engine kernels per second of
+    /// kernel CPU time (`(batch.rows + fleet.rows) / kernel seconds`).
+    pub evals_per_sec: f64,
+    /// NSGA-II memo-cache hit rate over sampled genomes, `[0, 1]`; zero
+    /// when the run recorded no cache activity.
+    pub cache_hit_rate: f64,
+}
+
+/// Snapshot the current telemetry aggregates into an artifact section.
+///
+/// Call after an instrumented run, having called
+/// [`mgopt_telemetry::reset_stats`] at the start of the window you want
+/// attributed.
+pub fn collect_telemetry_section() -> TelemetrySection {
+    let stages: Vec<TelemetryStage> = telemetry::stage_totals()
+        .into_iter()
+        .filter(|s| s.calls > 0)
+        .map(|s| TelemetryStage {
+            name: s.name.to_string(),
+            calls: s.calls,
+            total_ms: s.total_ms,
+        })
+        .collect();
+    let rows =
+        telemetry::counter_value(Counter::BatchRows) + telemetry::counter_value(Counter::FleetRows);
+    let kernel_ms =
+        telemetry::stage_ms(Stage::BatchKernel) + telemetry::stage_ms(Stage::FleetKernel);
+    let evals_per_sec = if kernel_ms > 0.0 {
+        rows as f64 / (kernel_ms / 1e3)
+    } else {
+        0.0
+    };
+    let hits = telemetry::counter_value(Counter::CacheHits);
+    let misses = telemetry::counter_value(Counter::CacheMisses);
+    let cache_hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    TelemetrySection {
+        stages,
+        evals_per_sec,
+        cache_hit_rate,
+    }
 }
 
 /// Write a JSON artifact under `results/` (best effort — printing is the
@@ -127,5 +223,40 @@ mod tests {
         let h = houston();
         assert_eq!(h.site_name(), "Houston, TX");
         std::env::remove_var("MGOPT_FAST");
+    }
+
+    #[test]
+    fn parse_dense_accepts_two_positive_numbers() {
+        assert_eq!(parse_dense("2,5"), Ok((2.0, 5.0)));
+        assert_eq!(parse_dense(" 0.5 , 7.5 "), Ok((0.5, 7.5)));
+    }
+
+    #[test]
+    fn parse_dense_errors_state_the_expected_format() {
+        for bad in ["", "2", "2,5,9", "two,5", "2,", "-2,5", "0,5"] {
+            let err = parse_dense(bad).unwrap_err();
+            assert!(
+                err.contains("MGOPT_DENSE") && err.contains("<step_mw>,<step_mwh>"),
+                "unhelpful message for {bad:?}: {err}"
+            );
+        }
+        assert!(parse_dense("two,5").unwrap_err().contains("bad number"));
+        assert!(parse_dense("0,5").unwrap_err().contains("non-positive"));
+    }
+
+    #[test]
+    fn telemetry_section_round_trips_through_json() {
+        let section = TelemetrySection {
+            stages: vec![TelemetryStage {
+                name: "batch.kernel".into(),
+                calls: 4,
+                total_ms: 12.5,
+            }],
+            evals_per_sec: 1.5e8,
+            cache_hit_rate: 0.25,
+        };
+        let json = serde_json::to_string(&section).unwrap();
+        let back: TelemetrySection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, section);
     }
 }

@@ -37,6 +37,7 @@
 //! cross-checks and one-off evaluations.
 
 use mgopt_storage::{ClcBattery, ClcParams, Storage};
+use mgopt_telemetry::{self as telemetry, Counter, Stage};
 use mgopt_units::{Power, SimDuration, TimeSeries};
 use rayon::prelude::*;
 
@@ -240,12 +241,39 @@ pub fn simulate_batch_period(
     // Demand is identical for every candidate: accumulate it once.
     let demand_kwh: f64 = load_kw.values()[..n].iter().sum::<f64>() * data.step().hours();
 
+    // Stage-total snapshots attribute this call's prepare/kernel time in
+    // the emitted event (search layers call engines sequentially, so the
+    // deltas are this call's own spans).
+    let trace = telemetry::enabled().then(|| {
+        (
+            std::time::Instant::now(),
+            telemetry::stage_ms(Stage::BatchPrepare),
+            telemetry::stage_ms(Stage::BatchKernel),
+        )
+    });
+
     let chunks: Vec<&[Composition]> = comps.chunks(CHUNK).collect();
     let nested: Vec<Vec<AnnualResult>> = chunks
         .into_par_iter()
         .map(|chunk| run_chunk(data, load_kw, chunk, cfg, n, demand_kwh))
         .collect();
-    nested.into_iter().flatten().collect()
+    let out: Vec<AnnualResult> = nested.into_iter().flatten().collect();
+
+    if let Some((t0, prep0, kern0)) = trace {
+        telemetry::Event::new("batch_eval")
+            .u64("candidates", comps.len() as u64)
+            .u64("steps", n as u64)
+            .u64("chunks", comps.len().div_ceil(CHUNK) as u64)
+            .u64("rows", (comps.len() * n) as u64)
+            .f64(
+                "prepare_ms",
+                telemetry::stage_ms(Stage::BatchPrepare) - prep0,
+            )
+            .f64("kernel_ms", telemetry::stage_ms(Stage::BatchKernel) - kern0)
+            .f64("wall_ms", t0.elapsed().as_secs_f64() * 1e3)
+            .emit();
+    }
+    out
 }
 
 /// Evaluate one chunk of candidates over `0..n` time-major.
@@ -261,6 +289,8 @@ fn run_chunk(
     let dt = data.step();
     let dt_h = dt.hours();
     let steps_per_hour = (3_600 / dt.secs()).max(1) as usize;
+
+    let prepare_span = telemetry::span(Stage::BatchPrepare);
 
     let pv = data.pv_unit_kw.values();
     let wind = data.wind_unit_kw.values();
@@ -299,6 +329,9 @@ fn run_chunk(
     let policy = cfg.policy;
     let islanded = policy.is_islanded();
 
+    drop(prepare_span);
+    let kernel_span = telemetry::span(Stage::BatchKernel);
+
     for i in 0..n {
         let (pv_i, wind_i, load_i, ci_i, price_i) = (pv[i], wind[i], load[i], ci[i], price[i]);
         let record_hour = cfg.record_soc && i % steps_per_hour == 0;
@@ -324,6 +357,10 @@ fn run_chunk(
             }
         }
     }
+
+    drop(kernel_span);
+    telemetry::add(Counter::BatchChunks, 1);
+    telemetry::add(Counter::BatchRows, (m * n) as u64);
 
     let days = n as f64 * dt_h / 24.0;
     (0..m)

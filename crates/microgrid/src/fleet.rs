@@ -30,6 +30,7 @@
 //! `tests/fleet_agreement.rs` pins this exactly, and pins fleet totals to
 //! the cosim [`Environment`](mgopt_cosim) oracle at ≤1e-9 relative.
 
+use mgopt_telemetry::{self as telemetry, Counter, Stage};
 use mgopt_units::{Power, TimeSeries};
 use rayon::prelude::*;
 
@@ -236,12 +237,39 @@ impl<'a> FleetEvaluator<'a> {
             .map(|s| s.load.values()[..n].iter().sum::<f64>() * dt_h)
             .collect();
 
+        // Stage-total snapshots attribute this call's prepare/kernel time
+        // in the emitted event (see the batch engine for the caveat).
+        let trace = telemetry::enabled().then(|| {
+            (
+                std::time::Instant::now(),
+                telemetry::stage_ms(Stage::FleetPrepare),
+                telemetry::stage_ms(Stage::FleetKernel),
+            )
+        });
+
         let chunks: Vec<&[Vec<Composition>]> = plans.chunks(CHUNK).collect();
         let nested: Vec<Vec<FleetResult>> = chunks
             .into_par_iter()
             .map(|chunk| self.run_chunk(chunk, n, &demand_kwh))
             .collect();
-        nested.into_iter().flatten().collect()
+        let out: Vec<FleetResult> = nested.into_iter().flatten().collect();
+
+        if let Some((t0, prep0, kern0)) = trace {
+            telemetry::Event::new("fleet_eval")
+                .u64("plans", plans.len() as u64)
+                .u64("sites", self.sites.len() as u64)
+                .u64("steps", n as u64)
+                .u64("chunks", plans.len().div_ceil(CHUNK) as u64)
+                .u64("rows", (plans.len() * self.sites.len() * n) as u64)
+                .f64(
+                    "prepare_ms",
+                    telemetry::stage_ms(Stage::FleetPrepare) - prep0,
+                )
+                .f64("kernel_ms", telemetry::stage_ms(Stage::FleetKernel) - kern0)
+                .f64("wall_ms", t0.elapsed().as_secs_f64() * 1e3)
+                .emit();
+        }
+        out
     }
 
     /// Evaluate one chunk of plans over `0..n`, interleaved time-major.
@@ -256,6 +284,8 @@ impl<'a> FleetEvaluator<'a> {
         let dt = self.sites[0].data.step();
         let dt_h = dt.hours();
         let steps_per_hour = (3_600 / dt.secs()).max(1) as usize;
+
+        let prepare_span = telemetry::span(Stage::FleetPrepare);
 
         // Per-site columns and per-site policy, hoisted out of the loop.
         let pv: Vec<&[f64]> = self
@@ -349,6 +379,10 @@ impl<'a> FleetEvaluator<'a> {
         let block = BLOCK.min(n);
         let track_peak = self.track_peak;
         let mut import_buf = vec![0.0f64; block * m];
+
+        drop(prepare_span);
+        let kernel_span = telemetry::span(Stage::FleetKernel);
+
         for i0 in (0..n).step_by(block) {
             let i1 = (i0 + block).min(n);
             for s in 0..ns {
@@ -423,6 +457,10 @@ impl<'a> FleetEvaluator<'a> {
                 }
             }
         }
+
+        drop(kernel_span);
+        telemetry::add(Counter::FleetChunks, 1);
+        telemetry::add(Counter::FleetRows, (m * ns * n) as u64);
 
         let days = n as f64 * dt_h / 24.0;
         (0..m)

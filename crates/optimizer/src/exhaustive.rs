@@ -1,6 +1,8 @@
 //! Exhaustive grid search — the paper's ground-truth baseline ("evaluates
 //! all 1,089 valid combinations").
 
+use mgopt_telemetry as telemetry;
+
 use crate::problem::{Genome, Problem, Trial};
 use crate::study::OptimizationResult;
 
@@ -11,6 +13,10 @@ use crate::study::OptimizationResult;
 pub fn exhaustive_search(problem: &dyn Problem) -> OptimizationResult {
     let n = problem.space_size();
     let genomes: Vec<Genome> = (0..n).map(|i| problem.genome_at(i)).collect();
+    telemetry::Event::new("sampler")
+        .str("kind", "exhaustive")
+        .u64("evals", n as u64)
+        .emit();
     let evaluations = problem.evaluate_batch_constrained(&genomes);
     let history: Vec<Trial> = genomes
         .into_iter()

@@ -22,13 +22,14 @@
 
 use std::collections::HashMap;
 
+use mgopt_telemetry::{self as telemetry, Counter};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::pareto::{constrained_non_dominated_sort, crowding_distance};
+use crate::pareto::{constrained_non_dominated_sort, crowding_distance, hypervolume_2d};
 use crate::problem::{Evaluation, Genome, Problem, Trial};
 use crate::study::OptimizationResult;
 
@@ -96,6 +97,8 @@ impl Nsga2Optimizer {
         let mut cache: HashMap<Genome, Evaluation> = HashMap::new();
         let mut history: Vec<Trial> = Vec::new();
         let mut sampled = 0usize;
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
 
         // Initial population: unique random genomes where possible.
         let mut population: Vec<Genome> = Vec::with_capacity(cfg.population_size);
@@ -109,7 +112,27 @@ impl Nsga2Optimizer {
             population.push(g);
         }
         sampled += population.len();
-        evaluate_batch(problem, &population, &mut cache, &mut history);
+        let (hits, misses) = evaluate_batch(problem, &population, &mut cache, &mut history);
+        cache_hits += hits;
+        cache_misses += misses;
+
+        // Fix the hypervolume reference point from the initial population
+        // (worst per objective, padded) so per-generation `hv` values in
+        // the trace are comparable across the whole run. 2-objective only
+        // (the workspace's `hypervolume_2d` metric); computed only when a
+        // trace is being collected.
+        let hv_ref: Option<[f64; 2]> =
+            (telemetry::enabled() && problem.n_objectives() == 2).then(|| {
+                let mut r = [f64::NEG_INFINITY; 2];
+                for g in &population {
+                    let o = &cache[g].objectives;
+                    r[0] = r[0].max(o[0]);
+                    r[1] = r[1].max(o[1]);
+                }
+                [pad_reference(r[0]), pad_reference(r[1])]
+            });
+        let mut generation = 0u64;
+        emit_generation_event(generation, &population, &cache, hits, misses, hv_ref);
 
         while sampled < cfg.max_trials {
             let obj: Vec<Vec<f64>> = population
@@ -142,7 +165,9 @@ impl Nsga2Optimizer {
                 }
             }
             sampled += children.len();
-            evaluate_batch(problem, &children, &mut cache, &mut history);
+            let (hits, misses) = evaluate_batch(problem, &children, &mut cache, &mut history);
+            cache_hits += hits;
+            cache_misses += misses;
 
             // Environmental selection over parents + children.
             let mut combined: Vec<Genome> = population.clone();
@@ -159,32 +184,94 @@ impl Nsga2Optimizer {
             let comb_fronts = constrained_non_dominated_sort(&comb_obj, &comb_viol);
             population =
                 select_next_population(&combined, &comb_obj, &comb_fronts, cfg.population_size);
+            generation += 1;
+            emit_generation_event(generation, &population, &cache, hits, misses, hv_ref);
         }
 
-        OptimizationResult::from_history(history, sampled, cache.len())
+        let mut result = OptimizationResult::from_history(history, sampled, cache.len());
+        result.cache_hits = cache_hits;
+        result.cache_misses = cache_misses;
+        result
     }
+}
+
+/// Pad one coordinate of the hypervolume reference point: 10% beyond the
+/// initial population's worst value (sign-safe) plus an absolute epsilon,
+/// so boundary points still contribute area.
+fn pad_reference(worst: f64) -> f64 {
+    worst + 0.1 * worst.abs() + 1e-9
+}
+
+/// Emit one per-generation trace event. A cheap no-op when telemetry is
+/// off; when tracing, re-derives the population's feasible count and first
+/// front (outside the budget-relevant path — cohort sizes are ≤ a few
+/// hundred).
+fn emit_generation_event(
+    generation: u64,
+    population: &[Genome],
+    cache: &HashMap<Genome, Evaluation>,
+    hits: usize,
+    misses: usize,
+    hv_ref: Option<[f64; 2]>,
+) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let obj: Vec<Vec<f64>> = population
+        .iter()
+        .map(|g| cache[g].objectives.clone())
+        .collect();
+    let viol: Vec<f64> = population
+        .iter()
+        .map(|g| cache[g].total_violation())
+        .collect();
+    let feasible = viol.iter().filter(|&&v| v <= 0.0).count();
+    let fronts = constrained_non_dominated_sort(&obj, &viol);
+    let mut event = telemetry::Event::new("generation")
+        .u64("gen", generation)
+        .u64("cohort", population.len() as u64)
+        .u64("cache_hits", hits as u64)
+        .u64("cache_misses", misses as u64)
+        .u64("feasible", feasible as u64)
+        .u64("front", fronts.first().map_or(0, Vec::len) as u64);
+    if let Some(reference) = hv_ref {
+        event = event.f64("hv", hypervolume_2d(&obj, &reference));
+    }
+    let n_obj = obj.first().map_or(0, Vec::len);
+    for k in 0..n_obj {
+        let best = obj.iter().map(|o| o[k]).fold(f64::INFINITY, f64::min);
+        event = event.f64(&format!("best_obj{k}"), best);
+    }
+    event.emit();
 }
 
 /// Evaluate genomes not in the cache (one batched pass), extending the
 /// history with one trial per *sampled* genome (duplicates repeat their
-/// cached objectives, matching how Optuna counts trials).
+/// cached objectives, matching how Optuna counts trials). Returns this
+/// batch's `(cache_hits, cache_misses)` — hits count genomes answered
+/// from the cache or deduplicated within the batch.
 fn evaluate_batch(
     problem: &dyn Problem,
     genomes: &[Genome],
     cache: &mut HashMap<Genome, Evaluation>,
     history: &mut Vec<Trial>,
-) {
+) -> (usize, usize) {
     let mut unseen: Vec<Genome> = Vec::new();
     for g in genomes {
         if !cache.contains_key(g) && !unseen.contains(g) {
             unseen.push(g.clone());
         }
     }
+    let misses = unseen.len();
+    let hits = genomes.len() - misses;
+    telemetry::add(Counter::CacheHits, hits as u64);
+    telemetry::add(Counter::CacheMisses, misses as u64);
     let evaluations = problem.evaluate_batch_constrained(&unseen);
     cache.extend(unseen.into_iter().zip(evaluations));
     for g in genomes {
         history.push(Trial::from_evaluation(g.clone(), cache[g].clone()));
     }
+    (hits, misses)
 }
 
 fn random_genome(dims: &[usize], rng: &mut ChaCha12Rng) -> Genome {
@@ -468,6 +555,26 @@ mod tests {
         .run(&problem);
         assert_eq!(result.sampled_trials, 200);
         assert!(result.unique_evaluations <= 9, "space only has 9 points");
+    }
+
+    #[test]
+    fn cache_hit_and_miss_counts_partition_the_sampled_trials() {
+        let problem = FnProblem::new(vec![3, 3], 2, |g| vec![g[0] as f64, g[1] as f64]);
+        let result = Nsga2Optimizer::new(Nsga2Config {
+            population_size: 8,
+            max_trials: 200,
+            seed: 3,
+            ..Nsga2Config::default()
+        })
+        .run(&problem);
+        assert_eq!(result.cache_hits + result.cache_misses, 200);
+        assert_eq!(result.cache_misses, result.unique_evaluations);
+        assert!(
+            result.cache_hits > 0,
+            "9-point space at 200 trials must hit"
+        );
+        let rate = result.cache_hit_rate().expect("cache activity recorded");
+        assert!(rate > 0.9, "hit rate {rate} suspiciously low for 9 points");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! reached. The cost bookkeeping is in *full-evaluation equivalents* so
 //! speedups are comparable to trial counts.
 
+use mgopt_telemetry as telemetry;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use rayon::prelude::*;
@@ -157,6 +158,12 @@ pub fn successive_halving(
                     .map(|(g, e)| Trial::from_evaluation(g, e)),
             );
             let survivors = crate::pareto::non_dominated_trials(&full_fidelity_history);
+            telemetry::Event::new("rung")
+                .u64("rung", rung_fidelities.len() as u64 - 1)
+                .f64("fidelity", 1.0)
+                .u64("cohort", cohort.len() as u64)
+                .u64("kept", survivors.len() as u64)
+                .emit();
             return SuccessiveHalvingResult {
                 survivors,
                 full_fidelity_history,
@@ -174,6 +181,12 @@ pub fn successive_halving(
 
         // Keep the best 1/eta (at least enough to stay meaningful).
         let keep = (cohort.len() / config.eta).max(1);
+        telemetry::Event::new("rung")
+            .u64("rung", rung_fidelities.len() as u64 - 1)
+            .f64("fidelity", fidelity)
+            .u64("cohort", cohort.len() as u64)
+            .u64("kept", keep as u64)
+            .emit();
         cohort = order
             .into_iter()
             .take(keep)

@@ -1,6 +1,7 @@
 //! Random-search sampler — the baseline black-box strategy NSGA-II is
 //! measured against.
 
+use mgopt_telemetry as telemetry;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
@@ -16,6 +17,10 @@ pub fn random_search(problem: &dyn Problem, n_trials: usize, seed: u64) -> Optim
     let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x7a2d_0b5f);
     let genomes = sample_unique_genomes(problem.dims(), n_trials, &mut rng);
     let sampled = genomes.len();
+    telemetry::Event::new("sampler")
+        .str("kind", "random")
+        .u64("evals", sampled as u64)
+        .emit();
     let evaluations = problem.evaluate_batch_constrained(&genomes);
     let history: Vec<Trial> = genomes
         .into_iter()

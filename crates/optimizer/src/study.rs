@@ -42,6 +42,15 @@ pub struct OptimizationResult {
     pub unique_evaluations: usize,
     /// Wall-clock duration of the run in seconds (0 until run via `Study`).
     pub wall_seconds: f64,
+    /// Sampled genomes answered from the NSGA-II memo cache (duplicates
+    /// within and across generations). Zero for cacheless samplers.
+    /// Defaulted so artifacts written before this field existed still load.
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Sampled genomes that required a fresh objective evaluation. Zero
+    /// for cacheless samplers (which report via `unique_evaluations`).
+    #[serde(default)]
+    pub cache_misses: usize,
 }
 
 impl OptimizationResult {
@@ -52,7 +61,16 @@ impl OptimizationResult {
             sampled_trials: sampled,
             unique_evaluations: unique,
             wall_seconds: 0.0,
+            cache_hits: 0,
+            cache_misses: 0,
         }
+    }
+
+    /// Memo-cache hit rate over sampled genomes, in `[0, 1]`. `None` when
+    /// the sampler recorded no cache activity (random / exhaustive runs).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
     }
 
     /// The non-dominated trials of the history (deduplicated by genome).

@@ -1,0 +1,142 @@
+//! Builder for one flat JSONL trace event.
+//!
+//! Events are single-level JSON objects: an `ev` kind, a `t_ms` timestamp
+//! (milliseconds since the process's trace epoch), and scalar fields. The
+//! JSON writer is hand-rolled — this crate deliberately has no
+//! dependencies — and covers exactly the value shapes the telemetry layer
+//! emits: strings, unsigned integers, finite floats and booleans.
+//!
+//! When telemetry is disabled, [`Event::new`] returns an inert builder:
+//! every method is a no-op and no allocation, clock read or lock happens.
+
+use crate::{emit_line, enabled, now_ms};
+
+/// One structured trace event under construction.
+///
+/// ```
+/// mgopt_telemetry::Event::new("batch_eval")
+///     .u64("candidates", 63)
+///     .f64("wall_ms", 1.25)
+///     .emit();
+/// ```
+#[must_use = "an event does nothing until emitted"]
+pub struct Event {
+    /// `None` when telemetry is disabled — the inert fast path.
+    buf: Option<String>,
+}
+
+impl Event {
+    /// Start an event of the given kind. Inert when telemetry is disabled.
+    pub fn new(kind: &str) -> Self {
+        if !enabled() {
+            return Self { buf: None };
+        }
+        let mut buf = String::with_capacity(128);
+        buf.push_str("{\"ev\":");
+        push_json_str(&mut buf, kind);
+        buf.push_str(",\"t_ms\":");
+        push_json_f64(&mut buf, now_ms());
+        Self { buf: Some(buf) }
+    }
+
+    /// Attach a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            push_key(buf, key);
+            push_json_str(buf, value);
+        }
+        self
+    }
+
+    /// Attach an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            push_key(buf, key);
+            buf.push_str(&value.to_string());
+        }
+        self
+    }
+
+    /// Attach a float field. Non-finite values serialize as `null` (JSON
+    /// has no NaN/inf).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            push_key(buf, key);
+            push_json_f64(buf, value);
+        }
+        self
+    }
+
+    /// Attach a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            push_key(buf, key);
+            buf.push_str(if value { "true" } else { "false" });
+        }
+        self
+    }
+
+    /// Finish the object and hand it to the installed sink (if any).
+    pub fn emit(self) {
+        if let Some(mut buf) = self.buf {
+            buf.push('}');
+            emit_line(&buf);
+        }
+    }
+}
+
+fn push_key(buf: &mut String, key: &str) {
+    buf.push(',');
+    push_json_str(buf, key);
+    buf.push(':');
+}
+
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn push_json_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{v}` prints integral floats without a dot; keep them
+        // re-parseable as floats either way (the parser accepts both).
+        buf.push_str(&format!("{v}"));
+    } else {
+        buf.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_chars() {
+        let mut buf = String::new();
+        push_json_str(&mut buf, "a\"b\\c\nd\u{1}");
+        assert_eq!(buf, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut buf = String::new();
+        push_json_f64(&mut buf, f64::NAN);
+        assert_eq!(buf, "null");
+        buf.clear();
+        push_json_f64(&mut buf, 2.5);
+        assert_eq!(buf, "2.5");
+    }
+}

@@ -1,0 +1,303 @@
+//! Parser for the flat JSONL events this crate emits.
+//!
+//! `trace_report` (in `mgopt-bench`) reads traces back through this
+//! module, so the writer in [`crate::event`] and this reader form one
+//! round-trippable pair that lives — and is tested — in the same crate.
+//! The grammar is deliberately the subset the writer produces: one
+//! single-level JSON object per line whose values are strings, numbers,
+//! booleans or `null`. Nested objects/arrays are a parse error.
+
+use std::collections::BTreeMap;
+
+/// A scalar field value in a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// JSON string.
+    Str(String),
+    /// JSON number (all numbers parse as f64; trace integers are exact
+    /// well within f64's 2^53 integer range).
+    Num(f64),
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON null (e.g. a non-finite float at write time).
+    Null,
+}
+
+impl FieldValue {
+    /// The number, if this is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            FieldValue::Num(n) if n.fract() == 0.0 && (0.0..9.0e15).contains(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed trace event: its kind plus the remaining fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The event kind (the `ev` field).
+    pub kind: String,
+    /// Milliseconds since trace epoch (the `t_ms` field).
+    pub t_ms: f64,
+    /// All other fields, keyed by name.
+    pub fields: BTreeMap<String, FieldValue>,
+}
+
+impl TraceEvent {
+    /// Numeric field accessor.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.fields.get(key).and_then(FieldValue::as_f64)
+    }
+
+    /// Unsigned-integer field accessor.
+    pub fn uint(&self, key: &str) -> Option<u64> {
+        self.fields.get(key).and_then(FieldValue::as_u64)
+    }
+
+    /// String field accessor.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).and_then(FieldValue::as_str)
+    }
+}
+
+/// Parse one JSONL line into a [`TraceEvent`].
+///
+/// Errors carry enough context to point at the offending line content;
+/// `trace_report --check` surfaces them with line numbers.
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut kind = None;
+    let mut t_ms = None;
+    let mut fields = BTreeMap::new();
+    p.skip_ws();
+    if !p.eat(b'}') {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            match key.as_str() {
+                "ev" => match value {
+                    FieldValue::Str(s) => kind = Some(s),
+                    other => return Err(format!("`ev` must be a string, got {other:?}")),
+                },
+                "t_ms" => match value {
+                    FieldValue::Num(n) => t_ms = Some(n),
+                    other => return Err(format!("`t_ms` must be a number, got {other:?}")),
+                },
+                _ => {
+                    fields.insert(key, value);
+                }
+            }
+            p.skip_ws();
+            if p.eat(b',') {
+                continue;
+            }
+            p.expect(b'}')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(TraceEvent {
+        kind: kind.ok_or("missing `ev` field")?,
+        t_ms: t_ms.ok_or("missing `t_ms` field")?,
+        fields,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {} of {:?}",
+                b as char,
+                self.pos,
+                String::from_utf8_lossy(self.bytes)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<FieldValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => self.string().map(FieldValue::Str),
+            Some(b't') => self.literal("true").map(|()| FieldValue::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| FieldValue::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| FieldValue::Null),
+            Some(b'{') | Some(b'[') => {
+                Err("nested objects/arrays are not valid flat trace values".into())
+            }
+            Some(_) => self.number(),
+            None => Err("unexpected end of line".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected literal `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<FieldValue, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(FieldValue::Num)
+            .map_err(|_| format!("invalid number {text:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_written_event() {
+        // Hand-built line matching what the writer emits.
+        let line = r#"{"ev":"batch_eval","t_ms":12.5,"candidates":63,"label":"a\"b","ok":true,"nan":null}"#;
+        let ev = parse_line(line).unwrap();
+        assert_eq!(ev.kind, "batch_eval");
+        assert_eq!(ev.t_ms, 12.5);
+        assert_eq!(ev.uint("candidates"), Some(63));
+        assert_eq!(ev.str("label"), Some("a\"b"));
+        assert_eq!(ev.fields.get("ok"), Some(&FieldValue::Bool(true)));
+        assert_eq!(ev.fields.get("nan"), Some(&FieldValue::Null));
+    }
+
+    #[test]
+    fn rejects_missing_required_fields() {
+        assert!(parse_line(r#"{"t_ms":1}"#).unwrap_err().contains("ev"));
+        assert!(parse_line(r#"{"ev":"x"}"#).unwrap_err().contains("t_ms"));
+    }
+
+    #[test]
+    fn rejects_nested_and_trailing_garbage() {
+        assert!(parse_line(r#"{"ev":"x","t_ms":1,"o":{}}"#).is_err());
+        assert!(parse_line(r#"{"ev":"x","t_ms":1} extra"#).is_err());
+        assert!(parse_line("not json").is_err());
+    }
+
+    #[test]
+    fn parses_scientific_and_negative_numbers() {
+        let ev = parse_line(r#"{"ev":"x","t_ms":1e-3,"v":-2.5E2}"#).unwrap();
+        assert_eq!(ev.t_ms, 1e-3);
+        assert_eq!(ev.num("v"), Some(-250.0));
+    }
+
+    #[test]
+    fn unicode_escapes_and_raw_utf8_decode() {
+        let ev = parse_line("{\"ev\":\"x\",\"t_ms\":0,\"s\":\"a\\u0041\\u00e9é\"}").unwrap();
+        assert_eq!(ev.str("s"), Some("aAéé"));
+    }
+}

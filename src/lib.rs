@@ -26,6 +26,7 @@
 //!
 //! | Layer | Crate | Role |
 //! |---|---|---|
+//! | observability | [`telemetry`] | spans, counters, JSONL trace sink (`MGOPT_TRACE`) |
 //! | quantities | [`units`] | typed kW/kWh/kgCO2, calendar, time series |
 //! | weather | [`weather`] | synthetic NSRDB / WIND-Toolkit substitute |
 //! | generation | [`sam`] | PVWatts + Windpower performance models |
@@ -69,6 +70,20 @@
 //! constraint under NSGA-II's constraint-dominance
 //! (`tests/fleet_search_agreement.rs` pins the search against exhaustive
 //! fleet sweeps).
+//!
+//! ## Observability
+//!
+//! The engines and search layers are instrumented through [`telemetry`]
+//! (std-only, zero dependencies): scoped span timers over the hot stages
+//! (`batch.prepare` / `batch.kernel` / `fleet.prepare` / `fleet.kernel`),
+//! atomic counters (chunks, candidate-rows, memo-cache hits/misses), and
+//! structured JSONL events — engine passes, NSGA-II generations (front
+//! size, feasible count, 2-D hypervolume, best objectives),
+//! successive-halving rungs. Tracing is off by default and costs one
+//! relaxed atomic load per instrumented call; `MGOPT_TRACE=<path>` turns
+//! it on and streams events to `path`, which the `trace_report` bench bin
+//! summarizes. `tests/telemetry_determinism.rs` pins that an enabled
+//! trace does not perturb results.
 
 pub use mgopt_core as core;
 pub use mgopt_cosim as cosim;
@@ -77,6 +92,7 @@ pub use mgopt_microgrid as microgrid;
 pub use mgopt_optimizer as optimizer;
 pub use mgopt_sam as sam;
 pub use mgopt_storage as storage;
+pub use mgopt_telemetry as telemetry;
 pub use mgopt_units as units;
 pub use mgopt_weather as weather;
 pub use mgopt_workload as workload;
