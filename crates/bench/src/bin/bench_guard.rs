@@ -15,7 +15,7 @@
 
 use std::path::{Path, PathBuf};
 
-use mgopt_bench::TelemetrySection;
+use mgopt_bench::{TelemetrySection, ThreadScaling};
 use serde::Deserialize;
 
 /// Committed floors: a fresh speedup must stay above
@@ -26,6 +26,10 @@ struct Baseline {
     sweep: BaselineEntry,
     fleet: BaselineEntry,
     fleet_search: BaselineEntry,
+    /// Floor for the sweep's SIMD-vs-scalar-walk speedup — a refactor
+    /// that quietly de-vectorizes the lane kernel fails here even while
+    /// the batched-vs-scalar-engine speedup still looks healthy.
+    simd: BaselineEntry,
 }
 
 #[derive(Debug, Deserialize)]
@@ -45,6 +49,12 @@ struct SweepArtifact {
     speedup: f64,
     max_rel_error: f64,
     threads: usize,
+    simd: bool,
+    simd_ms_median: f64,
+    scalar_batch_ms_median: f64,
+    simd_speedup: f64,
+    simd_max_rel_error: f64,
+    scaling: Vec<ThreadScaling>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -59,6 +69,12 @@ struct FleetArtifact {
     max_rel_error: f64,
     peak_concurrent_import_mw: f64,
     threads: usize,
+    simd: bool,
+    simd_ms_min: f64,
+    scalar_walk_ms_min: f64,
+    simd_speedup: f64,
+    simd_max_rel_error: f64,
+    scaling: Vec<ThreadScaling>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -74,6 +90,12 @@ struct FleetSearchArtifact {
     speedup: f64,
     agreement: bool,
     threads: usize,
+    simd: bool,
+    simd_ms_min: f64,
+    scalar_walk_ms_min: f64,
+    simd_speedup: f64,
+    simd_agreement: bool,
+    scaling: Vec<ThreadScaling>,
     /// Optional instrumentation section: validated when present, tolerated
     /// when absent (pre-telemetry artifacts — and the committed baseline —
     /// keep loading unchanged).
@@ -88,6 +110,42 @@ fn expected_compositions() -> Option<usize> {
         return None;
     }
     Some(if mgopt_bench::fast_mode() { 27 } else { 1_089 })
+}
+
+/// The `simd` flag every artifact must have recorded: the same
+/// `MGOPT_SIMD` resolution the engines use, re-derived here. An artifact
+/// reporting `simd: false` under a default environment means the bench
+/// quietly fell back to the scalar walk.
+fn expected_simd_flag() -> bool {
+    std::env::var("MGOPT_SIMD")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
+/// Shared sanity checks for a bin's `scaling` section.
+fn check_scaling(kind: &str, scaling: &[ThreadScaling], check: &mut impl FnMut(bool, String)) {
+    check(
+        !scaling.is_empty(),
+        format!("{kind}: scaling section is empty"),
+    );
+    for p in scaling {
+        check(
+            p.threads_requested >= 1
+                && p.threads_effective >= 1
+                && p.threads_effective <= p.threads_requested,
+            format!(
+                "{kind}: scaling entry requested {} / effective {}",
+                p.threads_requested, p.threads_effective
+            ),
+        );
+        check(
+            p.ms_min > 0.0 && p.ms_min.is_finite(),
+            format!(
+                "{kind}: non-positive scaling timing at {} threads",
+                p.threads_requested
+            ),
+        );
+    }
 }
 
 fn read<T: Deserialize>(path: &Path, errors: &mut Vec<String>) -> Option<T> {
@@ -163,6 +221,34 @@ fn main() {
             a.steps_per_year > 0 && a.threads >= 1,
             "sweep: malformed steps/threads".into(),
         );
+        let simd_floor = floor(&baseline.simd);
+        check(
+            a.simd_speedup >= simd_floor,
+            format!(
+                "sweep: SIMD speedup {:.2} below floor {simd_floor:.2}",
+                a.simd_speedup
+            ),
+        );
+        check(
+            a.simd_max_rel_error == 0.0,
+            format!(
+                "sweep: SIMD walk not bit-identical ({:e})",
+                a.simd_max_rel_error
+            ),
+        );
+        check(
+            a.simd == expected_simd_flag(),
+            format!(
+                "sweep: recorded simd={} but MGOPT_SIMD resolves to {}",
+                a.simd,
+                expected_simd_flag()
+            ),
+        );
+        check(
+            a.simd_ms_median > 0.0 && a.scalar_batch_ms_median > 0.0,
+            "sweep: non-positive SIMD A/B timing".into(),
+        );
+        check_scaling("sweep", &a.scaling, &mut check);
     }
 
     if let Some(a) = fleet {
@@ -200,6 +286,26 @@ fn main() {
                 && a.threads >= 1,
             "fleet: malformed sites/timings".into(),
         );
+        check(
+            a.simd_max_rel_error == 0.0,
+            format!(
+                "fleet: SIMD walk not bit-identical ({:e})",
+                a.simd_max_rel_error
+            ),
+        );
+        check(
+            a.simd == expected_simd_flag(),
+            format!(
+                "fleet: recorded simd={} but MGOPT_SIMD resolves to {}",
+                a.simd,
+                expected_simd_flag()
+            ),
+        );
+        check(
+            a.simd_speedup > 0.0 && a.simd_ms_min > 0.0 && a.scalar_walk_ms_min > 0.0,
+            "fleet: malformed SIMD A/B timings".into(),
+        );
+        check_scaling("fleet", &a.scaling, &mut check);
     }
 
     if let Some(a) = search {
@@ -236,6 +342,23 @@ fn main() {
                 && a.threads >= 1,
             "fleet_search: malformed sites/front/timings".into(),
         );
+        check(
+            a.simd_agreement,
+            "fleet_search: SIMD-backed and scalar-walk searches diverged".into(),
+        );
+        check(
+            a.simd == expected_simd_flag(),
+            format!(
+                "fleet_search: recorded simd={} but MGOPT_SIMD resolves to {}",
+                a.simd,
+                expected_simd_flag()
+            ),
+        );
+        check(
+            a.simd_speedup > 0.0 && a.simd_ms_min > 0.0 && a.scalar_walk_ms_min > 0.0,
+            "fleet_search: malformed SIMD A/B timings".into(),
+        );
+        check_scaling("fleet_search", &a.scaling, &mut check);
         // Telemetry section: sanity-only (no overhead gating — enabled-run
         // timing is too noisy for a CI floor). An instrumented fleet
         // search must have walked the fleet kernel and seen cache traffic.

@@ -13,7 +13,9 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use mgopt_core::{sweep_all, sweep_all_scalar};
+use mgopt_bench::ThreadScaling;
+use mgopt_core::{sweep_all, sweep_all_scalar, sweep_all_with_backend};
+use mgopt_microgrid::BatchBackend;
 use serde::Serialize;
 
 /// The artifact schema.
@@ -28,6 +30,22 @@ struct SweepBench {
     speedup: f64,
     max_rel_error: f64,
     threads: usize,
+    /// Whether the default batched timing above ran the SIMD chunk walk
+    /// (the `MGOPT_SIMD` toggle at bench time).
+    simd: bool,
+    /// Forced-SIMD batched sweep, median ms.
+    simd_ms_median: f64,
+    /// Forced-scalar batched sweep, median ms.
+    scalar_batch_ms_median: f64,
+    /// `scalar_batch_ms_median / simd_ms_median` — the lane kernel's gain
+    /// over the scalar chunk walk, like-for-like.
+    simd_speedup: f64,
+    /// Agreement between the forced walks. The lanes-are-candidates design
+    /// makes this exactly `0.0`, not merely ≤1e-9; `bench_guard` rejects
+    /// anything else.
+    simd_max_rel_error: f64,
+    /// Full batched sweep re-timed at each `MGOPT_THREADS` pool size.
+    scaling: Vec<ThreadScaling>,
 }
 
 fn median_ms(samples: &mut [f64]) -> f64 {
@@ -71,6 +89,42 @@ fn main() {
         batched_ms.push(t0.elapsed().as_secs_f64() * 1e3);
     }
 
+    // SIMD vs scalar chunk walk, like-for-like: both timings use the
+    // batched engine with the backend forced, alternating A/B like the
+    // main loop. The walks are pinned bit-identical, so the agreement
+    // check demands exact equality.
+    let simd_results = sweep_all_with_backend(&scenario, BatchBackend::Simd);
+    let scalar_walk_results = sweep_all_with_backend(&scenario, BatchBackend::Scalar);
+    let mut simd_max_rel_error = 0.0f64;
+    for (a, b) in simd_results.iter().zip(&scalar_walk_results) {
+        let err = a.metrics.max_rel_error(&b.metrics).0;
+        if err.is_nan() || err > simd_max_rel_error {
+            simd_max_rel_error = err;
+        }
+    }
+    assert_eq!(
+        simd_max_rel_error, 0.0,
+        "SIMD walk must be bit-identical to the scalar walk"
+    );
+    let mut simd_ms = Vec::with_capacity(samples);
+    let mut scalar_walk_ms = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(sweep_all_with_backend(&scenario, BatchBackend::Simd));
+        simd_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+
+        let t0 = Instant::now();
+        std::hint::black_box(sweep_all_with_backend(&scenario, BatchBackend::Scalar));
+        scalar_walk_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let simd_med = median_ms(&mut simd_ms);
+    let scalar_walk_med = median_ms(&mut scalar_walk_ms);
+
+    // Multi-thread scaling of the default batched sweep.
+    let scaling = mgopt_bench::scaling_sweep(&mgopt_bench::thread_counts(), 3, || {
+        std::hint::black_box(sweep_all(&scenario));
+    });
+
     let scalar_med = median_ms(&mut scalar_ms);
     let batched_med = median_ms(&mut batched_ms);
     let bench = SweepBench {
@@ -86,12 +140,28 @@ fn main() {
         // core detection used to mislabel entries on multi-core hosts
         // whenever detection failed.
         threads: rayon::current_num_threads(),
+        simd: mgopt_microgrid::simd_enabled(),
+        simd_ms_median: simd_med,
+        scalar_batch_ms_median: scalar_walk_med,
+        simd_speedup: scalar_walk_med / simd_med,
+        simd_max_rel_error,
+        scaling,
     };
 
     println!(
         "sweep of {} compositions ({} steps): scalar {:.1} ms, batched {:.1} ms, speedup {:.2}x",
         bench.compositions, bench.steps_per_year, scalar_med, batched_med, bench.speedup
     );
+    println!(
+        "simd walk {:.1} ms vs scalar walk {:.1} ms: {:.2}x, max rel err {:e}",
+        simd_med, scalar_walk_med, bench.simd_speedup, simd_max_rel_error
+    );
+    for p in &bench.scaling {
+        println!(
+            "threads {} (effective {}): {:.1} ms",
+            p.threads_requested, p.threads_effective, p.ms_min
+        );
+    }
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json");
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench artifact");

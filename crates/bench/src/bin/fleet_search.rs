@@ -17,8 +17,9 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use mgopt_bench::TelemetrySection;
+use mgopt_bench::{TelemetrySection, ThreadScaling};
 use mgopt_core::{FleetProblem, FleetScenario};
+use mgopt_microgrid::BatchBackend;
 use mgopt_optimizer::{Nsga2Config, Nsga2Optimizer, Problem};
 use mgopt_telemetry as telemetry;
 use serde::Serialize;
@@ -44,6 +45,22 @@ struct FleetSearchBench {
     speedup: f64,
     agreement: bool,
     threads: usize,
+    /// Whether the batched timings above ran the SIMD chunk walk (the
+    /// `MGOPT_SIMD` toggle at bench time).
+    simd: bool,
+    /// The batched search forced onto the SIMD walk, min ms.
+    simd_ms_min: f64,
+    /// The batched search forced onto the scalar walk, min ms.
+    scalar_walk_ms_min: f64,
+    /// `scalar_walk_ms_min / simd_ms_min` on the search path. Search time
+    /// includes NSGA-II bookkeeping, so this is lower than the raw kernel
+    /// gain in `BENCH_sweep.json`.
+    simd_speedup: f64,
+    /// `true` when the forced-SIMD and forced-scalar searches produced
+    /// bit-identical trial histories (same seeds + bit-identical engines).
+    simd_agreement: bool,
+    /// Full batched search re-timed at each `MGOPT_THREADS` pool size.
+    scaling: Vec<ThreadScaling>,
     telemetry_enabled_ms_min: f64,
     telemetry_overhead_pct: f64,
     telemetry: TelemetrySection,
@@ -126,6 +143,43 @@ fn main() {
     let batched_min = min_ms(&batched_ms);
     let scalar_min = min_ms(&scalar_ms);
 
+    // SIMD vs scalar chunk walk on the search path: the same NSGA-II run
+    // with the fleet engine's backend forced either way. Bit-identical
+    // engines + identical seeds must reproduce the same trial history.
+    let simd_problem = FleetProblem::new(&fleet).with_backend(BatchBackend::Simd);
+    let scalar_walk_problem = FleetProblem::new(&fleet).with_backend(BatchBackend::Scalar);
+    let simd_agreement =
+        optimizer.run(&simd_problem).history == optimizer.run(&scalar_walk_problem).history;
+    assert!(
+        simd_agreement,
+        "SIMD-backed search diverged from the scalar-walk search"
+    );
+    let mut simd_ms = Vec::with_capacity(samples);
+    let mut scalar_walk_ms = Vec::with_capacity(samples);
+    for k in 0..samples {
+        let time = |f: &dyn Fn() -> usize, out: &mut Vec<f64>| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            out.push(t0.elapsed().as_secs_f64() * 1e3);
+        };
+        let run_simd = || optimizer.run(&simd_problem).history.len();
+        let run_scalar_walk = || optimizer.run(&scalar_walk_problem).history.len();
+        if k % 2 == 0 {
+            time(&run_simd, &mut simd_ms);
+            time(&run_scalar_walk, &mut scalar_walk_ms);
+        } else {
+            time(&run_scalar_walk, &mut scalar_walk_ms);
+            time(&run_simd, &mut simd_ms);
+        }
+    }
+    let simd_min = min_ms(&simd_ms);
+    let scalar_walk_min = min_ms(&scalar_walk_ms);
+
+    // Multi-thread scaling of the batched search.
+    let scaling = mgopt_bench::scaling_sweep(&mgopt_bench::thread_counts(), 3, || {
+        std::hint::black_box(optimizer.run(&problem).history.len());
+    });
+
     // Telemetry A/B: the same batched search with collection ON (spans,
     // counters, and events to any MGOPT_TRACE sink). The disabled-path
     // baseline is `batched_min` above — the overhead of telemetry-off
@@ -159,6 +213,12 @@ fn main() {
         speedup: scalar_min / batched_min,
         agreement,
         threads: rayon::current_num_threads(),
+        simd: mgopt_microgrid::simd_enabled(),
+        simd_ms_min: simd_min,
+        scalar_walk_ms_min: scalar_walk_min,
+        simd_speedup: scalar_walk_min / simd_min,
+        simd_agreement,
+        scaling,
         telemetry_enabled_ms_min: enabled_min,
         telemetry_overhead_pct: overhead_pct,
         telemetry: section,
@@ -181,6 +241,17 @@ fn main() {
         batched_run.sampled_trials,
         bench.cache_hit_rate * 1e2
     );
+    println!(
+        "simd-backed search {:.1} ms vs scalar-walk search {:.1} ms: {:.2}x, \
+         histories identical: {}",
+        simd_min, scalar_walk_min, bench.simd_speedup, simd_agreement
+    );
+    for p in &bench.scaling {
+        println!(
+            "threads {} (effective {}): {:.1} ms",
+            p.threads_requested, p.threads_effective, p.ms_min
+        );
+    }
     println!(
         "telemetry: enabled run {enabled_min:.1} ms vs disabled {batched_min:.1} ms \
          ({overhead_pct:+.1}% — timing noise dominates at near-zero overhead)"

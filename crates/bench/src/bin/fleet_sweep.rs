@@ -17,8 +17,9 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use mgopt_bench::ThreadScaling;
 use mgopt_core::{fleet_plans, fleet_sweep, FleetAssignment, FleetScenario};
-use mgopt_microgrid::{BatchEvaluator, Composition, Evaluator};
+use mgopt_microgrid::{BatchBackend, BatchEvaluator, Composition, Evaluator};
 use serde::Serialize;
 
 /// The artifact schema. `speedup` compares equal deliverables (per-site
@@ -39,6 +40,22 @@ struct FleetBench {
     max_rel_error: f64,
     peak_concurrent_import_mw: f64,
     threads: usize,
+    /// Whether the interleaved timings above ran the SIMD chunk walk (the
+    /// `MGOPT_SIMD` toggle at bench time).
+    simd: bool,
+    /// Forced-SIMD interleaved sweep (peak tracking off), min ms.
+    simd_ms_min: f64,
+    /// Forced-scalar interleaved sweep (peak tracking off), min ms.
+    scalar_walk_ms_min: f64,
+    /// `scalar_walk_ms_min / simd_ms_min` — the lane kernel's gain on the
+    /// fleet walk, like-for-like.
+    simd_speedup: f64,
+    /// Agreement between the forced walks over per-site metrics. Exactly
+    /// `0.0` by design (lanes are candidates); `bench_guard` rejects
+    /// anything else.
+    simd_max_rel_error: f64,
+    /// Full interleaved sweep re-timed at each `MGOPT_THREADS` pool size.
+    scaling: Vec<ThreadScaling>,
 }
 
 use mgopt_bench::min_ms;
@@ -121,6 +138,61 @@ fn main() {
         }
     }
 
+    // SIMD vs scalar chunk walk on the interleaved engine, like-for-like
+    // (peak tracking off in both). Bit-identity lets the agreement check
+    // demand exact equality over per-site metrics.
+    let simd_results = fleet
+        .evaluator()
+        .with_peak_tracking(false)
+        .with_backend(BatchBackend::Simd)
+        .evaluate_plans(&plans);
+    let scalar_walk_results = fleet
+        .evaluator()
+        .with_peak_tracking(false)
+        .with_backend(BatchBackend::Scalar)
+        .evaluate_plans(&plans);
+    let mut simd_max_rel_error = 0.0f64;
+    for (a, b) in simd_results.iter().zip(&scalar_walk_results) {
+        for (ra, rb) in a.per_site.iter().zip(&b.per_site) {
+            let err = ra.metrics.max_rel_error(&rb.metrics).0;
+            if err.is_nan() || err > simd_max_rel_error {
+                simd_max_rel_error = err;
+            }
+        }
+    }
+    assert_eq!(
+        simd_max_rel_error, 0.0,
+        "SIMD fleet walk must be bit-identical to the scalar walk"
+    );
+    let mut simd_ms = Vec::with_capacity(samples);
+    let mut scalar_walk_ms = Vec::with_capacity(samples);
+    let time_backend = |backend: BatchBackend, out: &mut Vec<f64>| {
+        let ev = fleet
+            .evaluator()
+            .with_peak_tracking(false)
+            .with_backend(backend);
+        let t0 = Instant::now();
+        std::hint::black_box(ev.evaluate_plans(&plans));
+        out.push(t0.elapsed().as_secs_f64() * 1e3);
+    };
+    for k in 0..samples {
+        if k % 2 == 0 {
+            time_backend(BatchBackend::Simd, &mut simd_ms);
+            time_backend(BatchBackend::Scalar, &mut scalar_walk_ms);
+        } else {
+            time_backend(BatchBackend::Scalar, &mut scalar_walk_ms);
+            time_backend(BatchBackend::Simd, &mut simd_ms);
+        }
+    }
+    let simd_min = min_ms(&simd_ms);
+    let scalar_walk_min = min_ms(&scalar_walk_ms);
+
+    // Multi-thread scaling of the full interleaved sweep (peak on, the
+    // deliverable configuration).
+    let scaling = mgopt_bench::scaling_sweep(&mgopt_bench::thread_counts(), 3, || {
+        std::hint::black_box(fleet.evaluator().evaluate_plans(&plans));
+    });
+
     let interleaved_min = min_ms(&interleaved_ms);
     let with_peak_min = min_ms(&with_peak_ms);
     let sequential_min = min_ms(&sequential_ms);
@@ -137,6 +209,12 @@ fn main() {
         max_rel_error,
         peak_concurrent_import_mw: peak_mw,
         threads: rayon::current_num_threads(),
+        simd: mgopt_microgrid::simd_enabled(),
+        simd_ms_min: simd_min,
+        scalar_walk_ms_min: scalar_walk_min,
+        simd_speedup: scalar_walk_min / simd_min,
+        simd_max_rel_error,
+        scaling,
     };
 
     println!(
@@ -158,6 +236,16 @@ fn main() {
         "fleet peak concurrent grid import across plans: {:.2} MW",
         peak_mw
     );
+    println!(
+        "simd walk {:.1} ms vs scalar walk {:.1} ms: {:.2}x, max rel err {:e}",
+        simd_min, scalar_walk_min, bench.simd_speedup, simd_max_rel_error
+    );
+    for p in &bench.scaling {
+        println!(
+            "threads {} (effective {}): {:.1} ms",
+            p.threads_requested, p.threads_effective, p.ms_min
+        );
+    }
 
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");
     let json = serde_json::to_string_pretty(&bench).expect("serialize bench artifact");

@@ -20,6 +20,8 @@
 //! | `MGOPT_FAST=1` | Reduced 27-point composition space (smoke tests). |
 //! | `MGOPT_DENSE="<mw>,<mwh>"` | Denser-than-paper grid: solar step in MW, battery step in MWh (e.g. `"2,5"`). Malformed values abort with a usage message. |
 //! | `MGOPT_TRACE=<path>` | Structured JSONL telemetry trace (spans, counters, per-generation search events) written to `path`; summarize with the `trace_report` bin. Disabled costs one relaxed atomic load per instrumented call. |
+//! | `MGOPT_SIMD=0` | Route batch/fleet cohorts through the scalar chunk walk instead of the 4-lane SIMD kernel (the default, `1`, keeps SIMD on). The walks are bit-identical — lanes hold different candidates, never different timesteps — so this only changes speed. Resolved once per process. |
+//! | `MGOPT_THREADS="1,2,4"` | Thread counts for the benchmark bins' scaling sweep (comma-separated positive integers; default `1,2,4`). Each count is clamped to available cores — the artifact records both requested and effective counts. Malformed values abort with a usage message. |
 //!
 //! The default (no variables) regenerates the full 1,089-point studies
 //! untraced.
@@ -77,6 +79,83 @@ pub fn parse_dense(v: &str) -> Result<(f64, f64), String> {
         }
         _ => Err(format!("MGOPT_DENSE: got {v:?} ({USAGE})")),
     }
+}
+
+/// Thread counts for the scaling sweep, from `MGOPT_THREADS="1,2,4"`
+/// (comma-separated positive integers); default `[1, 2, 4]`.
+///
+/// Malformed values print the [`parse_threads`] error and exit with
+/// status 2, like [`dense_steps`] — a silently ignored typo would
+/// mislabel the scaling entries.
+pub fn thread_counts() -> Vec<usize> {
+    let Ok(v) = std::env::var("MGOPT_THREADS") else {
+        return vec![1, 2, 4];
+    };
+    match parse_threads(&v) {
+        Ok(counts) => counts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse an `MGOPT_THREADS` value: comma-separated positive integers.
+/// The `Err` message states the expected format.
+pub fn parse_threads(v: &str) -> Result<Vec<usize>, String> {
+    const USAGE: &str = "want comma-separated positive integers, e.g. \"1,2,4\"";
+    v.split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err(format!("MGOPT_THREADS: zero in {v:?} ({USAGE})")),
+            Err(_) => Err(format!("MGOPT_THREADS: bad count {s:?} ({USAGE})")),
+        })
+        .collect()
+}
+
+/// One point of a benchmark bin's thread-scaling sweep: the full workload
+/// re-timed with the worker pool capped at `threads_requested`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadScaling {
+    /// Thread count asked for (an `MGOPT_THREADS` entry).
+    pub threads_requested: usize,
+    /// Worker count actually used after clamping to available cores —
+    /// on a 1-core runner every request runs with 1 thread, and the
+    /// artifact says so instead of implying a parallel measurement.
+    pub threads_effective: usize,
+    /// Fastest observed wall-clock for the workload at this pool size, ms.
+    pub ms_min: f64,
+}
+
+/// Time `workload` at each requested thread count via
+/// [`rayon::set_num_threads`], restoring the unlimited pool afterwards.
+/// `reps` timings per count, keeping the fastest (see [`min_ms`]).
+pub fn scaling_sweep<F: FnMut()>(
+    counts: &[usize],
+    reps: usize,
+    mut workload: F,
+) -> Vec<ThreadScaling> {
+    let sweep = counts
+        .iter()
+        .map(|&req| {
+            rayon::set_num_threads(req);
+            let effective = rayon::current_num_threads();
+            let samples: Vec<f64> = (0..reps.max(1))
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    workload();
+                    t0.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            ThreadScaling {
+                threads_requested: req,
+                threads_effective: effective,
+                ms_min: min_ms(&samples),
+            }
+        })
+        .collect();
+    rayon::set_num_threads(0);
+    sweep
 }
 
 /// The search space for the current mode: `MGOPT_FAST=1` shrinks it to 27
@@ -242,6 +321,51 @@ mod tests {
         }
         assert!(parse_dense("two,5").unwrap_err().contains("bad number"));
         assert!(parse_dense("0,5").unwrap_err().contains("non-positive"));
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integer_lists() {
+        assert_eq!(parse_threads("1,2,4"), Ok(vec![1, 2, 4]));
+        assert_eq!(parse_threads(" 8 "), Ok(vec![8]));
+        assert_eq!(parse_threads("4,2,1"), Ok(vec![4, 2, 1]));
+    }
+
+    #[test]
+    fn parse_threads_errors_state_the_expected_format() {
+        for bad in ["", "0", "1,0,4", "two", "1,,4", "-1", "1.5"] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(
+                err.contains("MGOPT_THREADS") && err.contains("positive integers"),
+                "unhelpful message for {bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_sweep_runs_each_count_and_restores_the_pool() {
+        let before = rayon::current_num_threads();
+        let mut runs = 0usize;
+        let sweep = scaling_sweep(&[1, 2], 3, || runs += 1);
+        assert_eq!(runs, 6);
+        assert_eq!(sweep.len(), 2);
+        for (point, req) in sweep.iter().zip([1usize, 2]) {
+            assert_eq!(point.threads_requested, req);
+            assert!(point.threads_effective >= 1 && point.threads_effective <= req);
+            assert!(point.ms_min >= 0.0 && point.ms_min.is_finite());
+        }
+        assert_eq!(rayon::current_num_threads(), before);
+    }
+
+    #[test]
+    fn thread_scaling_round_trips_through_json() {
+        let point = ThreadScaling {
+            threads_requested: 4,
+            threads_effective: 1,
+            ms_min: 12.5,
+        };
+        let json = serde_json::to_string(&point).unwrap();
+        let back: ThreadScaling = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, point);
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub use fleet::{
 pub use objectives::{ObjectiveKind, ObjectiveSet};
 pub use problem::{CompositionProblem, FleetProblem};
 pub use scenario::{PreparedScenario, ScenarioConfig, SitePreset, WorkloadConfig};
-pub use sweep::{sweep_all, sweep_all_scalar};
+pub use sweep::{sweep_all, sweep_all_scalar, sweep_all_with_backend};

@@ -14,8 +14,8 @@
 //! NSGA-II's constraint-dominance.
 
 use mgopt_microgrid::{
-    simulate_period, simulate_year, BatchEvaluator, Composition, CompositionSpace, Evaluator,
-    FleetEvaluator, FleetResult,
+    simulate_period, simulate_year, BatchBackend, BatchEvaluator, Composition, CompositionSpace,
+    Evaluator, FleetEvaluator, FleetResult,
 };
 use mgopt_optimizer::{Evaluation, Genome, MultiFidelityProblem, Problem};
 
@@ -180,6 +180,7 @@ pub struct FleetProblem<'a> {
     fleet: &'a PreparedFleet,
     dims: Vec<usize>,
     peak_cap_kw: Option<f64>,
+    backend: BatchBackend,
 }
 
 impl<'a> FleetProblem<'a> {
@@ -210,7 +211,17 @@ impl<'a> FleetProblem<'a> {
             fleet,
             dims,
             peak_cap_kw: None,
+            backend: BatchBackend::Auto,
         }
+    }
+
+    /// Force a chunk-walk backend on the underlying fleet engine (default:
+    /// follow the `MGOPT_SIMD` toggle). The walks are pinned bit-identical,
+    /// so search trajectories do not depend on the choice; benches use this
+    /// for like-for-like A/B timing.
+    pub fn with_backend(mut self, backend: BatchBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Constrain the fleet's peak *concurrent* grid import to `cap_kw`.
@@ -264,6 +275,7 @@ impl<'a> FleetProblem<'a> {
         self.fleet
             .evaluator()
             .with_peak_tracking(self.peak_cap_kw.is_some())
+            .with_backend(self.backend)
     }
 
     fn evaluation_of(&self, result: &FleetResult) -> Evaluation {

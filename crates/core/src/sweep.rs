@@ -6,7 +6,9 @@
 //! [`BatchEvaluator`] pass over the space (time-major, chunk-parallel)
 //! instead of one scalar year-simulation per composition.
 
-use mgopt_microgrid::{AnnualResult, BatchEvaluator, Composition, Evaluator, ScalarEvaluator};
+use mgopt_microgrid::{
+    AnnualResult, BatchBackend, BatchEvaluator, Composition, Evaluator, ScalarEvaluator,
+};
 
 use crate::scenario::PreparedScenario;
 
@@ -15,8 +17,20 @@ use crate::scenario::PreparedScenario;
 ///
 /// Results are returned in the space's flat index order.
 pub fn sweep_all(scenario: &PreparedScenario) -> Vec<AnnualResult> {
+    sweep_all_with_backend(scenario, BatchBackend::Auto)
+}
+
+/// [`sweep_all`] with the chunk-walk backend forced — the benchmark bins'
+/// like-for-like SIMD-vs-scalar A/B (the walks are bit-identical, so
+/// forcing only changes speed).
+pub fn sweep_all_with_backend(
+    scenario: &PreparedScenario,
+    backend: BatchBackend,
+) -> Vec<AnnualResult> {
     let comps: Vec<Composition> = scenario.config.space.iter().collect();
-    BatchEvaluator::new(&scenario.data, &scenario.load, &scenario.config.sim).evaluate_batch(&comps)
+    BatchEvaluator::new(&scenario.data, &scenario.load, &scenario.config.sim)
+        .with_backend(backend)
+        .evaluate_batch(&comps)
 }
 
 /// The same sweep through the scalar reference engine (one simulation per

@@ -43,14 +43,17 @@ use rayon::prelude::*;
 
 use crate::composition::Composition;
 use crate::metrics::{AnnualMetrics, AnnualResult};
+use crate::simd::{split_residual, BatchBackend, F64x4, LaneGroup, LaneParams, LanePolicy, LANES};
 use crate::simulate::SimConfig;
 use crate::site::SiteData;
 
-/// Candidates per parallel chunk. A multiple of the sweep's battery-
-/// dimension length (9) keeps shared-generation groups intact; 63 ≈ the
-/// sweet spot between scheduling granularity and per-chunk state locality.
-/// Shared with the fleet engine ([`crate::fleet`]).
-pub(crate) const CHUNK: usize = 63;
+/// Candidates per parallel chunk. A multiple of the SIMD lane width
+/// ([`LANES`] = 4) lets every chunk but the last of a batch divide
+/// evenly into lane groups, so the scalar remainder loop only fires on
+/// the final chunk of a sweep; 64 keeps the old scheduling granularity /
+/// state-locality sweet spot (±1 candidate). Shared with the fleet
+/// engine ([`crate::fleet`]).
+pub(crate) const CHUNK: usize = 64;
 
 /// Monomorphized storage dispatch: an enum over the storage models a
 /// composition can carry, replacing `Box<dyn Storage + Send>` in hot loops.
@@ -114,17 +117,17 @@ impl StorageKernel {
 /// metrics are bit-identical to single-site batch runs.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct BatchAcc {
-    production: f64,
-    import: f64,
-    export: f64,
-    direct: f64,
-    charge: f64,
-    discharge: f64,
-    unmet: f64,
-    op_weighted: f64,
-    cost_import: f64,
-    cost_export: f64,
-    self_sufficient_steps: usize,
+    pub(crate) production: f64,
+    pub(crate) import: f64,
+    pub(crate) export: f64,
+    pub(crate) direct: f64,
+    pub(crate) charge: f64,
+    pub(crate) discharge: f64,
+    pub(crate) unmet: f64,
+    pub(crate) op_weighted: f64,
+    pub(crate) cost_import: f64,
+    pub(crate) cost_export: f64,
+    pub(crate) self_sufficient_steps: usize,
 }
 
 impl BatchAcc {
@@ -217,6 +220,18 @@ pub fn simulate_batch(
     simulate_batch_period(data, load_kw, comps, cfg, data.len())
 }
 
+/// [`simulate_batch`] with an explicit chunk-walk backend (the default
+/// follows the `MGOPT_SIMD` toggle).
+pub fn simulate_batch_with_backend(
+    data: &SiteData,
+    load_kw: &TimeSeries,
+    comps: &[Composition],
+    cfg: &SimConfig,
+    backend: BatchBackend,
+) -> Vec<AnnualResult> {
+    simulate_batch_period_with_backend(data, load_kw, comps, cfg, data.len(), backend)
+}
+
 /// Simulate only the first `n_steps` for every composition in the batch —
 /// the low-fidelity cohort evaluation used by pruning searches.
 ///
@@ -230,6 +245,26 @@ pub fn simulate_batch_period(
     cfg: &SimConfig,
     n_steps: usize,
 ) -> Vec<AnnualResult> {
+    simulate_batch_period_with_backend(data, load_kw, comps, cfg, n_steps, BatchBackend::Auto)
+}
+
+/// [`simulate_batch_period`] with an explicit chunk-walk backend.
+///
+/// The lane-wide walk is used when the backend selects it, SoC traces
+/// are off (the lane walk does not record them) and the step is
+/// non-zero; otherwise the scalar walk runs. Both walks are pinned
+/// bit-identical by `tests/engine_agreement.rs`.
+///
+/// # Panics
+/// Same contract as [`simulate_batch_period`].
+pub fn simulate_batch_period_with_backend(
+    data: &SiteData,
+    load_kw: &TimeSeries,
+    comps: &[Composition],
+    cfg: &SimConfig,
+    n_steps: usize,
+    backend: BatchBackend,
+) -> Vec<AnnualResult> {
     assert_eq!(load_kw.step(), data.step(), "load step mismatch");
     assert_eq!(load_kw.len(), data.len(), "load length mismatch");
     assert!(n_steps > 0, "n_steps must be positive");
@@ -240,6 +275,7 @@ pub fn simulate_batch_period(
     let n = n_steps.min(data.len());
     // Demand is identical for every candidate: accumulate it once.
     let demand_kwh: f64 = load_kw.values()[..n].iter().sum::<f64>() * data.step().hours();
+    let use_simd = backend.use_simd() && !cfg.record_soc && !data.step().is_zero();
 
     // Stage-total snapshots attribute this call's prepare/kernel time in
     // the emitted event (search layers call engines sequentially, so the
@@ -249,22 +285,39 @@ pub fn simulate_batch_period(
             std::time::Instant::now(),
             telemetry::stage_ms(Stage::BatchPrepare),
             telemetry::stage_ms(Stage::BatchKernel),
+            telemetry::counter_value(Counter::SimdRows),
+            telemetry::counter_value(Counter::SimdRemainderRows),
         )
     });
 
     let chunks: Vec<&[Composition]> = comps.chunks(CHUNK).collect();
     let nested: Vec<Vec<AnnualResult>> = chunks
         .into_par_iter()
-        .map(|chunk| run_chunk(data, load_kw, chunk, cfg, n, demand_kwh))
+        .map(|chunk| {
+            if use_simd {
+                run_chunk_simd(data, load_kw, chunk, cfg, n, demand_kwh)
+            } else {
+                run_chunk(data, load_kw, chunk, cfg, n, demand_kwh)
+            }
+        })
         .collect();
     let out: Vec<AnnualResult> = nested.into_iter().flatten().collect();
 
-    if let Some((t0, prep0, kern0)) = trace {
+    if let Some((t0, prep0, kern0, simd0, rem0)) = trace {
         telemetry::Event::new("batch_eval")
             .u64("candidates", comps.len() as u64)
             .u64("steps", n as u64)
             .u64("chunks", comps.len().div_ceil(CHUNK) as u64)
             .u64("rows", (comps.len() * n) as u64)
+            .bool("simd", use_simd)
+            .u64(
+                "simd_rows",
+                telemetry::counter_value(Counter::SimdRows) - simd0,
+            )
+            .u64(
+                "simd_remainder_rows",
+                telemetry::counter_value(Counter::SimdRemainderRows) - rem0,
+            )
             .f64(
                 "prepare_ms",
                 telemetry::stage_ms(Stage::BatchPrepare) - prep0,
@@ -317,10 +370,17 @@ fn run_chunk(
 
     // Candidates with the same (wind, solar) pair share generation; in
     // sweep order these are the battery-dimension runs of the grid.
+    // Membership is bitwise so group members' per-candidate generation
+    // expression reproduces the shared value exactly — what pins this
+    // walk bit-identical to the lane-wide walk, which computes
+    // generation per lane.
     let mut groups: Vec<(usize, usize)> = Vec::new();
     let mut start = 0usize;
     for k in 1..=m {
-        if k == m || solar_kw[k] != solar_kw[start] || wind_n[k] != wind_n[start] {
+        if k == m
+            || solar_kw[k].to_bits() != solar_kw[start].to_bits()
+            || wind_n[k].to_bits() != wind_n[start].to_bits()
+        {
             groups.push((start, k));
             start = k;
         }
@@ -362,19 +422,139 @@ fn run_chunk(
     telemetry::add(Counter::BatchChunks, 1);
     telemetry::add(Counter::BatchRows, (m * n) as u64);
 
+    let cycles: Vec<f64> = kernels.iter().map(|k| k.equivalent_full_cycles()).collect();
+    finish_chunk(comps, cfg, &accs, &cycles, soc_traces, n, dt_h, demand_kwh)
+}
+
+/// Evaluate one chunk of candidates over `0..n` with the lane-wide SIMD
+/// kernel: full lane groups walk four candidates at once, the tail (< 4
+/// candidates — only the batch's final chunk, since [`CHUNK`] is a lane
+/// multiple) runs the scalar kernel. Bit-identical to [`run_chunk`]:
+/// lanes are candidates, so per-candidate arithmetic order is unchanged.
+fn run_chunk_simd(
+    data: &SiteData,
+    load_kw: &TimeSeries,
+    comps: &[Composition],
+    cfg: &SimConfig,
+    n: usize,
+    demand_kwh: f64,
+) -> Vec<AnnualResult> {
+    let m = comps.len();
+    let dt = data.step();
+    let dt_h = dt.hours();
+
+    let prepare_span = telemetry::span(Stage::BatchPrepare);
+
+    let pv = data.pv_unit_kw.values();
+    let wind = data.wind_unit_kw.values();
+    let load = load_kw.values();
+    let ci = data.ci_g_per_kwh.values();
+    let price = data.price_usd_per_mwh.values();
+
+    let r0 = (m / LANES) * LANES;
+    let mut lanes: Vec<LaneGroup> = comps[..r0]
+        .chunks_exact(LANES)
+        .map(|quad| LaneGroup::new(quad, &cfg.battery))
+        .collect();
+    let lane_params = LaneParams::new(&cfg.battery, dt_h);
+    let lane_policy = LanePolicy::new(cfg.policy);
+
+    // Scalar remainder state for the tail candidates.
+    let rem = &comps[r0..];
+    let mut rem_kernels: Vec<StorageKernel> = rem
+        .iter()
+        .map(|c| StorageKernel::for_composition(c, &cfg.battery))
+        .collect();
+    let mut rem_accs: Vec<BatchAcc> = vec![BatchAcc::default(); rem.len()];
+
+    let policy = cfg.policy;
+    let islanded = policy.is_islanded();
+
+    drop(prepare_span);
+    let kernel_span = telemetry::span(Stage::BatchKernel);
+
+    for i in 0..n {
+        let (pv_i, wind_i, load_i, ci_i, price_i) = (pv[i], wind[i], load[i], ci[i], price[i]);
+        let pv_v = F64x4::splat(pv_i);
+        let wind_v = F64x4::splat(wind_i);
+        let load_v = F64x4::splat(load_i);
+        let ci_v = F64x4::splat(ci_i);
+        let price_v = F64x4::splat(price_i);
+        for g in &mut lanes {
+            // Per-lane generation: the same mul/mul/add as the scalar
+            // walk (no mul_add — rounding must match).
+            let gen = g.solar * pv_v + g.wind * wind_v;
+            let p_delta = gen - load_v;
+            let request = lane_policy.request(p_delta, g.kernel.soc(), ci_i);
+            let p_storage = g.kernel.step(request, &lane_params);
+            let residual = p_delta - p_storage;
+            let (import, export, unmet) = split_residual(residual, islanded);
+            g.acc
+                .record(gen, load_v, import, export, p_storage, unmet, ci_v, price_v);
+        }
+        for (k, comp) in rem.iter().enumerate() {
+            let gen = comp.solar_kw * pv_i + comp.wind_turbines as f64 * wind_i;
+            let p_delta = gen - load_i;
+            let request =
+                policy.storage_request(Power::from_kw(p_delta), rem_kernels[k].soc(), ci_i);
+            let p_storage = rem_kernels[k].update_kw(request, dt);
+            let residual = p_delta - p_storage;
+            let (import, export, unmet) = if islanded && residual < 0.0 {
+                (0.0, 0.0, -residual)
+            } else if residual < 0.0 {
+                (-residual, 0.0, 0.0)
+            } else {
+                (0.0, residual, 0.0)
+            };
+            rem_accs[k].record(gen, load_i, import, export, p_storage, unmet, ci_i, price_i);
+        }
+    }
+
+    drop(kernel_span);
+    telemetry::add(Counter::BatchChunks, 1);
+    telemetry::add(Counter::BatchRows, (m * n) as u64);
+    telemetry::add(Counter::SimdRows, (r0 * n) as u64);
+    telemetry::add(Counter::SimdRemainderRows, ((m - r0) * n) as u64);
+
+    let accs: Vec<BatchAcc> = (0..m)
+        .map(|k| {
+            if k < r0 {
+                lanes[k / LANES].acc.extract(k % LANES)
+            } else {
+                rem_accs[k - r0].clone()
+            }
+        })
+        .collect();
+    let cycles: Vec<f64> = (0..m)
+        .map(|k| {
+            if k < r0 {
+                lanes[k / LANES].kernel.equivalent_full_cycles(k % LANES)
+            } else {
+                rem_kernels[k - r0].equivalent_full_cycles()
+            }
+        })
+        .collect();
+    finish_chunk(comps, cfg, &accs, &cycles, Vec::new(), n, dt_h, demand_kwh)
+}
+
+/// Scale one chunk's raw accumulators into results — shared by the
+/// scalar and lane-wide walks so both feed the exact same formulas.
+#[allow(clippy::too_many_arguments)]
+fn finish_chunk(
+    comps: &[Composition],
+    cfg: &SimConfig,
+    accs: &[BatchAcc],
+    cycles: &[f64],
+    mut soc_traces: Vec<Vec<f64>>,
+    n: usize,
+    dt_h: f64,
+    demand_kwh: f64,
+) -> Vec<AnnualResult> {
     let days = n as f64 * dt_h / 24.0;
-    (0..m)
+    (0..comps.len())
         .map(|k| AnnualResult {
             composition: comps[k],
-            metrics: accs[k].finish(
-                &comps[k],
-                cfg,
-                kernels[k].equivalent_full_cycles(),
-                n,
-                days,
-                demand_kwh,
-                dt_h,
-            ),
+            metrics: accs[k].finish(&comps[k], cfg, cycles[k], n, days, demand_kwh, dt_h),
             soc_trace_hourly: if cfg.record_soc {
                 std::mem::take(&mut soc_traces[k])
             } else {
@@ -438,28 +618,48 @@ pub struct BatchEvaluator<'a> {
     pub load: &'a TimeSeries,
     /// Simulation parameters.
     pub cfg: &'a SimConfig,
+    backend: BatchBackend,
 }
 
 impl<'a> BatchEvaluator<'a> {
-    /// Create an evaluator over prepared inputs.
+    /// Create an evaluator over prepared inputs (the chunk walk follows
+    /// the `MGOPT_SIMD` toggle).
     pub fn new(data: &'a SiteData, load: &'a TimeSeries, cfg: &'a SimConfig) -> Self {
-        Self { data, load, cfg }
+        Self {
+            data,
+            load,
+            cfg,
+            backend: BatchBackend::Auto,
+        }
+    }
+
+    /// Force a chunk-walk backend (A/B benches, agreement tests).
+    pub fn with_backend(mut self, backend: BatchBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
 impl Evaluator for BatchEvaluator<'_> {
     fn evaluate(&self, comp: &Composition) -> AnnualResult {
-        simulate_batch(self.data, self.load, std::slice::from_ref(comp), self.cfg)
+        self.evaluate_batch(std::slice::from_ref(comp))
             .pop()
             .expect("one composition in, one result out")
     }
 
     fn evaluate_batch(&self, comps: &[Composition]) -> Vec<AnnualResult> {
-        simulate_batch(self.data, self.load, comps, self.cfg)
+        simulate_batch_with_backend(self.data, self.load, comps, self.cfg, self.backend)
     }
 
     fn evaluate_batch_period(&self, comps: &[Composition], n_steps: usize) -> Vec<AnnualResult> {
-        simulate_batch_period(self.data, self.load, comps, self.cfg, n_steps)
+        simulate_batch_period_with_backend(
+            self.data,
+            self.load,
+            comps,
+            self.cfg,
+            n_steps,
+            self.backend,
+        )
     }
 }
 
@@ -632,6 +832,69 @@ mod tests {
         let (data, load) = setup();
         let cfg = SimConfig::default();
         BatchEvaluator::new(&data, &load, &cfg).evaluate_batch_period(&[Composition::BASELINE], 0);
+    }
+
+    #[test]
+    fn simd_walk_is_bit_identical_to_scalar_walk_for_every_policy() {
+        let (data, load) = setup();
+        for policy in [
+            DispatchPolicy::SelfConsumption,
+            DispatchPolicy::Islanded,
+            DispatchPolicy::CarbonAwareGridCharge {
+                ci_threshold_g_per_kwh: 330.0,
+                target_soc: 0.9,
+            },
+            DispatchPolicy::BatterySparing {
+                deficit_threshold_kw: 200.0,
+            },
+        ] {
+            let cfg = SimConfig {
+                policy,
+                ..SimConfig::default()
+            };
+            // Batch sizes exercising full lanes, the remainder loop and
+            // multiple chunks; null-battery lanes included.
+            let comps: Vec<Composition> = (0..67)
+                .map(|i| {
+                    Composition::new(
+                        (i % 5) as u32,
+                        (i % 3) as f64 * 10_000.0,
+                        (i % 4) as f64 * 7_500.0,
+                    )
+                })
+                .collect();
+            let scalar = BatchEvaluator::new(&data, &load, &cfg)
+                .with_backend(BatchBackend::Scalar)
+                .evaluate_batch(&comps);
+            let simd = BatchEvaluator::new(&data, &load, &cfg)
+                .with_backend(BatchBackend::Simd)
+                .evaluate_batch(&comps);
+            for (a, b) in scalar.iter().zip(&simd) {
+                assert_eq!(
+                    a.metrics,
+                    b.metrics,
+                    "{}: {} diverges",
+                    policy.name(),
+                    a.composition
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soc_recording_falls_back_to_the_scalar_walk() {
+        // The lane walk records no SoC traces; forcing it with
+        // record_soc on must still produce the scalar traces.
+        let (data, load) = setup();
+        let cfg = SimConfig {
+            record_soc: true,
+            ..SimConfig::default()
+        };
+        let comp = Composition::new(2, 4_000.0, 15_000.0);
+        let forced = BatchEvaluator::new(&data, &load, &cfg)
+            .with_backend(BatchBackend::Simd)
+            .evaluate(&comp);
+        assert_eq!(forced.soc_trace_hourly.len(), 8_760);
     }
 
     #[test]

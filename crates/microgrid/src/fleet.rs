@@ -35,6 +35,7 @@ use mgopt_units::{Power, TimeSeries};
 use rayon::prelude::*;
 
 use crate::batch::{BatchAcc, StorageKernel, CHUNK};
+use crate::simd::{split_residual, BatchBackend, F64x4, LaneGroup, LaneParams, LanePolicy, LANES};
 
 /// Steps per interleave block: sites advance in lockstep at block
 /// granularity (their physics never couple — only the concurrent-import
@@ -124,6 +125,7 @@ impl FleetResult {
 pub struct FleetEvaluator<'a> {
     sites: Vec<FleetSite<'a>>,
     track_peak: bool,
+    backend: BatchBackend,
 }
 
 impl<'a> FleetEvaluator<'a> {
@@ -156,6 +158,7 @@ impl<'a> FleetEvaluator<'a> {
         Self {
             sites,
             track_peak: true,
+            backend: BatchBackend::Auto,
         }
     }
 
@@ -166,6 +169,14 @@ impl<'a> FleetEvaluator<'a> {
     /// [`FleetMetrics::peak_concurrent_import_kw`] is `None`.
     pub fn with_peak_tracking(mut self, on: bool) -> Self {
         self.track_peak = on;
+        self
+    }
+
+    /// Force a chunk-walk backend (default: follow the `MGOPT_SIMD`
+    /// toggle). Both walks are pinned bit-identical, per-site and on
+    /// fleet aggregates.
+    pub fn with_backend(mut self, backend: BatchBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -237,6 +248,11 @@ impl<'a> FleetEvaluator<'a> {
             .map(|s| s.load.values()[..n].iter().sum::<f64>() * dt_h)
             .collect();
 
+        // The lane walk records no SoC traces; any site that wants them
+        // routes the whole cohort through the scalar oracle walk.
+        let any_soc = self.sites.iter().any(|s| s.cfg.record_soc);
+        let use_simd = self.backend.use_simd() && !any_soc && !self.sites[0].data.step().is_zero();
+
         // Stage-total snapshots attribute this call's prepare/kernel time
         // in the emitted event (see the batch engine for the caveat).
         let trace = telemetry::enabled().then(|| {
@@ -244,23 +260,40 @@ impl<'a> FleetEvaluator<'a> {
                 std::time::Instant::now(),
                 telemetry::stage_ms(Stage::FleetPrepare),
                 telemetry::stage_ms(Stage::FleetKernel),
+                telemetry::counter_value(Counter::SimdRows),
+                telemetry::counter_value(Counter::SimdRemainderRows),
             )
         });
 
         let chunks: Vec<&[Vec<Composition>]> = plans.chunks(CHUNK).collect();
         let nested: Vec<Vec<FleetResult>> = chunks
             .into_par_iter()
-            .map(|chunk| self.run_chunk(chunk, n, &demand_kwh))
+            .map(|chunk| {
+                if use_simd {
+                    self.run_chunk_simd(chunk, n, &demand_kwh)
+                } else {
+                    self.run_chunk(chunk, n, &demand_kwh)
+                }
+            })
             .collect();
         let out: Vec<FleetResult> = nested.into_iter().flatten().collect();
 
-        if let Some((t0, prep0, kern0)) = trace {
+        if let Some((t0, prep0, kern0, simd0, rem0)) = trace {
             telemetry::Event::new("fleet_eval")
                 .u64("plans", plans.len() as u64)
                 .u64("sites", self.sites.len() as u64)
                 .u64("steps", n as u64)
                 .u64("chunks", plans.len().div_ceil(CHUNK) as u64)
                 .u64("rows", (plans.len() * self.sites.len() * n) as u64)
+                .bool("simd", use_simd)
+                .u64(
+                    "simd_rows",
+                    telemetry::counter_value(Counter::SimdRows) - simd0,
+                )
+                .u64(
+                    "simd_remainder_rows",
+                    telemetry::counter_value(Counter::SimdRemainderRows) - rem0,
+                )
                 .f64(
                     "prepare_ms",
                     telemetry::stage_ms(Stage::FleetPrepare) - prep0,
@@ -282,7 +315,6 @@ impl<'a> FleetEvaluator<'a> {
         let ns = self.sites.len();
         let m = plans.len();
         let dt = self.sites[0].data.step();
-        let dt_h = dt.hours();
         let steps_per_hour = (3_600 / dt.secs()).max(1) as usize;
 
         let prepare_span = telemetry::span(Stage::FleetPrepare);
@@ -351,15 +383,17 @@ impl<'a> FleetEvaluator<'a> {
         // pair share one generation computation per step — in uniform
         // sweep order these are the battery-dimension runs, exactly as in
         // the single-site engine (and cross-product cohorts get the long
-        // shared runs of their outer dimensions for free).
+        // shared runs of their outer dimensions for free). Membership is
+        // bitwise, like the batch engine's, so the shared value equals
+        // every member's own per-candidate expression exactly.
         let groups: Vec<Vec<(usize, usize)>> = (0..ns)
             .map(|s| {
                 let mut g = Vec::new();
                 let mut start = 0usize;
                 for k in 1..=m {
                     if k == m
-                        || solar_kw[s * m + k] != solar_kw[s * m + start]
-                        || wind_n[s * m + k] != wind_n[s * m + start]
+                        || solar_kw[s * m + k].to_bits() != solar_kw[s * m + start].to_bits()
+                        || wind_n[s * m + k].to_bits() != wind_n[s * m + start].to_bits()
                     {
                         g.push((start, k));
                         start = k;
@@ -462,6 +496,232 @@ impl<'a> FleetEvaluator<'a> {
         telemetry::add(Counter::FleetChunks, 1);
         telemetry::add(Counter::FleetRows, (m * ns * n) as u64);
 
+        let cycles: Vec<f64> = kernels.iter().map(|k| k.equivalent_full_cycles()).collect();
+        self.assemble(plans, &accs, &cycles, &peaks, soc_traces, n, demand_kwh)
+    }
+
+    /// Evaluate one chunk of plans over `0..n` with the lane-wide SIMD
+    /// kernel: per site, full lane groups walk four plans at once and
+    /// the tail (< 4 plans) runs the scalar kernel. Bit-identical to
+    /// [`Self::run_chunk`], including the concurrent-peak fold (which
+    /// consumes the same per-step import values).
+    fn run_chunk_simd(
+        &self,
+        plans: &[Vec<Composition>],
+        n: usize,
+        demand_kwh: &[f64],
+    ) -> Vec<FleetResult> {
+        let ns = self.sites.len();
+        let m = plans.len();
+        let dt = self.sites[0].data.step();
+        let dt_h = dt.hours();
+
+        let prepare_span = telemetry::span(Stage::FleetPrepare);
+
+        let pv: Vec<&[f64]> = self
+            .sites
+            .iter()
+            .map(|s| s.data.pv_unit_kw.values())
+            .collect();
+        let wind: Vec<&[f64]> = self
+            .sites
+            .iter()
+            .map(|s| s.data.wind_unit_kw.values())
+            .collect();
+        let load: Vec<&[f64]> = self.sites.iter().map(|s| s.load.values()).collect();
+        let ci: Vec<&[f64]> = self
+            .sites
+            .iter()
+            .map(|s| s.data.ci_g_per_kwh.values())
+            .collect();
+        let price: Vec<&[f64]> = self
+            .sites
+            .iter()
+            .map(|s| s.data.price_usd_per_mwh.values())
+            .collect();
+        let policies: Vec<_> = self.sites.iter().map(|s| s.cfg.policy).collect();
+        let islanded: Vec<bool> = policies.iter().map(|p| p.is_islanded()).collect();
+
+        // Site-major lane state: lane_groups[s][g] covers plans
+        // `g*LANES .. g*LANES+LANES` at site `s`.
+        let r0 = (m / LANES) * LANES;
+        let rem = m - r0;
+        let mut lane_groups: Vec<Vec<LaneGroup>> = (0..ns)
+            .map(|s| {
+                (0..r0)
+                    .step_by(LANES)
+                    .map(|p0| {
+                        let quad: [Composition; LANES] = std::array::from_fn(|j| plans[p0 + j][s]);
+                        LaneGroup::new(&quad, &self.sites[s].cfg.battery)
+                    })
+                    .collect()
+            })
+            .collect();
+        let lane_params: Vec<LaneParams> = self
+            .sites
+            .iter()
+            .map(|s| LaneParams::new(&s.cfg.battery, dt_h))
+            .collect();
+        let lane_policies: Vec<LanePolicy> = policies.iter().map(|&p| LanePolicy::new(p)).collect();
+
+        // Scalar remainder state, site-major: index `s * rem + j` for
+        // plan `r0 + j`.
+        let mut rem_kernels: Vec<StorageKernel> = (0..ns)
+            .flat_map(|s| {
+                (r0..m).map(move |p| {
+                    StorageKernel::for_composition(&plans[p][s], &self.sites[s].cfg.battery)
+                })
+            })
+            .collect();
+        let mut rem_accs: Vec<BatchAcc> = vec![BatchAcc::default(); rem * ns];
+
+        let mut peaks: Vec<f64> = vec![0.0; m];
+        let block = BLOCK.min(n);
+        let track_peak = self.track_peak;
+        let mut import_buf = vec![0.0f64; block * m];
+
+        drop(prepare_span);
+        let kernel_span = telemetry::span(Stage::FleetKernel);
+
+        for i0 in (0..n).step_by(block) {
+            let i1 = (i0 + block).min(n);
+            for s in 0..ns {
+                let (pv_s, wind_s_col, load_s, ci_s, price_s) =
+                    (pv[s], wind[s], load[s], ci[s], price[s]);
+                let lane_policy = lane_policies[s];
+                let params = lane_params[s];
+                let policy = policies[s];
+                let isl = islanded[s];
+                let first_site = s == 0;
+                let groups_s = &mut lane_groups[s];
+                let rem_base = s * rem;
+                for (i, row) in (i0..i1).zip(import_buf.chunks_exact_mut(m)) {
+                    let (pv_i, wind_i, load_i, ci_i, price_i) =
+                        (pv_s[i], wind_s_col[i], load_s[i], ci_s[i], price_s[i]);
+                    let pv_v = F64x4::splat(pv_i);
+                    let wind_v = F64x4::splat(wind_i);
+                    let load_v = F64x4::splat(load_i);
+                    let ci_v = F64x4::splat(ci_i);
+                    let price_v = F64x4::splat(price_i);
+                    for (g_idx, g) in groups_s.iter_mut().enumerate() {
+                        let gen = g.solar * pv_v + g.wind * wind_v;
+                        let p_delta = gen - load_v;
+                        let request = lane_policy.request(p_delta, g.kernel.soc(), ci_i);
+                        let p_storage = g.kernel.step(request, &params);
+                        let residual = p_delta - p_storage;
+                        let (import, export, unmet) = split_residual(residual, isl);
+                        g.acc
+                            .record(gen, load_v, import, export, p_storage, unmet, ci_v, price_v);
+                        if track_peak {
+                            let p0 = g_idx * LANES;
+                            for j in 0..LANES {
+                                if first_site {
+                                    row[p0 + j] = import.lane(j);
+                                } else {
+                                    row[p0 + j] += import.lane(j);
+                                }
+                            }
+                        }
+                    }
+                    for j in 0..rem {
+                        let comp = &plans[r0 + j][s];
+                        let gen = comp.solar_kw * pv_i + comp.wind_turbines as f64 * wind_i;
+                        let p_delta = gen - load_i;
+                        let request = policy.storage_request(
+                            Power::from_kw(p_delta),
+                            rem_kernels[rem_base + j].soc(),
+                            ci_i,
+                        );
+                        let p_storage = rem_kernels[rem_base + j].update_kw(request, dt);
+                        let residual = p_delta - p_storage;
+                        let (import, export, unmet) = if isl && residual < 0.0 {
+                            (0.0, 0.0, -residual)
+                        } else if residual < 0.0 {
+                            (-residual, 0.0, 0.0)
+                        } else {
+                            (0.0, residual, 0.0)
+                        };
+                        rem_accs[rem_base + j]
+                            .record(gen, load_i, import, export, p_storage, unmet, ci_i, price_i);
+                        if track_peak {
+                            if first_site {
+                                row[r0 + j] = import;
+                            } else {
+                                row[r0 + j] += import;
+                            }
+                        }
+                    }
+                }
+            }
+            // Same branchless per-block fold as the scalar walk, over the
+            // same import values.
+            if track_peak {
+                for row in import_buf.chunks_exact(m).take(i1 - i0) {
+                    for (peak, &v) in peaks.iter_mut().zip(row) {
+                        *peak = peak.max(v);
+                    }
+                }
+            }
+        }
+
+        drop(kernel_span);
+        telemetry::add(Counter::FleetChunks, 1);
+        telemetry::add(Counter::FleetRows, (m * ns * n) as u64);
+        telemetry::add(Counter::SimdRows, (r0 * ns * n) as u64);
+        telemetry::add(Counter::SimdRemainderRows, (rem * ns * n) as u64);
+
+        // Materialize the site-major (s * m + p) layout the shared
+        // assembly expects.
+        let rem_accs = &rem_accs;
+        let rem_kernels = &rem_kernels;
+        let accs: Vec<BatchAcc> = (0..ns)
+            .flat_map(|s| {
+                let lanes_s = &lane_groups[s];
+                let rem_base = s * rem;
+                (0..m).map(move |p| {
+                    if p < r0 {
+                        lanes_s[p / LANES].acc.extract(p % LANES)
+                    } else {
+                        rem_accs[rem_base + (p - r0)].clone()
+                    }
+                })
+            })
+            .collect();
+        let cycles: Vec<f64> = (0..ns)
+            .flat_map(|s| {
+                let lanes_s = &lane_groups[s];
+                let rem_base = s * rem;
+                (0..m).map(move |p| {
+                    if p < r0 {
+                        lanes_s[p / LANES].kernel.equivalent_full_cycles(p % LANES)
+                    } else {
+                        rem_kernels[rem_base + (p - r0)].equivalent_full_cycles()
+                    }
+                })
+            })
+            .collect();
+        self.assemble(plans, &accs, &cycles, &peaks, Vec::new(), n, demand_kwh)
+    }
+
+    /// Scale one chunk's raw accumulators into per-plan results — shared
+    /// by the scalar and lane-wide walks. `accs`/`cycles` are site-major
+    /// (`s * m + p`); `soc_traces` is empty unless a site records SoC
+    /// (scalar walk only).
+    #[allow(clippy::too_many_arguments)] // one parameter per chunk output
+    fn assemble(
+        &self,
+        plans: &[Vec<Composition>],
+        accs: &[BatchAcc],
+        cycles: &[f64],
+        peaks: &[f64],
+        mut soc_traces: Vec<Vec<f64>>,
+        n: usize,
+        demand_kwh: &[f64],
+    ) -> Vec<FleetResult> {
+        let ns = self.sites.len();
+        let m = plans.len();
+        let dt_h = self.sites[0].data.step().hours();
+        let any_soc = !soc_traces.is_empty();
         let days = n as f64 * dt_h / 24.0;
         (0..m)
             .map(|p| {
@@ -474,7 +734,7 @@ impl<'a> FleetEvaluator<'a> {
                             metrics: accs[idx].finish(
                                 &comp,
                                 self.sites[s].cfg,
-                                kernels[idx].equivalent_full_cycles(),
+                                cycles[idx],
                                 n,
                                 days,
                                 demand_kwh[s],
@@ -498,7 +758,7 @@ impl<'a> FleetEvaluator<'a> {
                         .map(|r| r.metrics.operational_t_per_year)
                         .sum(),
                     embodied_t: per_site.iter().map(|r| r.metrics.embodied_t).sum(),
-                    peak_concurrent_import_kw: track_peak.then(|| peaks[p]),
+                    peak_concurrent_import_kw: self.track_peak.then(|| peaks[p]),
                     site_import_mwh: per_site.iter().map(|r| r.metrics.grid_import_mwh).collect(),
                     grid_import_mwh: per_site.iter().map(|r| r.metrics.grid_import_mwh).sum(),
                     energy_cost_usd: per_site.iter().map(|r| r.metrics.energy_cost_usd).sum(),
@@ -567,6 +827,66 @@ mod tests {
                     site.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn simd_walk_is_bit_identical_to_scalar_walk_including_peaks() {
+        let (h, b, lh, lb) = two_sites();
+        // Different policies per site exercise every LanePolicy arm in one
+        // fleet pass.
+        let cfg_h = SimConfig {
+            policy: crate::policy::DispatchPolicy::CarbonAwareGridCharge {
+                ci_threshold_g_per_kwh: 300.0,
+                target_soc: 0.9,
+            },
+            ..SimConfig::default()
+        };
+        let cfg_b = SimConfig {
+            policy: crate::policy::DispatchPolicy::BatterySparing {
+                deficit_threshold_kw: 2_000.0,
+            },
+            ..SimConfig::default()
+        };
+        let sites = vec![
+            FleetSite {
+                name: "houston",
+                data: &h,
+                load: &lh,
+                cfg: &cfg_h,
+            },
+            FleetSite {
+                name: "berkeley",
+                data: &b,
+                load: &lb,
+                cfg: &cfg_b,
+            },
+        ];
+        // 7 plans: one full lane group plus a 3-plan scalar remainder,
+        // including battery-less plans (null kernel lanes).
+        let plans: Vec<Vec<Composition>> = (0..7)
+            .map(|i| {
+                vec![
+                    Composition::new(i % 5, (i % 3) as f64 * 8_000.0, (i % 4) as f64 * 7_500.0),
+                    Composition::new(
+                        (i + 2) % 5,
+                        (i % 4) as f64 * 4_000.0,
+                        (i % 3) as f64 * 15_000.0,
+                    ),
+                ]
+            })
+            .collect();
+        let scalar = FleetEvaluator::new(sites.clone())
+            .with_backend(BatchBackend::Scalar)
+            .evaluate_plans_period(&plans, 2_000);
+        let simd = FleetEvaluator::new(sites)
+            .with_backend(BatchBackend::Simd)
+            .evaluate_plans_period(&plans, 2_000);
+        for (a, b) in scalar.iter().zip(&simd) {
+            for (ra, rb) in a.per_site.iter().zip(&b.per_site) {
+                assert_eq!(ra.metrics, rb.metrics);
+            }
+            assert_eq!(a.fleet, b.fleet);
         }
     }
 

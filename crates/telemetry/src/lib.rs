@@ -19,7 +19,7 @@
 //!   path to zero recorded events and unchanged counters, and the
 //!   `fleet_search` bench bin records the measured enabled/disabled A/B.
 //! * **Instrument at chunk granularity, never per step.** Spans and
-//!   counters are recorded once per evaluation chunk (63 candidates × a
+//!   counters are recorded once per evaluation chunk (64 candidates × a
 //!   year of steps), so even the *enabled* overhead is thousands of
 //!   instructions amortized over ~10⁶ candidate-steps.
 //! * **No dependencies.** The crate is std-only: the JSONL writer and the
@@ -380,17 +380,26 @@ pub enum Counter {
     CacheHits,
     /// NSGA-II memo-cache misses (genomes actually evaluated).
     CacheMisses,
+    /// Candidate-rows evaluated lane-wide by the SIMD chunk walk (both
+    /// engines). With the remainder counter this makes lane utilization
+    /// observable: `simd.rows / (simd.rows + simd.remainder_rows)`.
+    SimdRows,
+    /// Candidate-rows the SIMD chunk walk handed to its scalar remainder
+    /// loop (tail candidates that don't fill a lane group).
+    SimdRemainderRows,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 8] = [
         Counter::BatchChunks,
         Counter::BatchRows,
         Counter::FleetChunks,
         Counter::FleetRows,
         Counter::CacheHits,
         Counter::CacheMisses,
+        Counter::SimdRows,
+        Counter::SimdRemainderRows,
     ];
 
     /// Stable display / event name.
@@ -402,6 +411,8 @@ impl Counter {
             Counter::FleetRows => "fleet.rows",
             Counter::CacheHits => "cache.hits",
             Counter::CacheMisses => "cache.misses",
+            Counter::SimdRows => "simd.rows",
+            Counter::SimdRemainderRows => "simd.remainder_rows",
         }
     }
 
@@ -413,6 +424,8 @@ impl Counter {
             Counter::FleetRows => 3,
             Counter::CacheHits => 4,
             Counter::CacheMisses => 5,
+            Counter::SimdRows => 6,
+            Counter::SimdRemainderRows => 7,
         }
     }
 }

@@ -34,7 +34,7 @@
 //! | grid | [`gridcarbon`] | carbon-intensity + price signals |
 //! | load | [`workload`] | Perlmutter-like power traces |
 //! | bus | [`cosim`] | Vessim-style co-simulation engine |
-//! | domain | [`microgrid`] | compositions, policies, year simulators |
+//! | domain | [`microgrid`] | compositions, policies, year simulators, 4-lane SIMD kernel (`MGOPT_SIMD`) |
 //! | search | [`optimizer`] | NSGA-II, exhaustive, Pareto tooling |
 //! | framework | [`core`] | scenarios, studies, paper experiments |
 //!
@@ -51,6 +51,15 @@
 //!   [`microgrid::Evaluator`] abstraction: a time-major columnar pass over
 //!   a whole cohort of compositions at once (monomorphized battery
 //!   kernels, shared generation profiles, chunk-level parallelism).
+//!
+//! The batch and fleet engines walk chunks through the hand-rolled 4-lane
+//! SIMD kernel in [`microgrid::simd`] by default. **Lanes are candidates,
+//! never timesteps**: each lane advances a different composition through
+//! the exact scalar arithmetic, so the lane walk is bit-identical to the
+//! scalar chunk walk (pinned by `tests/engine_agreement.rs`, not merely
+//! ≤1e-9). `MGOPT_SIMD=0` forces the scalar walk at runtime;
+//! [`microgrid::BatchBackend`] forces either walk programmatically, which
+//! is how the bench bins record their SIMD-vs-scalar A/B.
 //!
 //! Every search layer funnels cohorts through
 //! `optimizer::Problem::evaluate_batch`, so NSGA-II generations,
@@ -106,9 +115,9 @@ pub mod prelude {
         WorkloadConfig,
     };
     pub use mgopt_microgrid::{
-        simulate_batch, simulate_year, simulate_year_cosim, BatchEvaluator, Composition,
-        CompositionSpace, DispatchPolicy, EmbodiedDb, Evaluator, FleetEvaluator, FleetResult,
-        FleetSite, SimConfig, Site,
+        simulate_batch, simulate_year, simulate_year_cosim, BatchBackend, BatchEvaluator,
+        Composition, CompositionSpace, DispatchPolicy, EmbodiedDb, Evaluator, FleetEvaluator,
+        FleetResult, FleetSite, SimConfig, Site,
     };
     pub use mgopt_optimizer::{Nsga2Config, Sampler, Study};
     pub use mgopt_units::{

@@ -11,12 +11,21 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads: one per available core, capped to the item
-/// count by the driver loop.
+/// Process-wide worker-count override set by [`set_num_threads`];
+/// `0` means "no override" (use every available core).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads: one per available core (or the
+/// [`set_num_threads`] override, clamped to available cores), capped to
+/// the item count by the driver loop.
 fn thread_count() -> usize {
-    std::thread::available_parallelism()
+    let avail = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
+        .unwrap_or(4);
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => avail,
+        n => n.min(avail),
+    }
 }
 
 /// The pool size parallel calls will use for large batches — upstream
@@ -25,6 +34,18 @@ fn thread_count() -> usize {
 /// entry), since this is by construction the worker count actually used.
 pub fn current_num_threads() -> usize {
     thread_count()
+}
+
+/// Cap the worker pool at `n` threads for subsequent parallel calls;
+/// `0` removes the cap (back to one worker per available core). Requests
+/// beyond the machine's available parallelism are clamped, so callers can
+/// ask for a 4-thread scaling point on a 1-core runner and
+/// [`current_num_threads`] reports what will actually run. Used by the
+/// benchmark bins' `MGOPT_THREADS` scaling sweeps; unlike upstream rayon's
+/// global pool this takes effect immediately (workers are spawned per
+/// call, not pooled).
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Run `f(i)` for every index in `0..n` on a worker pool, collecting
@@ -218,10 +239,33 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
 
+    /// Serializes tests that observe or mutate the global thread override
+    /// (cargo runs tests concurrently by default).
+    static THREADING: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn map_collect_preserves_order() {
         let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_num_threads_caps_clamps_and_restores() {
+        let _guard = THREADING.lock().unwrap();
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        crate::set_num_threads(1);
+        assert_eq!(crate::current_num_threads(), 1);
+        // A capped pool still computes correct, ordered results.
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        // Requests beyond the machine are clamped, not granted.
+        crate::set_num_threads(avail + 16);
+        assert_eq!(crate::current_num_threads(), avail);
+        // Zero removes the override.
+        crate::set_num_threads(0);
+        assert_eq!(crate::current_num_threads(), avail);
     }
 
     #[test]
@@ -234,6 +278,7 @@ mod tests {
 
     #[test]
     fn actually_runs_on_multiple_threads() {
+        let _guard = THREADING.lock().unwrap();
         if std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -253,6 +298,7 @@ mod tests {
 
     #[test]
     fn current_num_threads_is_positive_and_stable() {
+        let _guard = THREADING.lock().unwrap();
         let n = crate::current_num_threads();
         assert!(n >= 1);
         assert_eq!(n, crate::current_num_threads());
