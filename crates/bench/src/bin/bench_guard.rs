@@ -1,6 +1,6 @@
 //! The bench-regression guard: re-read the freshly written
-//! `BENCH_sweep.json` / `BENCH_fleet.json` / `BENCH_fleet_search.json`
-//! and fail (exit 1) when a deliverable is missing or malformed, an
+//! `BENCH_sweep.json` / `BENCH_fleet.json` / `BENCH_fleet_search.json` /
+//! `BENCH_server.json` and fail (exit 1) when a deliverable is missing or malformed, an
 //! engine-agreement bound is broken, or a recorded speedup degrades
 //! beyond the generous tolerance committed in `BENCH_baseline.json`.
 //!
@@ -30,6 +30,10 @@ struct Baseline {
     /// that quietly de-vectorizes the lane kernel fails here even while
     /// the batched-vs-scalar-engine speedup still looks healthy.
     simd: BaselineEntry,
+    /// Floor for the daemon's multiplexed-vs-sequential speedup — near
+    /// 1.0 on a single-core runner, so this guards the concurrency layer
+    /// against growing real overhead rather than promising a gain.
+    server: BaselineEntry,
 }
 
 #[derive(Debug, Deserialize)]
@@ -101,6 +105,24 @@ struct FleetSearchArtifact {
     /// keep loading unchanged).
     #[serde(default)]
     telemetry: Option<TelemetrySection>,
+}
+
+/// The fields of `BENCH_server.json` the guard checks (see `server_bench`).
+#[derive(Debug, Deserialize)]
+struct ServerArtifact {
+    studies: usize,
+    sites: usize,
+    plan_space: u64,
+    max_concurrent: usize,
+    in_flight_peak: usize,
+    concurrent_ms_min: f64,
+    sequential_ms_min: f64,
+    studies_per_sec: f64,
+    speedup: f64,
+    prep_cache_hits: u64,
+    prep_cache_misses: u64,
+    prep_cache_hit_rate: f64,
+    agreement: bool,
 }
 
 /// Per-site composition count the current mode must have produced, if it
@@ -188,6 +210,7 @@ fn main() {
     let fleet: Option<FleetArtifact> = read(&root.join("BENCH_fleet.json"), &mut errors);
     let search: Option<FleetSearchArtifact> =
         read(&root.join("BENCH_fleet_search.json"), &mut errors);
+    let server: Option<ServerArtifact> = read(&root.join("BENCH_server.json"), &mut errors);
 
     let mut checks = 0usize;
     let mut check = |ok: bool, msg: String| {
@@ -385,6 +408,50 @@ fn main() {
                 ),
             );
         }
+    }
+
+    if let Some(a) = server {
+        let f = floor(&baseline.server);
+        check(
+            a.speedup >= f,
+            format!("server: speedup {:.2} below floor {f:.2}", a.speedup),
+        );
+        check(
+            a.agreement,
+            "server: daemon fronts diverged from standalone runs".into(),
+        );
+        check(
+            a.max_concurrent >= 4 && a.in_flight_peak >= a.max_concurrent,
+            format!(
+                "server: in-flight peak {} never reached max_concurrent {} — \
+                 the throughput number measured a sequential run",
+                a.in_flight_peak, a.max_concurrent
+            ),
+        );
+        check(
+            a.studies >= a.max_concurrent && a.sites == 2 && a.plan_space >= 1,
+            "server: malformed workload shape".into(),
+        );
+        check(
+            a.studies_per_sec > 0.0
+                && a.concurrent_ms_min > 0.0
+                && a.sequential_ms_min > 0.0
+                && a.concurrent_ms_min.is_finite()
+                && a.sequential_ms_min.is_finite(),
+            "server: non-positive timing".into(),
+        );
+        check(
+            a.prep_cache_misses >= 1 && a.prep_cache_hits > a.prep_cache_misses,
+            format!(
+                "server: cache traffic {}h/{}m — one shared fleet across {} \
+                 studies must hit far more than it misses",
+                a.prep_cache_hits, a.prep_cache_misses, a.studies
+            ),
+        );
+        check(
+            (0.0..=1.0).contains(&a.prep_cache_hit_rate),
+            format!("server: hit rate {} outside [0, 1]", a.prep_cache_hit_rate),
+        );
     }
 
     if errors.is_empty() {

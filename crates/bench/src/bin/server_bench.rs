@@ -1,0 +1,315 @@
+//! Emit `BENCH_server.json`: daemon throughput in studies per second with
+//! several NSGA-II studies multiplexed over one connection, versus the
+//! same studies answered strictly one at a time — so the cost (or gain)
+//! of the concurrency layer is measured, not assumed.
+//!
+//! ```text
+//! cargo run --release -p mgopt-bench --bin server_bench
+//! ```
+//!
+//! The workload is 8 studies over the shared two-site paper fleet with a
+//! `max_concurrent = 4` daemon, so the recorded `in_flight_peak` proves
+//! at least 4 studies genuinely overlapped. Every daemon front is
+//! checked bit-identical against a standalone `FleetProblem` + NSGA-II
+//! run with the same seed (`agreement`), and the Accepted frames surface
+//! the prepared-cache hit rate (one fleet → 2 misses, then hits only).
+//! `MGOPT_FAST=1` shrinks budgets for smoke runs; `bench_guard` enforces
+//! the committed floor on `speedup` plus the peak/agreement/cache
+//! invariants.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use mgopt_core::wire::{
+    encode_request, FleetSpec, PlanPoint, Request, RequestFrame, Response, ResponseFrame,
+    StudyBudget, StudyRequest, WIRE_VERSION,
+};
+use mgopt_microgrid::CompositionSpace;
+use mgopt_optimizer::{Nsga2Config, Nsga2Optimizer};
+use mgopt_server::{pipe, Server, ServerConfig};
+use serde::Serialize;
+
+/// The artifact schema checked by `bench_guard`.
+#[derive(Debug, Serialize)]
+struct ServerBench {
+    /// Studies per timed batch.
+    studies: usize,
+    population: usize,
+    max_trials: usize,
+    sites: usize,
+    plan_space: u64,
+    /// Daemon concurrency limit during the multiplexed run.
+    max_concurrent: usize,
+    /// High-water mark of genuinely overlapping studies (must reach
+    /// `max_concurrent` for the throughput number to mean anything).
+    in_flight_peak: usize,
+    /// Wall-clock of the multiplexed batch, min over samples, ms.
+    concurrent_ms_min: f64,
+    /// Wall-clock of the same batch with each `Done` awaited before the
+    /// next request, min over samples, ms.
+    sequential_ms_min: f64,
+    /// `studies / concurrent_ms_min`, in studies per second.
+    studies_per_sec: f64,
+    /// `sequential_ms_min / concurrent_ms_min`. On a single-core runner
+    /// the studies are CPU-bound so this hovers near 1.0; the committed
+    /// floor guards against the concurrency layer growing real overhead.
+    speedup: f64,
+    /// Prepared-cache traffic summed over every Accepted frame of the
+    /// timed runs.
+    prep_cache_hits: u64,
+    prep_cache_misses: u64,
+    prep_cache_hit_rate: f64,
+    /// `true` when every daemon front matched its standalone run bit for
+    /// bit.
+    agreement: bool,
+}
+
+fn study(seed: u64, population_size: usize, max_trials: usize) -> StudyRequest {
+    StudyRequest {
+        fleet: FleetSpec::Preset("paper".into()),
+        space: Some(CompositionSpace {
+            wind_choices: vec![0, 4],
+            solar_choices_kw: vec![0.0, 16_000.0],
+            battery_choices_kwh: vec![0.0, 22_500.0],
+        }),
+        objectives: None,
+        budget: StudyBudget {
+            population_size,
+            max_trials,
+            seed,
+        },
+        peak_cap_kw: None,
+        stream: false,
+    }
+}
+
+/// The front a standalone (no daemon) run produces for `study`.
+fn standalone_front(study: &StudyRequest) -> Vec<PlanPoint> {
+    let fleet = study.resolved_scenario().expect("valid study").prepare();
+    let problem = mgopt_core::FleetProblem::new(&fleet);
+    let optimizer = Nsga2Optimizer::new(Nsga2Config {
+        population_size: study.budget.population_size,
+        max_trials: study.budget.max_trials,
+        seed: study.budget.seed,
+        ..Nsga2Config::default()
+    });
+    let mut last = Vec::new();
+    optimizer.run_observed(&problem, &mut |view| {
+        last = view
+            .front
+            .iter()
+            .map(|(genome, eval)| PlanPoint {
+                genome: genome.clone(),
+                plan: genome
+                    .iter()
+                    .zip(&fleet.members)
+                    .map(|(&g, m)| m.config.space.at(g as usize))
+                    .collect(),
+                objectives: eval.objectives.clone(),
+                violation: eval.total_violation(),
+            })
+            .collect();
+    });
+    last
+}
+
+/// Stats of one timed batch through the daemon.
+struct BatchRun {
+    ms: f64,
+    fronts: Vec<Vec<PlanPoint>>,
+    hits: u64,
+    misses: u64,
+    peak: usize,
+    plan_space: u64,
+    sites: usize,
+}
+
+/// Drive `studies` through a fresh daemon over the in-process pipe.
+/// `sequential` awaits each `Done` before the next request.
+fn run_batch(studies: &[StudyRequest], max_concurrent: usize, sequential: bool) -> BatchRun {
+    let server = Arc::new(Server::new(ServerConfig {
+        max_concurrent,
+        ..ServerConfig::default()
+    }));
+    let (client, server_end) = pipe::duplex();
+    let join = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.serve_connection(server_end.reader, server_end.writer))
+    };
+    let mut writer = client.writer;
+    let mut reader = BufReader::new(client.reader);
+
+    let mut fronts: Vec<Option<Vec<PlanPoint>>> = vec![None; studies.len()];
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let (mut plan_space, mut sites) = (0u64, 0usize);
+    let t0 = Instant::now();
+    let pump = |reader: &mut BufReader<pipe::PipeReader>,
+                fronts: &mut Vec<Option<Vec<PlanPoint>>>,
+                hits: &mut u64,
+                misses: &mut u64,
+                plan_space: &mut u64,
+                sites: &mut usize,
+                want_done: usize| {
+        let mut done = 0usize;
+        while done < want_done {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "daemon hung up");
+            let frame: ResponseFrame = serde_json::from_str(line.trim_end()).unwrap();
+            let k: usize = frame.id[1..].parse().unwrap();
+            match frame.resp {
+                Response::Accepted(a) => {
+                    *hits += u64::from(a.prep_cache_hits);
+                    *misses += u64::from(a.prep_cache_misses);
+                    *plan_space = a.plan_space;
+                    *sites = a.sites.len();
+                }
+                Response::Done(d) => {
+                    fronts[k] = Some(d.front);
+                    done += 1;
+                }
+                other => panic!("unexpected frame for {}: {other:?}", frame.id),
+            }
+        }
+    };
+    if sequential {
+        for (k, s) in studies.iter().enumerate() {
+            let frame = RequestFrame {
+                v: WIRE_VERSION,
+                id: format!("s{k}"),
+                req: Request::Study(s.clone()),
+            };
+            writeln!(writer, "{}", encode_request(&frame)).unwrap();
+            pump(
+                &mut reader,
+                &mut fronts,
+                &mut hits,
+                &mut misses,
+                &mut plan_space,
+                &mut sites,
+                1,
+            );
+        }
+    } else {
+        for (k, s) in studies.iter().enumerate() {
+            let frame = RequestFrame {
+                v: WIRE_VERSION,
+                id: format!("s{k}"),
+                req: Request::Study(s.clone()),
+            };
+            writeln!(writer, "{}", encode_request(&frame)).unwrap();
+        }
+        pump(
+            &mut reader,
+            &mut fronts,
+            &mut hits,
+            &mut misses,
+            &mut plan_space,
+            &mut sites,
+            studies.len(),
+        );
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let peak = server.peak_in_flight();
+    drop(writer);
+    drop(reader);
+    join.join().unwrap().unwrap();
+    BatchRun {
+        ms,
+        fronts: fronts.into_iter().map(Option::unwrap).collect(),
+        hits,
+        misses,
+        peak,
+        plan_space,
+        sites,
+    }
+}
+
+fn main() {
+    let fast = mgopt_bench::fast_mode();
+    let n_studies = 8usize;
+    let (population, max_trials) = if fast { (6, 18) } else { (10, 40) };
+    let samples = if fast { 1 } else { 2 };
+    let max_concurrent = 4usize;
+    let studies: Vec<StudyRequest> = (0..n_studies as u64)
+        .map(|k| study(k, population, max_trials))
+        .collect();
+
+    println!(
+        "daemon throughput: {n_studies} studies, population {population}, \
+         {max_trials} trials each, max_concurrent {max_concurrent}"
+    );
+
+    let expected: Vec<Vec<PlanPoint>> = studies.iter().map(standalone_front).collect();
+
+    let mut concurrent_ms = f64::INFINITY;
+    let mut sequential_ms = f64::INFINITY;
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut peak = 0usize;
+    let (mut plan_space, mut sites) = (0u64, 0usize);
+    let mut agreement = true;
+    for _ in 0..samples {
+        let conc = run_batch(&studies, max_concurrent, false);
+        let seq = run_batch(&studies, 1, true);
+        concurrent_ms = concurrent_ms.min(conc.ms);
+        sequential_ms = sequential_ms.min(seq.ms);
+        agreement &= conc.fronts == expected && seq.fronts == expected;
+        hits += conc.hits + seq.hits;
+        misses += conc.misses + seq.misses;
+        peak = peak.max(conc.peak);
+        plan_space = conc.plan_space;
+        sites = conc.sites;
+    }
+
+    let bench = ServerBench {
+        studies: n_studies,
+        population,
+        max_trials,
+        sites,
+        plan_space,
+        max_concurrent,
+        in_flight_peak: peak,
+        concurrent_ms_min: concurrent_ms,
+        sequential_ms_min: sequential_ms,
+        studies_per_sec: n_studies as f64 / (concurrent_ms / 1e3),
+        speedup: sequential_ms / concurrent_ms,
+        prep_cache_hits: hits,
+        prep_cache_misses: misses,
+        prep_cache_hit_rate: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        },
+        agreement,
+    };
+
+    println!(
+        "  multiplexed {:9.1} ms   ({:.2} studies/s, peak {} in flight)",
+        bench.concurrent_ms_min, bench.studies_per_sec, bench.in_flight_peak
+    );
+    println!(
+        "  sequential  {:9.1} ms   (speedup {:.2}x)",
+        bench.sequential_ms_min, bench.speedup
+    );
+    println!(
+        "  prep cache  {} hits / {} misses ({:.0}% hit rate)",
+        bench.prep_cache_hits,
+        bench.prep_cache_misses,
+        bench.prep_cache_hit_rate * 100.0
+    );
+    println!(
+        "  agreement with standalone runs: {}",
+        if bench.agreement {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_server.json");
+    let json = serde_json::to_string_pretty(&bench).expect("serialize bench artifact");
+    std::fs::write(&path, json + "\n").expect("write BENCH_server.json");
+    println!("[artifact] {}", path.display());
+}

@@ -53,6 +53,11 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         ],
         "rung" => &["rung", "fidelity", "cohort", "kept"],
         "sampler" => &["evals"],
+        // Daemon audit events (`mgopt-server`): one start/done pair per
+        // accepted study, one request_error per error frame.
+        "study_start" => &["sites", "plan_space", "prep_hits", "prep_misses"],
+        "study_done" => &["generations", "sampled", "unique", "front", "wall_ms"],
+        "request_error" => &[],
         _ => &[],
     }
 }
@@ -68,6 +73,18 @@ fn check_event(ev: &TraceEvent) -> Result<(), String> {
     }
     if ev.kind == "sampler" && ev.str("kind").is_none() {
         return Err("event `sampler` missing string field `kind`".into());
+    }
+    // Daemon audit events correlate by request id; an error event without
+    // its code is unactionable.
+    if matches!(
+        ev.kind.as_str(),
+        "study_start" | "study_done" | "request_error"
+    ) && ev.str("id").is_none()
+    {
+        return Err(format!("event `{}` missing string field `id`", ev.kind));
+    }
+    if ev.kind == "request_error" && ev.str("code").is_none() {
+        return Err("event `request_error` missing string field `code`".into());
     }
     Ok(())
 }
@@ -214,6 +231,31 @@ fn summarize(events: &[TraceEvent]) {
                 ev.uint("cohort").unwrap_or(0),
                 ev.uint("kept").unwrap_or(0),
             );
+        }
+    }
+
+    // Daemon audit log: one row per completed study, correlated by id.
+    let studies: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "study_done").collect();
+    if !studies.is_empty() {
+        println!("\ndaemon studies ({}):", studies.len());
+        println!(
+            "  {:<18} {:>4} {:>8} {:>7} {:>6} {:>10}",
+            "id", "gens", "sampled", "unique", "front", "wall_ms"
+        );
+        for ev in &studies {
+            println!(
+                "  {:<18} {:>4} {:>8} {:>7} {:>6} {:>10.1}",
+                ev.str("id").unwrap_or("?"),
+                ev.uint("generations").unwrap_or(0),
+                ev.uint("sampled").unwrap_or(0),
+                ev.uint("unique").unwrap_or(0),
+                ev.uint("front").unwrap_or(0),
+                ev.num("wall_ms").unwrap_or(0.0),
+            );
+        }
+        let errors = events.iter().filter(|e| e.kind == "request_error").count();
+        if errors > 0 {
+            println!("  plus {errors} request_error frame(s)");
         }
     }
 

@@ -22,6 +22,10 @@
 //! | `MGOPT_TRACE=<path>` | Structured JSONL telemetry trace (spans, counters, per-generation search events) written to `path`; summarize with the `trace_report` bin. Disabled costs one relaxed atomic load per instrumented call. |
 //! | `MGOPT_SIMD=0` | Route batch/fleet cohorts through the scalar chunk walk instead of the 4-lane SIMD kernel (the default, `1`, keeps SIMD on). The walks are bit-identical — lanes hold different candidates, never different timesteps — so this only changes speed. Resolved once per process. |
 //! | `MGOPT_THREADS="1,2,4"` | Thread counts for the benchmark bins' scaling sweep (comma-separated positive integers; default `1,2,4`). Each count is clamped to available cores — the artifact records both requested and effective counts. Malformed values abort with a usage message. |
+//! | `MGOPT_SERVER_ADDR=<host:port>` | `mgopt_serve` binds this TCP address instead of serving stdin/stdout (port `0` picks a free port, printed on stderr). |
+//! | `MGOPT_SERVER_CONCURRENCY=<n>` | Daemon: max in-flight studies per connection (default 4); further requests block the read loop. |
+//! | `MGOPT_SERVER_CACHE=<n>` | Daemon: prepared-scenario cache capacity (default 8, LRU). |
+//! | `MGOPT_SERVER_MAX_FRAME=<bytes>` | Daemon: max request-line length (default 1048576); longer lines get an `Oversized` error frame. |
 //!
 //! The default (no variables) regenerates the full 1,089-point studies
 //! untraced.

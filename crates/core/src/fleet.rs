@@ -21,9 +21,12 @@
 //! concurrent-import cap becomes a first-class constraint
 //! (`examples/fleet_search.rs` walks the whole stack).
 
+use std::sync::Arc;
+
 use mgopt_microgrid::{Composition, FleetEvaluator, FleetResult, FleetSite};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::PreparedCache;
 use crate::scenario::{PreparedScenario, ScenarioConfig};
 
 /// One named member of a fleet scenario.
@@ -66,6 +69,51 @@ impl FleetScenario {
     /// Panics when members disagree on the simulation step — the fleet
     /// advances on a single clock.
     pub fn prepare(&self) -> PreparedFleet {
+        self.check_shared_clock();
+        PreparedFleet {
+            names: self.members.iter().map(|m| m.name.clone()).collect(),
+            members: self
+                .members
+                .iter()
+                .map(|m| Arc::new(m.scenario.prepare()))
+                .collect(),
+        }
+    }
+
+    /// Like [`prepare`](Self::prepare), but member scenarios come from (and
+    /// land in) a shared [`PreparedCache`] — repeated studies over the same
+    /// sites skip synthesis entirely. Returns the fleet plus the per-member
+    /// cache [`PrepStats`] for this call.
+    ///
+    /// # Panics
+    /// Panics exactly when [`prepare`](Self::prepare) would (empty fleet,
+    /// step mismatch).
+    pub fn prepare_shared(&self, cache: &PreparedCache) -> (PreparedFleet, PrepStats) {
+        self.check_shared_clock();
+        let mut stats = PrepStats::default();
+        let members = self
+            .members
+            .iter()
+            .map(|m| {
+                let (prepared, hit) = cache.get_or_prepare(&m.scenario);
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                prepared
+            })
+            .collect();
+        (
+            PreparedFleet {
+                names: self.members.iter().map(|m| m.name.clone()).collect(),
+                members,
+            },
+            stats,
+        )
+    }
+
+    fn check_shared_clock(&self) {
         assert!(!self.members.is_empty(), "fleet scenario has no members");
         let step = self.members[0].scenario.step_minutes;
         for m in &self.members {
@@ -75,20 +123,30 @@ impl FleetScenario {
                 m.name
             );
         }
-        PreparedFleet {
-            names: self.members.iter().map(|m| m.name.clone()).collect(),
-            members: self.members.iter().map(|m| m.scenario.prepare()).collect(),
-        }
     }
 }
 
+/// Prepared-cache outcome of one [`FleetScenario::prepare_shared`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepStats {
+    /// Members served from the cache.
+    pub hits: u32,
+    /// Members synthesized from scratch.
+    pub misses: u32,
+}
+
 /// A fleet scenario with all member inputs synthesized.
+///
+/// Members are [`Arc`]-shared: cloning a `PreparedFleet` (or building
+/// several fleets from one [`PreparedCache`]) shares the heavyweight site
+/// arrays instead of copying them, and evaluation only ever takes `&self`,
+/// so any number of concurrent studies can run over one prepared fleet.
 #[derive(Debug, Clone)]
 pub struct PreparedFleet {
     /// Member names, in evaluation order.
     pub names: Vec<String>,
-    /// Prepared member scenarios, in evaluation order.
-    pub members: Vec<PreparedScenario>,
+    /// Prepared member scenarios, in evaluation order (shared, read-only).
+    pub members: Vec<Arc<PreparedScenario>>,
 }
 
 impl PreparedFleet {
@@ -184,6 +242,17 @@ mod tests {
             m.scenario.space = CompositionSpace::tiny();
         }
         f
+    }
+
+    /// Compile-time pin of the daemon's re-entrancy contract: prepared
+    /// sites and fleets must be shareable across study worker threads.
+    #[test]
+    fn prepared_types_are_send_and_sync() {
+        fn sharable<T: Send + Sync>() {}
+        sharable::<PreparedScenario>();
+        sharable::<Arc<PreparedScenario>>();
+        sharable::<PreparedFleet>();
+        sharable::<crate::cache::PreparedCache>();
     }
 
     #[test]

@@ -60,6 +60,23 @@ impl Default for Nsga2Config {
     }
 }
 
+/// One generation's snapshot, handed to a [`Nsga2Optimizer::run_observed`]
+/// observer after environmental selection (and once for the evaluated
+/// initial population, `generation == 0`).
+///
+/// `front` is the population's current first front under
+/// constraint-dominance, deduplicated by genome, in population order —
+/// what a streaming client would want to render incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationView {
+    /// Generation index (0 = initial population).
+    pub generation: u64,
+    /// Trials sampled so far (duplicates included).
+    pub sampled: usize,
+    /// The current first front: `(genome, evaluation)` pairs.
+    pub front: Vec<(Genome, Evaluation)>,
+}
+
 /// The NSGA-II optimizer.
 #[derive(Debug, Clone)]
 pub struct Nsga2Optimizer {
@@ -86,6 +103,29 @@ impl Nsga2Optimizer {
 
     /// Run the optimization.
     pub fn run(&self, problem: &dyn Problem) -> OptimizationResult {
+        self.run_inner(problem, None)
+    }
+
+    /// Run the optimization, calling `observer` once per generation with
+    /// the current first front — the hook streaming clients (the
+    /// optimization daemon) use for incremental front updates.
+    ///
+    /// The observer is outside the search's decision path: `run_observed`
+    /// with any observer and [`run`](Self::run) produce bit-identical
+    /// results for the same problem and seed.
+    pub fn run_observed(
+        &self,
+        problem: &dyn Problem,
+        observer: &mut dyn FnMut(GenerationView),
+    ) -> OptimizationResult {
+        self.run_inner(problem, Some(observer))
+    }
+
+    fn run_inner(
+        &self,
+        problem: &dyn Problem,
+        mut observer: Option<&mut dyn FnMut(GenerationView)>,
+    ) -> OptimizationResult {
         let cfg = &self.config;
         let dims = problem.dims().to_vec();
         let mutation_prob = cfg
@@ -133,6 +173,9 @@ impl Nsga2Optimizer {
             });
         let mut generation = 0u64;
         emit_generation_event(generation, &population, &cache, hits, misses, hv_ref);
+        if let Some(obs) = observer.as_deref_mut() {
+            obs(generation_view(generation, sampled, &population, &cache));
+        }
 
         while sampled < cfg.max_trials {
             let obj: Vec<Vec<f64>> = population
@@ -186,12 +229,49 @@ impl Nsga2Optimizer {
                 select_next_population(&combined, &comb_obj, &comb_fronts, cfg.population_size);
             generation += 1;
             emit_generation_event(generation, &population, &cache, hits, misses, hv_ref);
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(generation_view(generation, sampled, &population, &cache));
+            }
         }
 
         let mut result = OptimizationResult::from_history(history, sampled, cache.len());
         result.cache_hits = cache_hits;
         result.cache_misses = cache_misses;
         result
+    }
+}
+
+/// Build the observer's snapshot: the population's deduplicated first
+/// front under constraint-dominance. Only runs when an observer is
+/// installed (cohorts are small, so the extra sort is negligible next to
+/// a generation's evaluations).
+fn generation_view(
+    generation: u64,
+    sampled: usize,
+    population: &[Genome],
+    cache: &HashMap<Genome, Evaluation>,
+) -> GenerationView {
+    let obj: Vec<Vec<f64>> = population
+        .iter()
+        .map(|g| cache[g].objectives.clone())
+        .collect();
+    let viol: Vec<f64> = population
+        .iter()
+        .map(|g| cache[g].total_violation())
+        .collect();
+    let fronts = constrained_non_dominated_sort(&obj, &viol);
+    let mut front: Vec<(Genome, Evaluation)> = Vec::new();
+    if let Some(first) = fronts.first() {
+        for &i in first {
+            if !front.iter().any(|(g, _)| *g == population[i]) {
+                front.push((population[i].clone(), cache[&population[i]].clone()));
+            }
+        }
+    }
+    GenerationView {
+        generation,
+        sampled,
+        front,
     }
 }
 
@@ -625,6 +705,46 @@ mod tests {
         assert_eq!(got.len(), 5);
         let unique: std::collections::HashSet<_> = got.iter().collect();
         assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn observer_sees_every_generation_and_never_perturbs_the_search() {
+        let problem = convex_problem();
+        let opt = Nsga2Optimizer::new(Nsga2Config {
+            population_size: 16,
+            max_trials: 64,
+            seed: 5,
+            ..Nsga2Config::default()
+        });
+        let mut views: Vec<GenerationView> = Vec::new();
+        let observed = opt.run_observed(&problem, &mut |v| views.push(v));
+        let plain = opt.run(&problem);
+        assert_eq!(observed.history, plain.history, "observer changed the run");
+
+        // gen 0 plus one view per offspring generation, monotone sampled.
+        assert_eq!(views[0].generation, 0);
+        assert_eq!(views[0].sampled, 16);
+        assert_eq!(views.len(), 1 + (64 - 16) / 16);
+        for (k, v) in views.iter().enumerate() {
+            assert_eq!(v.generation, k as u64);
+            assert!(!v.front.is_empty(), "gen {k}: empty front");
+            let unique: std::collections::HashSet<_> =
+                v.front.iter().map(|(g, _)| g.clone()).collect();
+            assert_eq!(unique.len(), v.front.len(), "gen {k}: duplicate genomes");
+        }
+        assert_eq!(views.last().unwrap().sampled, 64);
+
+        // The final view's front matches the final population's front as
+        // recovered from the plain result's trials.
+        let last = views.last().unwrap();
+        for (g, e) in &last.front {
+            let t = plain
+                .history
+                .iter()
+                .find(|t| &t.genome == g)
+                .expect("front genome was sampled");
+            assert_eq!(&t.objectives, &e.objectives);
+        }
     }
 
     #[test]

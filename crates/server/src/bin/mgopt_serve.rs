@@ -1,0 +1,56 @@
+//! The optimization daemon binary.
+//!
+//! Serves the newline-delimited JSON study protocol (see the
+//! `mgopt_server` crate docs) over stdin/stdout by default, or over TCP
+//! when `MGOPT_SERVER_ADDR` is set (e.g. `127.0.0.1:7878`; port `0` picks
+//! a free port, printed on stderr as `listening on <addr>`). Tuning knobs:
+//! `MGOPT_SERVER_CONCURRENCY`, `MGOPT_SERVER_CACHE`,
+//! `MGOPT_SERVER_MAX_FRAME`; set `MGOPT_TRACE=<path>` for the per-study
+//! JSONL audit log.
+//!
+//! Exits 0 after a clean `Shutdown` (or client EOF in stdio mode).
+
+use std::net::TcpListener;
+use std::process::exit;
+
+use mgopt_server::{Server, ServerConfig};
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("mgopt_serve: {msg}");
+    eprintln!(
+        "usage: mgopt_serve  (env: MGOPT_SERVER_ADDR=<host:port> for TCP, \
+         MGOPT_SERVER_CONCURRENCY=<n>, MGOPT_SERVER_CACHE=<n>, \
+         MGOPT_SERVER_MAX_FRAME=<bytes>, MGOPT_TRACE=<path>)"
+    );
+    exit(2)
+}
+
+fn main() {
+    let config = match ServerConfig::from_env() {
+        Ok(c) => c,
+        Err(msg) => usage_exit(&msg),
+    };
+    let server = Server::new(config);
+    match std::env::var("MGOPT_SERVER_ADDR") {
+        Ok(addr) if !addr.is_empty() => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => usage_exit(&format!("MGOPT_SERVER_ADDR={addr}: {e}")),
+            };
+            match listener.local_addr() {
+                Ok(local) => eprintln!("mgopt_serve: listening on {local}"),
+                Err(e) => usage_exit(&format!("MGOPT_SERVER_ADDR={addr}: {e}")),
+            }
+            if let Err(e) = server.serve_tcp(listener) {
+                eprintln!("mgopt_serve: accept loop failed: {e}");
+                exit(1);
+            }
+        }
+        _ => {
+            if let Err(e) = server.serve_connection(std::io::stdin(), std::io::stdout()) {
+                eprintln!("mgopt_serve: connection failed: {e}");
+                exit(1);
+            }
+        }
+    }
+}

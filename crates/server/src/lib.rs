@@ -1,0 +1,612 @@
+#![warn(missing_docs)]
+
+//! # mgopt-server
+//!
+//! The optimization-as-a-service daemon: a long-lived server that keeps
+//! prepared sites hot in a shared [`PreparedCache`], accepts study
+//! requests over a newline-delimited JSON protocol, multiplexes
+//! concurrent NSGA-II studies over the shared batch engine, and streams
+//! incremental front updates plus a final result frame per request.
+//! Like `mgopt-telemetry`, this crate is std-only: transports are plain
+//! `Read`/`Write` (TCP, stdin/stdout, or the in-process [`pipe`]), and
+//! concurrency is `std::thread` + scoped workers.
+//!
+//! ## Wire format
+//!
+//! Frame types, the strict-reject parser, and the versioning rule live in
+//! [`mgopt_core::wire`]; the daemon adds only transport behavior:
+//!
+//! * One request per line (`\n`-terminated), one response per line.
+//!   Blank lines are ignored.
+//! * Every response echoes the request's `id`; frames belonging to
+//!   different studies interleave freely on the wire, so a client
+//!   multiplexes concurrent studies over one connection by `id`.
+//! * A study answers `Accepted` → zero or more `Front` updates (when
+//!   `stream` is set, one per NSGA-II generation) → `Done`. Any failure
+//!   instead answers a single `Error` frame for that `id` — malformed
+//!   requests, unknown presets, and infeasible caps are structured
+//!   errors, never a crash or disconnect.
+//! * **Versioning rule** (see [`mgopt_core::wire::WIRE_VERSION`]):
+//!   parsing is strict-reject, so any added or removed field in the
+//!   envelope, study body, or budget bumps the protocol version; frames
+//!   carrying any other version are answered with an
+//!   `UnsupportedVersion` error.
+//! * A request line longer than [`ServerConfig::max_frame_bytes`] is
+//!   answered with an `Oversized` error; the rest of the line is
+//!   discarded and the connection keeps serving from the next newline.
+//! * `Ping` answers `Pong`; `Shutdown` stops reading, drains in-flight
+//!   studies, answers `Bye`, and closes the connection (and, under
+//!   [`Server::serve_tcp`], stops the accept loop).
+//!
+//! ## Concurrency model
+//!
+//! Studies run on scoped worker threads, at most
+//! [`ServerConfig::max_concurrent`] in flight; further requests exert
+//! backpressure on the read loop. Prepared sites come from the shared
+//! [`PreparedCache`] keyed by the full scenario config, so concurrent
+//! studies over the same sites share one `Arc<PreparedScenario>` and
+//! never re-prepare. Search results depend only on `(fleet, budget,
+//! seed)` — never on interleaving — because evaluation is re-entrant
+//! over shared read-only data and every study owns its seeded RNG.
+//!
+//! ## Environment knobs
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `MGOPT_SERVER_ADDR` | `mgopt_serve` binds this TCP address (e.g. `127.0.0.1:0`) instead of serving stdin/stdout. |
+//! | `MGOPT_SERVER_CONCURRENCY` | Max in-flight studies per connection (default 4). |
+//! | `MGOPT_SERVER_CACHE` | Prepared-scenario cache capacity (default 8). |
+//! | `MGOPT_SERVER_MAX_FRAME` | Max request-line bytes (default 1048576). |
+//! | `MGOPT_TRACE` | Per-study audit log: `server.study` spans, `study_start` / `study_done` / `request_error` events, `prep_cache.*` counters. |
+//!
+//! ## Audit log
+//!
+//! The daemon consumes `mgopt-telemetry` rather than inventing its own
+//! observability: each study runs under a `server.study` span, emits
+//! `study_start` / `study_done` events (plus `request_error` for every
+//! error frame), and the prepared cache bumps `prep_cache.hits` /
+//! `prep_cache.misses` — all on the `MGOPT_TRACE` JSONL stream, readable
+//! with `trace_report`.
+
+pub mod pipe;
+
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use mgopt_core::problem::FleetProblem;
+use mgopt_core::wire::{
+    self, ErrorCode, FrontUpdate, PlanPoint, Request, RequestFrame, Response, ResponseFrame,
+    StudyAccepted, StudyDone, StudyRequest, WireError, WIRE_VERSION,
+};
+use mgopt_core::{scenario_key_hash, PreparedCache, PreparedFleet};
+use mgopt_optimizer::{GenerationView, Nsga2Config, Nsga2Optimizer};
+use mgopt_telemetry::{self as telemetry, Stage};
+use serde::Value;
+
+/// Daemon configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum in-flight studies per connection (minimum 1). Additional
+    /// study requests block the connection's read loop until a worker
+    /// frees up — natural backpressure.
+    pub max_concurrent: usize,
+    /// Prepared-scenario cache capacity (minimum 1).
+    pub cache_capacity: usize,
+    /// Maximum request-line length in bytes; longer lines are answered
+    /// with an `Oversized` error frame and discarded.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrent: 4,
+            cache_capacity: 8,
+            max_frame_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Read the `MGOPT_SERVER_*` knobs (see the crate docs), falling back
+    /// to defaults. Returns a usage-style message on an unparsable value.
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = Self::default();
+        if let Some(v) = env_usize("MGOPT_SERVER_CONCURRENCY")? {
+            cfg.max_concurrent = v;
+        }
+        if let Some(v) = env_usize("MGOPT_SERVER_CACHE")? {
+            cfg.cache_capacity = v;
+        }
+        if let Some(v) = env_usize("MGOPT_SERVER_MAX_FRAME")? {
+            cfg.max_frame_bytes = v;
+        }
+        Ok(cfg)
+    }
+}
+
+fn env_usize(name: &str) -> Result<Option<usize>, String> {
+    match std::env::var(name) {
+        Ok(s) if !s.is_empty() => s
+            .parse::<usize>()
+            .map(|v| Some(v.max(1)))
+            .map_err(|_| format!("{name}={s}: expected a positive integer")),
+        _ => Ok(None),
+    }
+}
+
+/// Why [`Server::serve_connection`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionOutcome {
+    /// The client closed its write side; all in-flight studies drained.
+    Eof,
+    /// The client sent `Shutdown`; in-flight studies drained, `Bye` sent.
+    Shutdown,
+}
+
+/// The daemon: shared prepared cache + per-connection protocol loop.
+///
+/// `Server` is `&self`-re-entrant: several connections can be served
+/// concurrently (one thread each, all sharing the cache), and each
+/// connection multiplexes up to [`ServerConfig::max_concurrent`] studies.
+pub struct Server {
+    config: ServerConfig,
+    cache: Arc<PreparedCache>,
+    limiter: Limiter,
+    studies_done: AtomicU64,
+}
+
+impl Server {
+    /// Create a daemon with its own prepared cache.
+    pub fn new(config: ServerConfig) -> Self {
+        let cache = Arc::new(PreparedCache::new(config.cache_capacity));
+        Self::with_cache(config, cache)
+    }
+
+    /// Create a daemon over an existing (possibly shared) cache.
+    pub fn with_cache(config: ServerConfig, cache: Arc<PreparedCache>) -> Self {
+        let limiter = Limiter::new(config.max_concurrent.max(1));
+        Self {
+            config,
+            cache,
+            limiter,
+            studies_done: AtomicU64::new(0),
+        }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The shared prepared-scenario cache.
+    pub fn cache(&self) -> &Arc<PreparedCache> {
+        &self.cache
+    }
+
+    /// Total studies completed (successfully or with an error frame after
+    /// acceptance) across all connections.
+    pub fn studies_done(&self) -> u64 {
+        self.studies_done.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently in-flight studies.
+    pub fn peak_in_flight(&self) -> usize {
+        self.limiter.peak.load(Ordering::Relaxed)
+    }
+
+    /// Serve one connection until EOF or `Shutdown`, blocking the calling
+    /// thread. Study workers run on scoped threads and are always joined
+    /// before this returns; write failures (e.g. the client disconnected
+    /// mid-stream) are swallowed so in-flight studies finish quietly.
+    pub fn serve_connection<R, W>(&self, reader: R, writer: W) -> io::Result<ConnectionOutcome>
+    where
+        R: Read,
+        W: Write + Send,
+    {
+        let mut reader = io::BufReader::new(reader);
+        let writer = Mutex::new(writer);
+        let outcome = thread::scope(|s| -> io::Result<ConnectionOutcome> {
+            let mut buf: Vec<u8> = Vec::new();
+            loop {
+                match read_bounded_line(&mut reader, self.config.max_frame_bytes, &mut buf)? {
+                    LineRead::Eof => return Ok(ConnectionOutcome::Eof),
+                    LineRead::Oversized => {
+                        send_error(
+                            &writer,
+                            "",
+                            WireError::new(
+                                ErrorCode::Oversized,
+                                format!(
+                                    "request line exceeds {} bytes; discarded to next newline",
+                                    self.config.max_frame_bytes
+                                ),
+                            ),
+                        );
+                        drain_line(&mut reader, &mut buf)?;
+                    }
+                    LineRead::Line(line) => {
+                        let line = line.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        match wire::parse_request(line) {
+                            Err(err) => send_error(&writer, &salvage_id(line), err),
+                            Ok(RequestFrame { id, req, .. }) => match req {
+                                Request::Ping => send(&writer, &id, Response::Pong),
+                                Request::Shutdown => return Ok(ConnectionOutcome::Shutdown),
+                                Request::Study(study) => {
+                                    self.spawn_study(s, id, study, &writer);
+                                }
+                            },
+                        }
+                    }
+                }
+            }
+        })?;
+        // The scope joined every worker; the connection is quiet again.
+        if outcome == ConnectionOutcome::Shutdown {
+            send(&writer, "", Response::Bye);
+        }
+        Ok(outcome)
+    }
+
+    /// Accept loop: serves connections **sequentially** (studies within a
+    /// connection are concurrent) until a client sends `Shutdown`. For
+    /// concurrently-served connections, call
+    /// [`serve_connection`](Self::serve_connection) from one thread per
+    /// accepted stream — the daemon itself is re-entrant.
+    pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            let reader = stream.try_clone()?;
+            match self.serve_connection(reader, stream) {
+                Ok(ConnectionOutcome::Shutdown) => return Ok(()),
+                Ok(ConnectionOutcome::Eof) => {}
+                // A torn-down connection must not kill the daemon.
+                Err(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate, prepare (through the shared cache), and launch one study
+    /// worker. Blocks for a concurrency permit *before* spawning — the
+    /// read loop is the backpressure point.
+    fn spawn_study<'scope, 'env, W: Write + Send>(
+        &'env self,
+        scope: &'scope thread::Scope<'scope, 'env>,
+        id: String,
+        study: StudyRequest,
+        writer: &'env Mutex<W>,
+    ) where
+        'env: 'scope,
+    {
+        let scenario = match study.resolved_scenario() {
+            Ok(s) => s,
+            Err(err) => {
+                send_error(writer, &id, err);
+                return;
+            }
+        };
+        let permit = self.limiter.acquire();
+        scope.spawn(move || {
+            let _permit = permit;
+            let _span = telemetry::span(Stage::ServerStudy);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.run_study(&id, &study, &scenario, writer)
+            }));
+            if outcome.is_err() {
+                send_error(
+                    writer,
+                    &id,
+                    WireError::new(ErrorCode::Internal, "study worker panicked"),
+                );
+            }
+            self.studies_done.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// The study body: cache-shared preparation, `Accepted`, the NSGA-II
+    /// run (streaming `Front` frames when asked), `Done`.
+    fn run_study<W: Write + Send>(
+        &self,
+        id: &str,
+        study: &StudyRequest,
+        scenario: &mgopt_core::FleetScenario,
+        writer: &Mutex<W>,
+    ) {
+        let t0 = Instant::now();
+        let (fleet, stats) = scenario.prepare_shared(&self.cache);
+        let plan_space = fleet.members.iter().fold(1u64, |acc, m| {
+            acc.saturating_mul(m.config.space.len() as u64)
+        });
+        telemetry::Event::new("study_start")
+            .str("id", id)
+            .u64("sites", fleet.n_sites() as u64)
+            .u64("plan_space", plan_space)
+            .u64("prep_hits", u64::from(stats.hits))
+            .u64("prep_misses", u64::from(stats.misses))
+            .u64(
+                "fleet_key",
+                scenario
+                    .members
+                    .first()
+                    .map_or(0, |m| scenario_key_hash(&m.scenario)),
+            )
+            .emit();
+        send(
+            writer,
+            id,
+            Response::Accepted(StudyAccepted {
+                sites: fleet.names.clone(),
+                plan_space,
+                prep_cache_hits: stats.hits,
+                prep_cache_misses: stats.misses,
+            }),
+        );
+
+        let mut problem = FleetProblem::new(&fleet);
+        if let Some(cap) = study.peak_cap_kw {
+            problem = problem.with_peak_cap_kw(cap);
+        }
+        let optimizer = Nsga2Optimizer::new(Nsga2Config {
+            population_size: study.budget.population_size,
+            max_trials: study.budget.max_trials,
+            seed: study.budget.seed,
+            ..Nsga2Config::default()
+        });
+
+        let stream = study.stream;
+        let mut generations = 0u32;
+        let mut last_front: Vec<PlanPoint> = Vec::new();
+        let result = optimizer.run_observed(&problem, &mut |view: GenerationView| {
+            generations = view.generation as u32 + 1;
+            last_front = view
+                .front
+                .iter()
+                .map(|(genome, eval)| PlanPoint {
+                    genome: genome.clone(),
+                    plan: plan_of(&fleet, genome),
+                    objectives: eval.objectives.clone(),
+                    violation: eval.total_violation(),
+                })
+                .collect();
+            if stream {
+                send(
+                    writer,
+                    id,
+                    Response::Front(FrontUpdate {
+                        generation: view.generation as u32,
+                        sampled: view.sampled as u64,
+                        front: last_front.clone(),
+                    }),
+                );
+            }
+        });
+
+        telemetry::Event::new("study_done")
+            .str("id", id)
+            .u64("generations", u64::from(generations))
+            .u64("sampled", result.sampled_trials as u64)
+            .u64("unique", result.unique_evaluations as u64)
+            .u64("front", last_front.len() as u64)
+            .f64("wall_ms", t0.elapsed().as_secs_f64() * 1e3)
+            .emit();
+        send(
+            writer,
+            id,
+            Response::Done(StudyDone {
+                generations,
+                sampled_trials: result.sampled_trials as u64,
+                unique_evaluations: result.unique_evaluations as u64,
+                cache_hits: result.cache_hits as u64,
+                cache_misses: result.cache_misses as u64,
+                wall_ms: t0.elapsed().as_millis() as u64,
+                front: last_front,
+            }),
+        );
+    }
+}
+
+/// Decode one genome into its fleet plan.
+fn plan_of(fleet: &PreparedFleet, genome: &[u16]) -> Vec<mgopt_microgrid::Composition> {
+    genome
+        .iter()
+        .zip(&fleet.members)
+        .map(|(&g, m)| m.config.space.at(g as usize))
+        .collect()
+}
+
+/// Best-effort extraction of the `id` from a line that failed strict
+/// parsing, so the error frame can still be correlated.
+fn salvage_id(line: &str) -> String {
+    serde_json::from_str::<Value>(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_str).map(str::to_string))
+        .unwrap_or_default()
+}
+
+fn send<W: Write>(writer: &Mutex<W>, id: &str, resp: Response) {
+    let frame = ResponseFrame {
+        v: WIRE_VERSION,
+        id: id.to_string(),
+        resp,
+    };
+    let line = wire::encode_response(&frame);
+    let mut w = writer.lock().unwrap();
+    // Swallow write errors: a client that disconnected mid-stream must not
+    // tear down other studies on this connection.
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+fn send_error<W: Write>(writer: &Mutex<W>, id: &str, err: WireError) {
+    telemetry::Event::new("request_error")
+        .str("id", id)
+        .str("code", &format!("{:?}", err.code))
+        .str("message", &err.message)
+        .emit();
+    send(writer, id, Response::Error(err));
+}
+
+/// Result of one bounded line read.
+enum LineRead {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded the frame limit before its newline.
+    Oversized,
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes. On `Oversized`,
+/// the overlong prefix has been consumed but the rest of the line has
+/// not — callers resynchronize with [`drain_line`].
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<LineRead> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take(max as u64 + 1)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() != Some(&b'\n') && n > max {
+        return Ok(LineRead::Oversized);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    match std::str::from_utf8(buf) {
+        Ok(s) => Ok(LineRead::Line(s.to_string())),
+        // Deliver undecodable bytes as a lossy line; the JSON parser turns
+        // it into a MalformedFrame error.
+        Err(_) => Ok(LineRead::Line(String::from_utf8_lossy(buf).into_owned())),
+    }
+}
+
+/// Discard input up to and including the next newline (or EOF).
+fn drain_line<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> io::Result<()> {
+    loop {
+        buf.clear();
+        let n = reader.by_ref().take(4096).read_until(b'\n', buf)?;
+        if n == 0 || buf.last() == Some(&b'\n') {
+            return Ok(());
+        }
+    }
+}
+
+/// A counting semaphore that records its high-water mark.
+struct Limiter {
+    max: usize,
+    state: Mutex<usize>, // in-flight count
+    cv: Condvar,
+    peak: AtomicUsize,
+}
+
+struct Permit<'a>(&'a Limiter);
+
+impl Limiter {
+    fn new(max: usize) -> Self {
+        Self {
+            max,
+            state: Mutex::new(0),
+            cv: Condvar::new(),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut in_flight = self.state.lock().unwrap();
+        while *in_flight >= self.max {
+            in_flight = self.cv.wait(in_flight).unwrap();
+        }
+        *in_flight += 1;
+        self.peak.fetch_max(*in_flight, Ordering::Relaxed);
+        Permit(self)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut in_flight = self.0.state.lock().unwrap();
+        *in_flight -= 1;
+        self.0.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limiter_caps_and_records_peak() {
+        let limiter = Limiter::new(2);
+        let a = limiter.acquire();
+        let b = limiter.acquire();
+        assert_eq!(limiter.peak.load(Ordering::Relaxed), 2);
+        drop(a);
+        let c = limiter.acquire();
+        assert_eq!(limiter.peak.load(Ordering::Relaxed), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(*limiter.state.lock().unwrap(), 0);
+    }
+
+    #[test]
+    fn bounded_reader_flags_oversized_and_recovers() {
+        let input = b"short\n0123456789abcdef_way_too_long\nnext\n";
+        let mut r = io::BufReader::new(&input[..]);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_bounded_line(&mut r, 10, &mut buf).unwrap(),
+            LineRead::Line(s) if s == "short"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 10, &mut buf).unwrap(),
+            LineRead::Oversized
+        ));
+        drain_line(&mut r, &mut buf).unwrap();
+        assert!(matches!(
+            read_bounded_line(&mut r, 10, &mut buf).unwrap(),
+            LineRead::Line(s) if s == "next"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 10, &mut buf).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn salvage_id_best_effort() {
+        assert_eq!(salvage_id(r#"{"v":9,"id":"abc","req":"Nope"}"#), "abc");
+        assert_eq!(salvage_id("not json"), "");
+        assert_eq!(salvage_id(r#"{"id":7}"#), "");
+    }
+
+    /// Compile-time pin: one `Server` must be shareable across connection
+    /// and study threads (`&self`-re-entrant serving).
+    #[test]
+    fn server_is_send_and_sync() {
+        fn sharable<T: Send + Sync>() {}
+        sharable::<Server>();
+        sharable::<Arc<Server>>();
+    }
+
+    #[test]
+    fn config_from_env_defaults() {
+        // No MGOPT_SERVER_* set in the test environment.
+        let cfg = ServerConfig::from_env().unwrap();
+        assert_eq!(cfg, ServerConfig::default());
+    }
+}

@@ -1,0 +1,147 @@
+//! In-process byte pipes — a zero-socket transport for driving the daemon
+//! from tests and benches through the **real** wire format.
+//!
+//! [`duplex`] returns two connected endpoints; hand one to
+//! [`Server::serve_connection`](crate::Server::serve_connection) on a
+//! thread and drive the other like a socket. Closing an endpoint's writer
+//! (by dropping it) delivers EOF to the peer's reader; dropping the
+//! reader makes the peer's writes fail with `BrokenPipe` — exactly the
+//! two halves of a mid-stream disconnect.
+
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+
+/// The reading half of a pipe.
+pub struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// The writing half of a pipe. Dropping it closes the peer's read side.
+#[derive(Clone)]
+pub struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+/// One endpoint of an in-process connection.
+pub struct PipeEnd {
+    /// Bytes arriving from the peer.
+    pub reader: PipeReader,
+    /// Bytes headed to the peer.
+    pub writer: PipeWriter,
+}
+
+/// A unidirectional in-process pipe.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let (tx, rx) = channel();
+    (
+        PipeWriter { tx },
+        PipeReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        },
+    )
+}
+
+/// A connected pair of endpoints: `(client, server)`.
+pub fn duplex() -> (PipeEnd, PipeEnd) {
+    let (client_w, server_r) = pipe();
+    let (server_w, client_r) = pipe();
+    (
+        PipeEnd {
+            reader: client_r,
+            writer: client_w,
+        },
+        PipeEnd {
+            reader: server_r,
+            writer: server_w,
+        },
+    )
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.pos >= self.buf.len() {
+            // Block for the next chunk; a closed peer is EOF.
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl PipeReader {
+    /// Non-blocking check whether any unread bytes are pending.
+    pub fn has_pending(&mut self) -> bool {
+        if self.pos < self.buf.len() {
+            return true;
+        }
+        match self.rx.try_recv() {
+            Ok(chunk) => {
+                self.buf = chunk;
+                self.pos = 0;
+                true
+            }
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => false,
+        }
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        self.tx
+            .send(data.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "pipe peer closed"))?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    #[test]
+    fn round_trip_lines() {
+        let (client, server) = duplex();
+        let mut cw = client.writer;
+        writeln!(cw, "hello").unwrap();
+        let mut sr = BufReader::new(server.reader);
+        let mut line = String::new();
+        sr.read_line(&mut line).unwrap();
+        assert_eq!(line, "hello\n");
+    }
+
+    #[test]
+    fn dropping_writer_is_eof_and_dropping_reader_breaks_writes() {
+        let (client, server) = duplex();
+        drop(client.writer);
+        let mut sr = server.reader;
+        let mut byte = [0u8; 1];
+        assert_eq!(sr.read(&mut byte).unwrap(), 0, "EOF after client close");
+
+        drop(client.reader);
+        let mut sw = server.writer;
+        assert_eq!(
+            sw.write(b"x").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+}

@@ -252,16 +252,21 @@ pub enum Stage {
     FleetKernel,
     /// Search-layer bookkeeping: non-dominated sorting and selection.
     SearchSort,
+    /// Optimization daemon: one whole study request, from accepted frame
+    /// to final result frame (worker-thread CPU time; concurrent studies
+    /// sum).
+    ServerStudy,
 }
 
 impl Stage {
     /// Every stage, in display order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::BatchPrepare,
         Stage::BatchKernel,
         Stage::FleetPrepare,
         Stage::FleetKernel,
         Stage::SearchSort,
+        Stage::ServerStudy,
     ];
 
     /// Stable display / event name.
@@ -272,6 +277,7 @@ impl Stage {
             Stage::FleetPrepare => "fleet.prepare",
             Stage::FleetKernel => "fleet.kernel",
             Stage::SearchSort => "search.sort",
+            Stage::ServerStudy => "server.study",
         }
     }
 
@@ -282,6 +288,7 @@ impl Stage {
             Stage::FleetPrepare => 2,
             Stage::FleetKernel => 3,
             Stage::SearchSort => 4,
+            Stage::ServerStudy => 5,
         }
     }
 }
@@ -387,11 +394,16 @@ pub enum Counter {
     /// Candidate-rows the SIMD chunk walk handed to its scalar remainder
     /// loop (tail candidates that don't fill a lane group).
     SimdRemainderRows,
+    /// Prepared-scenario cache hits (study requests answered from an
+    /// already-synthesized `Arc<PreparedScenario>`).
+    PrepCacheHits,
+    /// Prepared-scenario cache misses (scenarios synthesized from scratch).
+    PrepCacheMisses,
 }
 
 impl Counter {
     /// Every counter, in display order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 10] = [
         Counter::BatchChunks,
         Counter::BatchRows,
         Counter::FleetChunks,
@@ -400,6 +412,8 @@ impl Counter {
         Counter::CacheMisses,
         Counter::SimdRows,
         Counter::SimdRemainderRows,
+        Counter::PrepCacheHits,
+        Counter::PrepCacheMisses,
     ];
 
     /// Stable display / event name.
@@ -413,6 +427,8 @@ impl Counter {
             Counter::CacheMisses => "cache.misses",
             Counter::SimdRows => "simd.rows",
             Counter::SimdRemainderRows => "simd.remainder_rows",
+            Counter::PrepCacheHits => "prep_cache.hits",
+            Counter::PrepCacheMisses => "prep_cache.misses",
         }
     }
 
@@ -426,6 +442,8 @@ impl Counter {
             Counter::CacheMisses => 5,
             Counter::SimdRows => 6,
             Counter::SimdRemainderRows => 7,
+            Counter::PrepCacheHits => 8,
+            Counter::PrepCacheMisses => 9,
         }
     }
 }

@@ -36,7 +36,8 @@
 //! | bus | [`cosim`] | Vessim-style co-simulation engine |
 //! | domain | [`microgrid`] | compositions, policies, year simulators, 4-lane SIMD kernel (`MGOPT_SIMD`) |
 //! | search | [`optimizer`] | NSGA-II, exhaustive, Pareto tooling |
-//! | framework | [`core`] | scenarios, studies, paper experiments |
+//! | framework | [`core`] | scenarios, studies, paper experiments, wire format, prepared cache |
+//! | service | [`server`] | optimization daemon: concurrent studies over the wire protocol |
 //!
 //! ## Evaluation engines
 //!
@@ -93,6 +94,22 @@
 //! it on and streams events to `path`, which the `trace_report` bench bin
 //! summarizes. `tests/telemetry_determinism.rs` pins that an enabled
 //! trace does not perturb results.
+//!
+//! ## Service layer
+//!
+//! [`server`] turns the batch research code into a long-lived service:
+//! the `mgopt_serve` daemon holds prepared sites hot in a shared
+//! `core::PreparedCache` (Arc-handout, LRU, `prep_cache.*` hit/miss
+//! counters), accepts newline-delimited JSON study requests over TCP,
+//! stdin/stdout, or an in-process pipe, and multiplexes concurrent
+//! NSGA-II studies over the shared SIMD batch engine — streaming per
+//! generation `Front` updates and a final `Done` frame per request. The
+//! versioned wire format with strict-reject parsing lives in
+//! `core::wire`; results depend only on `(fleet, budget, seed)`, never
+//! on how studies interleave (`tests/server_interleaving_props.rs` pins
+//! this, `tests/server_protocol.rs` drives the daemon through the real
+//! wire format including fault injection, and `tests/wire_golden.rs`
+//! pins the on-wire bytes against committed fixtures).
 
 pub use mgopt_core as core;
 pub use mgopt_cosim as cosim;
@@ -100,6 +117,7 @@ pub use mgopt_gridcarbon as gridcarbon;
 pub use mgopt_microgrid as microgrid;
 pub use mgopt_optimizer as optimizer;
 pub use mgopt_sam as sam;
+pub use mgopt_server as server;
 pub use mgopt_storage as storage;
 pub use mgopt_telemetry as telemetry;
 pub use mgopt_units as units;
@@ -111,8 +129,8 @@ pub mod prelude {
     pub use mgopt_core::experiments;
     pub use mgopt_core::{
         fleet_sweep, sweep_all, CompositionProblem, FleetAssignment, FleetProblem, FleetScenario,
-        ObjectiveKind, ObjectiveSet, PreparedFleet, PreparedScenario, ScenarioConfig, SitePreset,
-        WorkloadConfig,
+        ObjectiveKind, ObjectiveSet, PreparedCache, PreparedFleet, PreparedScenario,
+        ScenarioConfig, SitePreset, WorkloadConfig,
     };
     pub use mgopt_microgrid::{
         simulate_batch, simulate_year, simulate_year_cosim, BatchBackend, BatchEvaluator,
@@ -120,6 +138,7 @@ pub mod prelude {
         FleetResult, FleetSite, SimConfig, Site,
     };
     pub use mgopt_optimizer::{Nsga2Config, Sampler, Study};
+    pub use mgopt_server::{Server, ServerConfig};
     pub use mgopt_units::{
         CarbonIntensity, Emissions, Energy, Power, SimDuration, SimTime, TimeSeries,
     };

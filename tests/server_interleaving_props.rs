@@ -1,0 +1,137 @@
+//! Property: daemon study results depend only on `(fleet, budget, seed)`
+//! — **never** on how concurrent studies interleave.
+//!
+//! Each case draws 2–4 studies (random seeds, budgets, and optional peak
+//! caps), fires them all at once over one connection — so their NSGA-II
+//! workers genuinely race over one shared `Arc`-prepared fleet — and
+//! then replays the identical studies strictly sequentially (each `Done`
+//! awaited before the next request) on a fresh daemon sharing the same
+//! prepared cache. Every front must match bit for bit: same genomes,
+//! same plans, same `f64` objectives.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+
+use proptest::prelude::*;
+
+use microgrid_opt::core::wire::{
+    encode_request, FleetSpec, PlanPoint, Request, RequestFrame, Response, ResponseFrame,
+    StudyBudget, StudyRequest, WIRE_VERSION,
+};
+use microgrid_opt::core::PreparedCache;
+use microgrid_opt::prelude::{CompositionSpace, Server, ServerConfig};
+
+/// One prepared-scenario cache for the whole test binary: both the
+/// concurrent and the sequential daemon hand out the same `Arc`s, so the
+/// property is pinned over genuinely shared read-only data.
+fn shared_cache() -> Arc<PreparedCache> {
+    static CACHE: OnceLock<Arc<PreparedCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(|| Arc::new(PreparedCache::new(8))))
+}
+
+fn study(seed: u64, population_size: usize, extra_trials: usize, cap: Option<f64>) -> StudyRequest {
+    StudyRequest {
+        fleet: FleetSpec::Preset("paper".into()),
+        space: Some(CompositionSpace {
+            wind_choices: vec![0, 4],
+            solar_choices_kw: vec![0.0, 16_000.0],
+            battery_choices_kwh: vec![0.0, 22_500.0],
+        }),
+        objectives: None,
+        budget: StudyBudget {
+            population_size,
+            max_trials: population_size + extra_trials,
+            seed,
+        },
+        peak_cap_kw: cap,
+        stream: false,
+    }
+}
+
+/// Drive `studies` through one daemon connection. When `sequential`,
+/// each study's `Done` is awaited before the next request is written —
+/// the no-interleaving baseline. Otherwise all requests go out first and
+/// the workers run concurrently. Returns each study's final front.
+fn run_batch(studies: &[StudyRequest], sequential: bool) -> Vec<Vec<PlanPoint>> {
+    let server = Arc::new(Server::with_cache(ServerConfig::default(), shared_cache()));
+    let (client, server_end) = microgrid_opt::server::pipe::duplex();
+    let join = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.serve_connection(server_end.reader, server_end.writer))
+    };
+    let mut writer = client.writer;
+    let mut reader = BufReader::new(client.reader);
+
+    let send =
+        |writer: &mut microgrid_opt::server::pipe::PipeWriter, k: usize, s: &StudyRequest| {
+            let frame = RequestFrame {
+                v: WIRE_VERSION,
+                id: format!("s{k}"),
+                req: Request::Study(s.clone()),
+            };
+            writeln!(writer, "{}", encode_request(&frame)).unwrap();
+        };
+    let mut fronts: Vec<Option<Vec<PlanPoint>>> = vec![None; studies.len()];
+    let recv_done_for = |reader: &mut BufReader<microgrid_opt::server::pipe::PipeReader>,
+                         fronts: &mut Vec<Option<Vec<PlanPoint>>>,
+                         want: usize| {
+        let mut remaining = want;
+        while remaining > 0 {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "early EOF");
+            let frame: ResponseFrame = serde_json::from_str(line.trim_end()).unwrap();
+            match frame.resp {
+                Response::Done(d) => {
+                    let k: usize = frame.id[1..].parse().unwrap();
+                    assert!(fronts[k].is_none(), "duplicate Done for {}", frame.id);
+                    fronts[k] = Some(d.front);
+                    remaining -= 1;
+                }
+                Response::Accepted(_) => {}
+                other => panic!("unexpected frame for {}: {other:?}", frame.id),
+            }
+        }
+    };
+
+    if sequential {
+        for (k, s) in studies.iter().enumerate() {
+            send(&mut writer, k, s);
+            recv_done_for(&mut reader, &mut fronts, 1);
+        }
+    } else {
+        for (k, s) in studies.iter().enumerate() {
+            send(&mut writer, k, s);
+        }
+        recv_done_for(&mut reader, &mut fronts, studies.len());
+    }
+    drop(writer); // EOF: the daemon drains and exits cleanly
+    join.join().unwrap().unwrap();
+    fronts.into_iter().map(Option::unwrap).collect()
+}
+
+/// Strategy: one study = (seed, population bucket, extra trials, cap pick).
+fn study_strategy() -> impl Strategy<Value = StudyRequest> {
+    (0u64..6, 0usize..2, 0usize..9, 0usize..3).prop_map(|(seed, pop, extra, cap)| {
+        let population_size = [4, 6][pop];
+        // An unconstrained run, a loose cap, and a tight cap that bites.
+        let cap = [None, Some(60_000.0), Some(25_000.0)][cap];
+        study(seed, population_size, extra, cap)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn concurrent_studies_match_sequential_bit_for_bit(
+        studies in proptest::strategies::collection::vec(study_strategy(), 2..=4usize)
+    ) {
+        let concurrent = run_batch(&studies, false);
+        let sequential = run_batch(&studies, true);
+        for (k, (c, s)) in concurrent.iter().zip(&sequential).enumerate() {
+            prop_assert!(!c.is_empty(), "study {k} returned an empty front");
+            prop_assert_eq!(c, s, "study {} diverged under interleaving", k);
+        }
+    }
+}
