@@ -1,0 +1,112 @@
+//! `mgopt_lint` — run the workspace invariant rules (see
+//! `mgopt_analysis` for the registry).
+//!
+//! ```text
+//! mgopt_lint [--root DIR] [--json]      lint the workspace (default mode)
+//! mgopt_lint --dir DIR [--json]         lint one directory as a fixture set
+//! mgopt_lint --self-test [--fixtures DIR]
+//!                                       every rule fires on its bad fixture,
+//!                                       stays quiet on its good one
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or self-test failure), 2 usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    root: PathBuf,
+    dir: Option<PathBuf>,
+    self_test: bool,
+    fixtures: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: mgopt_lint [--root DIR] [--json]\n\
+     \x20      mgopt_lint --dir DIR [--json]\n\
+     \x20      mgopt_lint --self-test [--fixtures DIR]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        root: PathBuf::from("."),
+        dir: None,
+        self_test: false,
+        fixtures: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--self-test" => args.self_test = true,
+            "--root" => args.root = next_path(&mut it, "--root")?,
+            "--dir" => args.dir = Some(next_path(&mut it, "--dir")?),
+            "--fixtures" => args.fixtures = Some(next_path(&mut it, "--fixtures")?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("mgopt_lint: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.self_test {
+        let fixtures = args
+            .fixtures
+            .unwrap_or_else(|| args.root.join("crates/analysis/tests/fixtures"));
+        return match mgopt_analysis::self_test(&fixtures) {
+            Ok(log) => {
+                print!("{log}");
+                println!("self-test OK");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("self-test FAILED: {msg}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let report = match &args.dir {
+        Some(dir) => mgopt_analysis::lint_dir(dir),
+        None => mgopt_analysis::lint_workspace(&args.root),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mgopt_lint: cannot read sources: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,517 @@
+//! A lightweight Rust tokenizer: line/comment/string-aware, no parser.
+//!
+//! The rules in [`crate::rules`] and [`crate::registry`] need exactly
+//! four things a plain text scan cannot give them: which bytes are
+//! *code* vs *comment* vs *string literal*, the cooked contents of
+//! string literals (env-var names ride inside them), per-line comment
+//! text (suppressions and `SAFETY:` markers live there), and which
+//! lines belong to `#[cfg(test)]` regions. This module produces all
+//! four from one pass; it deliberately stops short of a grammar — no
+//! AST, no type information, no macro expansion.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A string literal's cooked content (escapes resolved best-effort;
+    /// raw and byte strings keep their bytes as-is).
+    Str(String),
+    /// A character literal (content irrelevant to every rule).
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// A numeric literal (value irrelevant to every rule).
+    Num,
+    /// A single punctuation byte (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its cooked text.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for `//`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/* */` delimiters.
+    pub text: String,
+    /// Doc comment (`///`, `//!`, `/**`, `/*!`). Suppression directives
+    /// only count in plain comments, so docs can *show* the syntax.
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Never panics: unterminated strings/comments
+/// simply end the stream at EOF (the linter must survive any input).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let line = self.line;
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    let s = self.cooked_string();
+                    self.push(Tok::Str(s), line);
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_string_ahead() => {
+                    let s = self.raw_or_byte_string();
+                    self.push(Tok::Str(s), line);
+                }
+                _ if b.is_ascii_alphabetic() || b == b'_' => {
+                    let ident = self.ident();
+                    self.push(Tok::Ident(ident), line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number();
+                    self.push(Tok::Num, line);
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                _ => {
+                    self.pos += 1;
+                    // Multi-byte UTF-8 in code position: skip continuation
+                    // bytes so `line`/token boundaries stay consistent.
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&c| c & 0b1100_0000 == 0b1000_0000)
+                    {
+                        self.pos += 1;
+                    }
+                    if b.is_ascii() {
+                        self.out.tokens.push(Token {
+                            tok: Tok::Punct(b as char),
+                            line,
+                        });
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        self.pos += 2;
+        // `///` and `//!` doc markers are part of the delimiter.
+        let doc = matches!(self.peek(0), Some(b'/') | Some(b'!'));
+        while self.peek(0) == Some(b'/') || self.peek(0) == Some(b'!') {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: start_line,
+            text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        self.pos += 2;
+        let doc = matches!(self.peek(0), Some(b'*') | Some(b'!'));
+        let start = self.pos;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek(0) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                Some(b'*') if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(start);
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.bytes[start..end]).into_owned(),
+            doc,
+        });
+    }
+
+    /// A `"..."` string with escapes cooked (unknown escapes kept verbatim).
+    fn cooked_string(&mut self) -> String {
+        self.pos += 1;
+        let mut out = String::new();
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\\' => {
+                    match self.peek(1) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\'') => out.push('\''),
+                        Some(b'0') => out.push('\0'),
+                        Some(other) => {
+                            // \u{...} and friends: keep bytes, rules only
+                            // ever match ASCII-exact contents.
+                            out.push('\\');
+                            out.push(other as char);
+                        }
+                        None => {}
+                    }
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    out.push('\n');
+                    self.pos += 1;
+                }
+                _ => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Is a raw/byte string starting at `pos` (`r"`, `r#"`, `b"`, `br#"`, …)?
+    fn raw_or_byte_string_ahead(&self) -> bool {
+        let mut i = 1; // past the leading r/b
+        if (self.peek(0) == Some(b'b') && self.peek(1) == Some(b'r'))
+            || (self.peek(0) == Some(b'r') && self.peek(1) == Some(b'b'))
+        {
+            i = 2;
+        }
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn raw_or_byte_string(&mut self) -> String {
+        // Skip the r/b/br prefix.
+        while matches!(self.peek(0), Some(b'r') | Some(b'b')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        loop {
+            match self.peek(0) {
+                None => {
+                    let text = &self.bytes[start..self.pos];
+                    return String::from_utf8_lossy(text).into_owned();
+                }
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        let text = &self.bytes[start..self.pos];
+                        self.pos += 1 + hashes;
+                        return String::from_utf8_lossy(text).into_owned();
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Disambiguate `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: skip to the closing quote.
+                self.pos += 2; // past '\
+                self.pos += 1; // past the escaped byte (covers \', \\, \n…)
+                while self.peek(0).is_some_and(|b| b != b'\'' && b != b'\n') {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+                self.push(Tok::Char, line);
+            }
+            Some(c) if c != b'\'' => {
+                if self.peek(2) == Some(b'\'') && !ident_byte(c) {
+                    // 'x' where x is not an ident char: must be a char.
+                    self.pos += 3;
+                    self.push(Tok::Char, line);
+                } else if self.peek(2) == Some(b'\'')
+                    && ident_byte(c)
+                    && !ident_byte_opt(self.peek(3))
+                {
+                    // 'x' followed by a non-ident byte: char literal
+                    // ('a',). A lifetime is never followed by a quote.
+                    self.pos += 3;
+                    self.push(Tok::Char, line);
+                } else {
+                    // Lifetime: consume ident chars.
+                    self.pos += 1;
+                    while self.peek(0).is_some_and(ident_byte) {
+                        self.pos += 1;
+                    }
+                    self.push(Tok::Lifetime, line);
+                }
+            }
+            _ => {
+                // Lone quote or `''` — treat as punct and move on.
+                self.pos += 1;
+                self.push(Tok::Punct('\''), line);
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self.peek(0).is_some_and(ident_byte) {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn number(&mut self) {
+        // Digits, letters (hex/suffixes), underscores; a dot only when a
+        // digit follows, so `0..9` stays three tokens.
+        while let Some(b) = self.peek(0) {
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn ident_byte_opt(b: Option<u8>) -> bool {
+    b.is_some_and(ident_byte)
+}
+
+/// 1-based line ranges (inclusive) covered by `#[cfg(test)]` items and
+/// `#[test]` functions: the code in them may unwrap, index, and hash
+/// freely — the invariants guard production paths.
+pub fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(attr_end) = test_attr_end(toks, i) {
+            // The guarded item runs to its closing brace (or to `;` for
+            // brace-less items like `#[cfg(test)] use …;`).
+            let start_line = toks[i].line;
+            let mut j = attr_end;
+            let mut end_line = start_line;
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end_line = toks[j].line;
+                            break;
+                        }
+                    }
+                    Tok::Punct(';') if depth == 0 => {
+                        end_line = toks[j].line;
+                        break;
+                    }
+                    _ => {}
+                }
+                end_line = toks[j].line;
+                j += 1;
+            }
+            regions.push((start_line, end_line));
+            i = j.max(attr_end);
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// If tokens at `i` start a `#[cfg(test)]` or `#[test]` attribute,
+/// return the index just past its closing `]`.
+fn test_attr_end(toks: &[Token], i: usize) -> Option<usize> {
+    if !matches!(toks.get(i)?.tok, Tok::Punct('#')) {
+        return None;
+    }
+    if !matches!(toks.get(i + 1)?.tok, Tok::Punct('[')) {
+        return None;
+    }
+    match &toks.get(i + 2)?.tok {
+        Tok::Ident(name) if name == "test" => {
+            matches!(toks.get(i + 3)?.tok, Tok::Punct(']')).then_some(i + 4)
+        }
+        Tok::Ident(name) if name == "cfg" => {
+            // #[cfg(test)] exactly: cfg ( test ) ]
+            let is = matches!(toks.get(i + 3)?.tok, Tok::Punct('('))
+                && matches!(&toks.get(i + 4)?.tok, Tok::Ident(n) if n == "test")
+                && matches!(toks.get(i + 5)?.tok, Tok::Punct(')'))
+                && matches!(toks.get(i + 6)?.tok, Tok::Punct(']'));
+            is.then_some(i + 7)
+        }
+        _ => None,
+    }
+}
+
+/// Is `line` inside any of `regions` (inclusive bounds)?
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_leave_the_code_stream() {
+        let src = r##"
+// a comment with unwrap() inside
+fn f() {
+    let s = "panic! in a string";
+    let r = r#"unwrap() in a raw string"#;
+    /* block with HashMap */
+    s.len() + r.len()
+}
+"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "HashMap"));
+        assert!(ids.iter().any(|i| i == "len"));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap()"));
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let lexed = lex(r#"let v = std::env::var("MGOPT_FAST");"#);
+        let strings: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strings, ["MGOPT_FAST"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_line() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.iter().any(|i| i == "str"));
+        let ids = idents("let c = 'x'; let esc = '\\n'; let q = '\\''; foo(c)");
+        assert!(ids.iter().any(|i| i == "foo"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_ranges() {
+        let ids = idents("/* outer /* inner */ still comment */ fn g() { for i in 0..9 { } }");
+        assert_eq!(ids, ["fn", "g", "for", "i", "in"]);
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap() }\n}\nfn tail() {}\n";
+        let lexed = lex(src);
+        let regions = test_regions(&lexed);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 1));
+        assert!(!in_regions(&regions, 6));
+    }
+
+    #[test]
+    fn lexer_survives_unterminated_input() {
+        for src in ["\"unterminated", "/* open", "r#\"open", "'", "b\"x"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Cross-file registry rules: R3 (env-var registry) and R4
+//! (wire/telemetry schema drift). Unlike the per-file rules these need
+//! the whole linted set at once — a variable read in one crate must be
+//! documented in another, an error code declared in `core::wire` must
+//! appear in fixtures and docs elsewhere.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{in_regions, Tok, Token};
+use crate::report::{Finding, Rule};
+use crate::{Role, Workspace};
+
+/// Env vars this repo owns all start with this prefix. (Kept as a bare
+/// prefix so the linter's own source never registers as a reader.)
+const ENV_PREFIX: &str = "MGOPT_";
+
+fn is_env_name(s: &str) -> bool {
+    s.len() > ENV_PREFIX.len()
+        && s.starts_with(ENV_PREFIX)
+        && s[ENV_PREFIX.len()..]
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Pull every `MGOPT_*` name out of one line of doc-table text.
+fn env_names_in(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(rel) = text[i..].find(ENV_PREFIX) {
+        let start = i + rel;
+        let mut end = start + ENV_PREFIX.len();
+        while bytes
+            .get(end)
+            .is_some_and(|b| b.is_ascii_uppercase() || b.is_ascii_digit() || *b == b'_')
+        {
+            end += 1;
+        }
+        if end > start + ENV_PREFIX.len() {
+            out.push(text[start..end].to_string());
+        }
+        i = end;
+    }
+    out
+}
+
+/// R3: every `MGOPT_*` string literal read anywhere must have a row in
+/// the bench env-var doc table, and every row must correspond to a real
+/// read — a registry, not a museum.
+pub fn env_registry(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(table) = ws.sources.iter().find(|f| f.has_role(Role::EnvTable)) else {
+        return;
+    };
+    // Documented: `//! | `MGOPT_X` | ... |` rows in the table file.
+    let mut documented: BTreeMap<String, u32> = BTreeMap::new();
+    for c in &table.lexed.comments {
+        let t = c.text.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        for name in env_names_in(t) {
+            documented.entry(name).or_insert(c.line);
+        }
+    }
+    // Used: exact-match string literals anywhere in the linted set
+    // (test code included — `MGOPT_BLESS` lives in a test).
+    let mut used: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    for f in &ws.sources {
+        for t in &f.lexed.tokens {
+            if let Tok::Str(s) = &t.tok {
+                if is_env_name(s) {
+                    used.entry(s.clone()).or_insert((f.rel.clone(), t.line));
+                }
+            }
+        }
+    }
+    for (name, (file, line)) in &used {
+        if !documented.contains_key(name) {
+            out.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: Rule::EnvRegistry,
+                message: format!(
+                    "env var `{name}` is read here but missing from the `{}` doc table",
+                    table.rel
+                ),
+            });
+        }
+    }
+    for (name, line) in &documented {
+        if !used.contains_key(name) {
+            out.push(Finding {
+                file: table.rel.clone(),
+                line: *line,
+                rule: Rule::EnvRegistry,
+                message: format!("env var `{name}` is documented here but never read"),
+            });
+        }
+    }
+}
+
+/// R4 (wire half): every `ErrorCode` variant declared in `core::wire`
+/// must appear in the golden rejection fixtures / wire_golden tests and
+/// in the `src/lib.rs` wire spec — new failure modes ship with pinned
+/// bytes and docs, or not at all.
+pub fn wire_schema(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(wire) = ws.sources.iter().find(|f| f.has_role(Role::Wire)) else {
+        return;
+    };
+    let variants = enum_variants(&wire.lexed.tokens, "ErrorCode");
+    if variants.is_empty() {
+        return;
+    }
+    let mut golden = String::new();
+    for d in &ws.data {
+        golden.push_str(&d.text);
+        golden.push('\n');
+    }
+    for f in ws.sources.iter().filter(|f| f.has_role(Role::WireGolden)) {
+        golden.push_str(&f.raw);
+        golden.push('\n');
+    }
+    let spec: String = ws
+        .sources
+        .iter()
+        .filter(|f| f.has_role(Role::WireSpec))
+        .map(|f| f.raw.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for (name, line) in &variants {
+        if !golden.contains(name.as_str()) {
+            out.push(Finding {
+                file: wire.rel.clone(),
+                line: *line,
+                rule: Rule::SchemaDrift,
+                message: format!(
+                    "error code `{name}` has no golden rejection fixture (tests/fixtures/wire) \
+                     or wire_golden coverage"
+                ),
+            });
+        }
+        if !spec.contains(name.as_str()) {
+            out.push(Finding {
+                file: wire.rel.clone(),
+                line: *line,
+                rule: Rule::SchemaDrift,
+                message: format!("error code `{name}` is missing from the src/lib.rs wire spec"),
+            });
+        }
+    }
+}
+
+/// Variants of a fieldless `enum <name> { ... }`, with their lines.
+fn enum_variants(toks: &[Token], name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_decl = matches!(&toks[i].tok, Tok::Ident(s) if s == "enum")
+            && matches!(&toks[i + 1].tok, Tok::Ident(s) if s == name)
+            && matches!(toks[i + 2].tok, Tok::Punct('{'));
+        if !is_decl {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 3;
+        let mut depth = 1usize;
+        while j < toks.len() && depth > 0 {
+            match &toks[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                // Skip attribute contents: `#[...]`.
+                Tok::Punct('#')
+                    if depth == 1
+                        && matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('['))) =>
+                {
+                    let mut bd = 0usize;
+                    j += 1;
+                    while j < toks.len() {
+                        match toks[j].tok {
+                            Tok::Punct('[') => bd += 1,
+                            Tok::Punct(']') => {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                Tok::Ident(v)
+                    if depth == 1
+                        && matches!(
+                            toks.get(j + 1).map(|t| &t.tok),
+                            Some(Tok::Punct(',')) | Some(Tok::Punct('}'))
+                        ) =>
+                {
+                    out.push((v.clone(), toks[j].line));
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// One `Event::new("kind")...` builder chain found in code.
+struct EmitSite {
+    kind: String,
+    fields: BTreeSet<String>,
+    file: String,
+    line: u32,
+}
+
+/// R4 (telemetry half): every event kind emitted in production code
+/// must have an explicit `required_fields` arm in `trace_report`, the
+/// emitting chain must set every required field, and every schema arm
+/// must correspond to a real emitter.
+pub fn telemetry_schema(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(schema_file) = ws.sources.iter().find(|f| f.has_role(Role::TraceSchema)) else {
+        return;
+    };
+    let schema = required_fields_arms(&schema_file.lexed.tokens);
+    let emits = emitted_events(ws);
+    for e in &emits {
+        match schema.get(&e.kind) {
+            None => out.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                rule: Rule::SchemaDrift,
+                message: format!(
+                    "event kind `{}` emitted here has no explicit arm in \
+                     trace_report's required_fields schema",
+                    e.kind
+                ),
+            }),
+            Some((fields, _)) => {
+                for req in fields {
+                    if !e.fields.contains(req) {
+                        out.push(Finding {
+                            file: e.file.clone(),
+                            line: e.line,
+                            rule: Rule::SchemaDrift,
+                            message: format!(
+                                "event `{}` is emitted without required field `{req}` \
+                                 (per trace_report's schema)",
+                                e.kind
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let emitted_kinds: BTreeSet<&str> = emits.iter().map(|e| e.kind.as_str()).collect();
+    for (kind, (_, line)) in &schema {
+        if !emitted_kinds.contains(kind.as_str()) {
+            out.push(Finding {
+                file: schema_file.rel.clone(),
+                line: *line,
+                rule: Rule::SchemaDrift,
+                message: format!(
+                    "schema event `{kind}` is never emitted anywhere in the workspace"
+                ),
+            });
+        }
+    }
+}
+
+/// Parse the `match kind { "x" => &["a", "b"], ... }` arms inside
+/// `fn required_fields`. Returns kind → (required fields, arm line).
+fn required_fields_arms(toks: &[Token]) -> BTreeMap<String, (Vec<String>, u32)> {
+    let mut arms = BTreeMap::new();
+    // Locate `fn required_fields` and its body braces.
+    let mut start = None;
+    for i in 0..toks.len().saturating_sub(1) {
+        if matches!(&toks[i].tok, Tok::Ident(s) if s == "fn")
+            && matches!(&toks[i + 1].tok, Tok::Ident(s) if s == "required_fields")
+        {
+            start = Some(i + 2);
+            break;
+        }
+    }
+    let Some(mut i) = start else {
+        return arms;
+    };
+    while i < toks.len() && !matches!(toks[i].tok, Tok::Punct('{')) {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    // Kinds awaiting their `=>` (handles `"a" | "b" => ...`), then the
+    // fields collected until the next arm starts.
+    let mut pending: Vec<(String, u32)> = Vec::new();
+    let mut current: Vec<(String, u32)> = Vec::new();
+    let mut fields: Vec<String> = Vec::new();
+    let commit = |current: &mut Vec<(String, u32)>,
+                  fields: &mut Vec<String>,
+                  arms: &mut BTreeMap<String, (Vec<String>, u32)>| {
+        for (kind, line) in current.drain(..) {
+            arms.entry(kind).or_insert((fields.clone(), line));
+        }
+        fields.clear();
+    };
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Str(s) => {
+                let next_is = |c: char| matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c);
+                if next_is('|') {
+                    pending.push((s.clone(), toks[i].line));
+                } else if next_is('=')
+                    && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct('>')))
+                {
+                    // New arm: close out the previous one first.
+                    commit(&mut current, &mut fields, &mut arms);
+                    pending.push((s.clone(), toks[i].line));
+                    current = std::mem::take(&mut pending);
+                } else {
+                    fields.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    commit(&mut current, &mut fields, &mut arms);
+    arms
+}
+
+/// Every `Event::new("kind").xxx("field", ...)` chain in non-test code.
+fn emitted_events(ws: &Workspace) -> Vec<EmitSite> {
+    let mut out = Vec::new();
+    for f in &ws.sources {
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            let is_new = matches!(&toks[i].tok, Tok::Ident(s) if s == "Event")
+                && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+                && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "new")
+                && matches!(toks.get(i + 4).map(|t| &t.tok), Some(Tok::Punct('(')));
+            if !is_new || in_regions(&f.test_regions, toks[i].line) {
+                continue;
+            }
+            let Some(Tok::Str(kind)) = toks.get(i + 5).map(|t| &t.tok) else {
+                continue;
+            };
+            let mut fields = BTreeSet::new();
+            let mut j = i + 6;
+            // Capture `.m("field", ...)` setters until the statement ends.
+            while j < toks.len() && !matches!(toks[j].tok, Tok::Punct(';')) {
+                let is_setter = matches!(toks[j].tok, Tok::Punct('.'))
+                    && matches!(
+                        toks.get(j + 1).map(|t| &t.tok),
+                        Some(Tok::Ident(m)) if matches!(m.as_str(), "str" | "u64" | "f64" | "bool")
+                    )
+                    && matches!(toks.get(j + 2).map(|t| &t.tok), Some(Tok::Punct('(')));
+                if is_setter {
+                    if let Some(Tok::Str(field)) = toks.get(j + 3).map(|t| &t.tok) {
+                        fields.insert(field.clone());
+                    }
+                }
+                j += 1;
+            }
+            out.push(EmitSite {
+                kind: kind.clone(),
+                fields,
+                file: f.rel.clone(),
+                line: toks[i].line,
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,9 @@
+// mgopt-lint-fixture: crate=microgrid
+use std::collections::HashMap;
+
+pub fn step_millis() -> u128 {
+    let started = std::time::Instant::now();
+    let mut seen = HashMap::new();
+    seen.insert("a", thread_rng().gen::<u32>());
+    started.elapsed().as_millis()
+}

@@ -1,0 +1,18 @@
+// mgopt-lint-fixture: crate=microgrid
+use std::collections::BTreeMap;
+
+pub fn accumulate(values: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut ordered = BTreeMap::new();
+    for (i, v) in values.iter().enumerate() {
+        ordered.insert(i, *v);
+        total += v;
+    }
+    total
+}
+
+// A hash map in type position (no import, no call) is keyed access the
+// caller owns — only `use` declarations and `HashMap::...` calls fire.
+pub fn lookup(map: &std::collections::HashMap<u32, f64>, key: u32) -> Option<f64> {
+    map.get(&key).copied()
+}

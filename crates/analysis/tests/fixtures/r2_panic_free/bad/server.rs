@@ -1,0 +1,10 @@
+// mgopt-lint-fixture: role=server
+pub fn handle(frames: &[u8]) -> u8 {
+    let first = frames[0];
+    let parsed: Option<u8> = Some(first);
+    parsed.unwrap()
+}
+
+pub fn reject() {
+    panic!("connection handlers must answer with error frames instead");
+}

@@ -1,0 +1,12 @@
+// mgopt-lint-fixture: role=server
+pub fn handle(frames: &[u8]) -> Option<u8> {
+    let first = frames.first().copied()?;
+    Some(first)
+}
+
+pub fn split(frames: &[u8], n: usize) -> Result<(&[u8], &[u8]), String> {
+    if n > frames.len() {
+        return Err(format!("frame truncated at {n}"));
+    }
+    Ok(frames.split_at(n))
+}

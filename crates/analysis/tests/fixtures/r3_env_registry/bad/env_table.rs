@@ -1,0 +1,8 @@
+// mgopt-lint-fixture: role=env-table
+//! | Variable | Effect |
+//! | --- | --- |
+//! | `MGOPT_FAST` | documented here but read by nothing in this set |
+
+pub fn read_undocumented() -> bool {
+    std::env::var("MGOPT_TURBO").is_ok()
+}

@@ -1,0 +1,8 @@
+// mgopt-lint-fixture: role=env-table
+//! | Variable | Effect |
+//! | --- | --- |
+//! | `MGOPT_FAST` | shrink fixture workloads |
+
+pub fn read_documented() -> bool {
+    std::env::var("MGOPT_FAST").is_ok()
+}

@@ -1,0 +1,4 @@
+pub fn emit_all(handle: &Handle) {
+    Event::new("study_start").u64("sites", 1).emit(handle);
+    Event::new("mystery").u64("sites", 1).emit(handle);
+}

@@ -1,0 +1,8 @@
+// mgopt-lint-fixture: role=trace-schema
+pub fn required_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "study_start" => &["sites", "plan_space"],
+        "ghost_event" => &[],
+        _ => &[],
+    }
+}

@@ -1,0 +1,5 @@
+// mgopt-lint-fixture: role=wire
+pub enum ErrorCode {
+    MalformedFrame,
+    Exploded,
+}

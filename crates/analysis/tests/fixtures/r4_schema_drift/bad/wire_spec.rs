@@ -1,0 +1,2 @@
+// mgopt-lint-fixture: role=wire-spec
+//! Wire spec excerpt. Documented error codes: `MalformedFrame`.

@@ -1,0 +1,6 @@
+pub fn emit_all(handle: &Handle) {
+    Event::new("study_start")
+        .u64("sites", 1)
+        .u64("plan_space", 64)
+        .emit(handle);
+}

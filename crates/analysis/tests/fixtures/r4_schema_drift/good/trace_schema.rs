@@ -1,0 +1,7 @@
+// mgopt-lint-fixture: role=trace-schema
+pub fn required_fields(kind: &str) -> &'static [&'static str] {
+    match kind {
+        "study_start" => &["sites", "plan_space"],
+        _ => &[],
+    }
+}

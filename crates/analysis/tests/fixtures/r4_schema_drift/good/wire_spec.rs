@@ -1,0 +1,3 @@
+// mgopt-lint-fixture: role=wire-spec
+//! Wire spec excerpt. Documented error codes: `MalformedFrame`,
+//! `Oversized`.

@@ -1,0 +1,6 @@
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees `bytes` has at least one byte,
+    // so the pointer read is in bounds.
+    unsafe { *bytes.as_ptr() }
+}

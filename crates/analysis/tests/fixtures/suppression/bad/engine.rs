@@ -1,0 +1,9 @@
+// mgopt-lint-fixture: crate=microgrid
+
+pub fn ticks() -> u128 {
+    // mgopt-lint: allow(determinism)
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+// mgopt-lint: allow(quantum_supremacy) — not a rule this linter knows
+pub fn fine() {}

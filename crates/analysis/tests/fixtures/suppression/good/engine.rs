@@ -1,0 +1,6 @@
+// mgopt-lint-fixture: crate=microgrid
+
+pub fn ticks() -> u128 {
+    // mgopt-lint: allow(determinism) — wall-clock feeds a progress log only, never results
+    std::time::Instant::now().elapsed().as_millis()
+}

@@ -1,0 +1,130 @@
+//! End-to-end checks for `mgopt_lint`: the fixture self-test (every
+//! rule fires on its bad snippet, stays quiet on its good one), the
+//! binary's exit codes, and the workspace itself staying clean.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mgopt_analysis::report::Rule;
+use mgopt_analysis::{lint_dir, run, self_test, workspace_from_sources, FIXTURE_CASES};
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analysis sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn every_rule_fires_on_bad_and_stays_quiet_on_good() {
+    match self_test(&fixtures_root()) {
+        Ok(log) => {
+            for (dir, _) in FIXTURE_CASES {
+                assert!(log.contains(dir), "self-test log missing case {dir}");
+            }
+        }
+        Err(msg) => panic!("self-test failed: {msg}"),
+    }
+}
+
+#[test]
+fn bad_fixtures_report_their_rule_with_locations() {
+    let report = lint_dir(&fixtures_root().join("r2_panic_free/bad")).expect("fixture dir");
+    assert!(!report.is_clean());
+    assert!(report.findings.iter().all(|f| f.rule == Rule::PanicFree));
+    let first = &report.findings[0];
+    assert_eq!(first.file, "server.rs");
+    assert!(first.line > 0);
+    let json = report.render_json();
+    assert!(json.contains(r#""rule":"panic_free""#));
+    assert!(json.contains(r#""clean":false"#));
+}
+
+#[test]
+fn suppressions_silence_targets_but_hygiene_is_enforced() {
+    let report = run(workspace_from_sources(&[(
+        "crates/microgrid/src/x.rs",
+        "pub fn t() -> u128 {\n    // mgopt-lint: allow(determinism) — timing feeds a log, not results\n    std::time::Instant::now().elapsed().as_millis()\n}\n",
+    )]));
+    assert!(
+        report.is_clean(),
+        "justified allow must silence:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.suppressed, 1);
+
+    let report = run(workspace_from_sources(&[(
+        "crates/microgrid/src/x.rs",
+        "pub fn t() -> u128 {\n    // mgopt-lint: allow(determinism)\n    std::time::Instant::now().elapsed().as_millis()\n}\n",
+    )]));
+    assert_eq!(report.findings.len(), 1, "{}", report.render_human());
+    assert_eq!(report.findings[0].rule, Rule::Suppression);
+}
+
+#[test]
+fn test_regions_are_exempt_from_engine_rules() {
+    let report = run(workspace_from_sources(&[(
+        "crates/optimizer/src/x.rs",
+        "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() {\n        let mut m = HashMap::new();\n        m.insert(1, std::time::Instant::now());\n    }\n}\n",
+    )]));
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn binary_self_test_passes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mgopt_lint"))
+        .args(["--self-test", "--fixtures"])
+        .arg(fixtures_root())
+        .output()
+        .expect("run mgopt_lint");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn binary_exit_codes_distinguish_clean_from_dirty() {
+    let dirty = Command::new(env!("CARGO_BIN_EXE_mgopt_lint"))
+        .arg("--dir")
+        .arg(fixtures_root().join("r5_unsafe/bad"))
+        .output()
+        .expect("run mgopt_lint");
+    assert_eq!(dirty.status.code(), Some(1));
+    let clean = Command::new(env!("CARGO_BIN_EXE_mgopt_lint"))
+        .arg("--dir")
+        .arg(fixtures_root().join("r5_unsafe/good"))
+        .output()
+        .expect("run mgopt_lint");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+    // The inventory lists the documented unsafe site even on a clean run.
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("SAFETY comment: yes"));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mgopt_lint"))
+        .args(["--json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run mgopt_lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace not lint-clean:\n{stdout}"
+    );
+    assert!(stdout.contains(r#""clean":true"#));
+}

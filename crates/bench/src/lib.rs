@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness code for the experiment binaries and Criterion benches.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/` that
@@ -26,6 +27,7 @@
 //! | `MGOPT_SERVER_CONCURRENCY=<n>` | Daemon: max in-flight studies per connection (default 4); further requests block the read loop. |
 //! | `MGOPT_SERVER_CACHE=<n>` | Daemon: prepared-scenario cache capacity (default 8, LRU). |
 //! | `MGOPT_SERVER_MAX_FRAME=<bytes>` | Daemon: max request-line length (default 1048576); longer lines get an `Oversized` error frame. |
+//! | `MGOPT_BLESS=1` | `cargo test --test wire_golden` rewrites the golden wire fixtures (`tests/fixtures/wire/*.jsonl`) instead of comparing against them. Commit the refreshed fixtures together with the `WIRE_VERSION` bump that justified them. |
 //!
 //! The default (no variables) regenerates the full 1,089-point studies
 //! untraced.

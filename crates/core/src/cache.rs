@@ -19,6 +19,7 @@
 //! [`Counter::PrepCacheMisses`], surfacing the hit rate in the
 //! `MGOPT_TRACE` counter snapshot.
 
+// mgopt-lint: allow(determinism) — prepared-site cache is keyed lookup only; eviction scans use the ordered tick, not map order
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -67,6 +68,7 @@ impl PreparedCache {
         Self {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner {
+                // mgopt-lint: allow(determinism) — victim choice is min_by_key over unique ticks, order-independent
                 slots: HashMap::new(),
                 tick: 0,
             }),

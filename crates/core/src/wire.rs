@@ -257,10 +257,10 @@ pub fn resolve_preset(name: &str) -> Result<FleetScenario, WireError> {
 /// The checks `prepare()` / `FleetProblem::new` enforce by panicking,
 /// rephrased as a structured error for untrusted input.
 fn validate_scenario(scenario: &FleetScenario) -> Result<(), WireError> {
-    if scenario.members.is_empty() {
+    let Some(first) = scenario.members.first() else {
         return Err(WireError::invalid("fleet has no members"));
-    }
-    let step = scenario.members[0].scenario.step_minutes;
+    };
+    let step = first.scenario.step_minutes;
     for m in &scenario.members {
         if m.scenario.step_minutes == 0 {
             return Err(WireError::invalid(format!(
@@ -381,11 +381,13 @@ pub struct PlanPoint {
 
 /// Encode a request frame as one wire line (no trailing newline).
 pub fn encode_request(frame: &RequestFrame) -> String {
+    // mgopt-lint: allow(panic_free) — serializing an owned frame struct cannot fail
     serde_json::to_string(frame).expect("request frames always encode")
 }
 
 /// Encode a response frame as one wire line (no trailing newline).
 pub fn encode_response(frame: &ResponseFrame) -> String {
+    // mgopt-lint: allow(panic_free) — serializing an owned frame struct cannot fail
     serde_json::to_string(frame).expect("response frames always encode")
 }
 
@@ -420,21 +422,29 @@ pub fn parse_request(line: &str) -> Result<RequestFrame, WireError> {
         &["v", "id", "req"],
         "request frame",
     )?;
-    validate_req_shape(map.iter().find(|(k, _)| k == "req").map(|(_, v)| v))?;
+    let req = map
+        .iter()
+        .find(|(k, _)| k == "req")
+        .map(|(_, v)| v)
+        .ok_or_else(|| WireError::malformed("missing field `req` in request frame"))?;
+    validate_req_shape(req)?;
     RequestFrame::from_value(&value).map_err(|e| WireError::malformed(e.to_string()))
 }
 
 /// Shape-check the `req` payload before typed deserialization so unknown
 /// variants and unknown/missing study fields produce precise errors.
-fn validate_req_shape(req: Option<&Value>) -> Result<(), WireError> {
-    let req = req.expect("strict_keys guarantees `req` is present");
+fn validate_req_shape(req: &Value) -> Result<(), WireError> {
     match req {
         Value::Str(s) if s == "Ping" || s == "Shutdown" => Ok(()),
         Value::Str(s) => Err(WireError::malformed(format!(
             "unknown request variant `{s}`"
         ))),
         Value::Map(m) if m.len() == 1 => {
-            let (tag, body) = &m[0];
+            let [(tag, body)] = m.as_slice() else {
+                return Err(WireError::malformed(
+                    "field `req` must be a variant string or a single-variant object",
+                ));
+            };
             if tag != "Study" {
                 return Err(WireError::malformed(format!(
                     "unknown request variant `{tag}`"
@@ -479,15 +489,12 @@ fn validate_req_shape(req: Option<&Value>) -> Result<(), WireError> {
 }
 
 fn validate_fleet_shape(fleet: &Value) -> Result<(), WireError> {
-    let m = match fleet.as_map() {
-        Some(m) if m.len() == 1 => m,
-        _ => {
-            return Err(WireError::malformed(
-                "field `fleet` must be a single-variant object (`Preset` or `Inline`)",
-            ))
-        }
+    let [(tag, _)] = fleet.as_map().unwrap_or(&[]) else {
+        return Err(WireError::malformed(
+            "field `fleet` must be a single-variant object (`Preset` or `Inline`)",
+        ));
     };
-    match m[0].0.as_str() {
+    match tag.as_str() {
         "Preset" | "Inline" => Ok(()),
         other => Err(WireError::malformed(format!(
             "unknown fleet variant `{other}`"
@@ -508,7 +515,7 @@ fn strict_keys(
                 "unknown field `{key}` in {ctx}"
             )));
         }
-        if map[..i].iter().any(|(k, _)| k == key) {
+        if map.iter().take(i).any(|(k, _)| k == key) {
             return Err(WireError::malformed(format!(
                 "duplicate field `{key}` in {ctx}"
             )));

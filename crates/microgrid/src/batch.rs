@@ -282,6 +282,7 @@ pub fn simulate_batch_period_with_backend(
     // deltas are this call's own spans).
     let trace = telemetry::enabled().then(|| {
         (
+            // mgopt-lint: allow(determinism) — wall clock feeds the batch_eval trace only, never results
             std::time::Instant::now(),
             telemetry::stage_ms(Stage::BatchPrepare),
             telemetry::stage_ms(Stage::BatchKernel),

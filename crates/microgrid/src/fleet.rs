@@ -257,6 +257,7 @@ impl<'a> FleetEvaluator<'a> {
         // in the emitted event (see the batch engine for the caveat).
         let trace = telemetry::enabled().then(|| {
             (
+                // mgopt-lint: allow(determinism) — wall clock feeds the fleet_eval trace only, never results
                 std::time::Instant::now(),
                 telemetry::stage_ms(Stage::FleetPrepare),
                 telemetry::stage_ms(Stage::FleetKernel),

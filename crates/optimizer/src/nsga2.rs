@@ -20,6 +20,7 @@
 //!   every infeasible one and infeasible points are layered by total
 //!   violation. Unconstrained problems see the exact original behavior.
 
+// mgopt-lint: allow(determinism) — memo cache is keyed get/insert/extend only, never iterated
 use std::collections::HashMap;
 
 use mgopt_telemetry::{self as telemetry, Counter};
@@ -134,6 +135,7 @@ impl Nsga2Optimizer {
             .clamp(0.0, 1.0);
         let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ 0x4e59_a211);
 
+        // mgopt-lint: allow(determinism) — memo cache is keyed get/insert/extend only, never iterated
         let mut cache: HashMap<Genome, Evaluation> = HashMap::new();
         let mut history: Vec<Trial> = Vec::new();
         let mut sampled = 0usize;

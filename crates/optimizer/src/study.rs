@@ -134,6 +134,7 @@ impl Study {
 
     /// Run the study against a problem, timing the wall clock.
     pub fn optimize(&self, problem: &dyn Problem) -> OptimizationResult {
+        // mgopt-lint: allow(determinism) — wall_seconds is a reporting artifact; fronts never depend on it
         let start = Instant::now();
         let mut result = match &self.sampler {
             Sampler::Nsga2(cfg) => Nsga2Optimizer::new(cfg.clone()).run(problem),

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # mgopt-server
 //!
@@ -439,7 +440,9 @@ fn send<W: Write>(writer: &Mutex<W>, id: &str, resp: Response) {
         resp,
     };
     let line = wire::encode_response(&frame);
-    let mut w = writer.lock().unwrap();
+    // A panicked writer-holder must not wedge every other study on the
+    // connection: adopt the poisoned lock and keep answering.
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
     // Swallow write errors: a client that disconnected mid-stream must not
     // tear down other studies on this connection.
     let _ = writeln!(w, "{line}");
@@ -527,9 +530,11 @@ impl Limiter {
     }
 
     fn acquire(&self) -> Permit<'_> {
-        let mut in_flight = self.state.lock().unwrap();
+        // The guarded state is a plain counter, valid even if a holder
+        // panicked — adopt poisoned locks rather than propagating.
+        let mut in_flight = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while *in_flight >= self.max {
-            in_flight = self.cv.wait(in_flight).unwrap();
+            in_flight = self.cv.wait(in_flight).unwrap_or_else(|e| e.into_inner());
         }
         *in_flight += 1;
         self.peak.fetch_max(*in_flight, Ordering::Relaxed);
@@ -539,7 +544,7 @@ impl Limiter {
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut in_flight = self.0.state.lock().unwrap();
+        let mut in_flight = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
         *in_flight -= 1;
         self.0.cv.notify_one();
     }

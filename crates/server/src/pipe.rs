@@ -74,6 +74,7 @@ impl Read for PipeReader {
             }
         }
         let n = out.len().min(self.buf.len() - self.pos);
+        // mgopt-lint: allow(panic_free) — n = out.len().min(remaining), so both ranges are in bounds
         out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
         self.pos += n;
         Ok(n)

@@ -80,6 +80,7 @@ pub fn write_csv(weather: &WeatherYear, mut w: impl Write) -> Result<(), Weather
 /// Read a weather year from CSV (the format written by [`write_csv`]).
 pub fn read_csv(r: impl Read) -> Result<WeatherYear, WeatherFileError> {
     let reader = BufReader::new(r);
+    // mgopt-lint: allow(determinism) — header metadata map is keyed lookup only, never iterated
     let mut meta: std::collections::HashMap<String, String> = std::collections::HashMap::new();
     let mut saw_header = false;
     let mut ghi = Vec::new();

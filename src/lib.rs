@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # microgrid-opt
 //!
@@ -38,6 +39,7 @@
 //! | search | [`optimizer`] | NSGA-II, exhaustive, Pareto tooling |
 //! | framework | [`core`] | scenarios, studies, paper experiments, wire format, prepared cache |
 //! | service | [`server`] | optimization daemon: concurrent studies over the wire protocol |
+//! | correctness tooling | [`analysis`] | `mgopt_lint` workspace invariant linter (CI gate) |
 //!
 //! ## Evaluation engines
 //!
@@ -110,7 +112,37 @@
 //! this, `tests/server_protocol.rs` drives the daemon through the real
 //! wire format including fault injection, and `tests/wire_golden.rs`
 //! pins the on-wire bytes against committed fixtures).
+//!
+//! Every rejection maps to one of the wire protocol's error codes —
+//! `MalformedFrame` (invalid JSON, unknown/missing/duplicate fields, bad
+//! types, unknown variants), `UnsupportedVersion` (a `v` other than
+//! `WIRE_VERSION`), `UnknownPreset` (a `FleetSpec::Preset` name the
+//! server does not know), `InvalidRequest` (well-formed but semantically
+//! impossible studies: empty fleets, mismatched step clocks, spaces
+//! exceeding the u16 genome), `Oversized` (a request line longer than
+//! `MGOPT_SERVER_MAX_FRAME`), and `Internal` (the study panicked or its
+//! worker died; the connection survives). Each code is pinned byte-level
+//! by the golden fixtures.
+//!
+//! ## Invariants as code
+//!
+//! The guarantees above are enforced mechanically by [`analysis`]'s
+//! `mgopt_lint` binary, which CI runs over the whole workspace:
+//!
+//! | Rule | Contract |
+//! |---|---|
+//! | `determinism` | no `Instant::now`/`SystemTime::now`/`thread_rng`, no `HashMap`/`HashSet` import or call, in engine crates (`microgrid`, `optimizer`, `core`, `storage`, `weather`) |
+//! | `panic_free` | no `unwrap`/`expect`/`panic!`-class macros/direct indexing in `core::wire` parsing or `server` connection handling |
+//! | `env_registry` | every `MGOPT_*` read has a row in the bench env-var table, and vice versa |
+//! | `schema_drift` | every wire `ErrorCode` variant appears in the golden fixtures and this spec; every telemetry event/field emitted matches `trace_report`'s schema |
+//! | `unsafe_safety` | every `unsafe` carries a `// SAFETY:` comment and lands in a machine-readable inventory |
+//!
+//! Violations that are genuinely fine carry a justified suppression on
+//! the line above: `// mgopt-lint: allow(<rule>) — <why this is sound>`.
+//! An allow without a justification (or naming an unknown rule) is
+//! itself a violation, so the lint gate cannot silently rot.
 
+pub use mgopt_analysis as analysis;
 pub use mgopt_core as core;
 pub use mgopt_cosim as cosim;
 pub use mgopt_gridcarbon as gridcarbon;

@@ -1,0 +1,116 @@
+//! Property: `telemetry::parse::parse_line` never panics.
+//!
+//! `trace_report` feeds this parser whatever is on disk — truncated
+//! traces from killed runs, editor mangling, the wrong file entirely.
+//! The contract is that every input, however malformed, comes back as
+//! either a parsed [`TraceEvent`] or a non-empty structured `Err` —
+//! never a panic, never UB. Inputs are built from raw byte vectors and
+//! mutations of a known-good line (the vendored proptest stub has no
+//! string strategies, so strings are assembled by hand).
+
+use proptest::prelude::*;
+
+use microgrid_opt::telemetry::parse::parse_line;
+
+/// A line the writer could genuinely emit; mutation baseline.
+const VALID_LINE: &str =
+    r#"{"ev":"study_done","t_ms":12.5,"generations":3,"label":"a\"b","ok":true,"nan":null}"#;
+
+/// The parser's panic-freedom contract for one input: `Ok` or a
+/// non-empty `Err`, reached without unwinding.
+fn assert_total(input: &str) {
+    if let Err(msg) = parse_line(input) {
+        assert!(
+            !msg.is_empty(),
+            "empty error for input {input:?} — diagnostics must point somewhere"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded, since the parser takes `&str`)
+    /// must parse or error, never panic. This covers embedded NUL,
+    /// control bytes, stray quotes/braces, and replacement characters.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..120)) {
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&input);
+    }
+
+    /// Every strict prefix of a valid line is rejected with a structured
+    /// error — a truncated trace (killed process, partial flush) must
+    /// surface as a parse error, not a panic or a silent accept.
+    #[test]
+    fn truncations_of_a_valid_line_error_cleanly(cut in 0usize..VALID_LINE.len()) {
+        let line = VALID_LINE;
+        prop_assume!(line.is_char_boundary(cut));
+        let truncated = &line[..cut];
+        let err = parse_line(truncated).expect_err("strict prefixes are never valid frames");
+        prop_assert!(!err.is_empty());
+    }
+
+    /// Single-byte corruption of a valid line parses or errors, never
+    /// panics. When the corrupted byte lands mid-structure the error
+    /// message is non-empty (structured, not a bare `String::new()`).
+    #[test]
+    fn single_byte_corruption_never_panics(pos in 0usize..VALID_LINE.len(), byte in 0u8..=255u8) {
+        let mut bytes = VALID_LINE.as_bytes().to_vec();
+        bytes[pos] = byte;
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&input);
+    }
+
+    /// Structural fragments spliced around a valid payload — unbalanced
+    /// braces, duplicate keys, nested openers, escapes cut mid-sequence —
+    /// exercise every `Err` path in the recursive-descent core.
+    #[test]
+    fn spliced_fragments_never_panic(
+        pieces in prop::collection::vec(
+            prop::sample::select(vec![
+                r#"{"ev":"x","t_ms":1}"#,
+                r#"{"ev":"x""#,
+                r#""t_ms":"#,
+                "\\u12",
+                "\\q",
+                "{{[[",
+                "}}",
+                "\u{0}\u{1}\u{2}",
+                "\"",
+                "1e",
+                "-",
+                "null",
+                " ",
+            ]),
+            1..8,
+        ),
+    ) {
+        let input = pieces.concat();
+        assert_total(&input);
+    }
+}
+
+/// Deterministic spot checks for the failure modes the properties are
+/// sampling around, so a regression names the exact input.
+#[test]
+fn known_malformed_inputs_error_with_context() {
+    for input in [
+        "",
+        "{",
+        "{\"ev\"",
+        "{\"ev\":\"x\",\"t_ms\":}",
+        "{\"ev\":\"x\",\"t_ms\":1,}",
+        "{\"ev\":\"x\",\"t_ms\":1}}",
+        "{\"ev\":\"x\",\"t_ms\":1,\"s\":\"\u{0}",
+        "{\"ev\":\"x\",\"t_ms\":1,\"o\":{\"nested\":1}}",
+        "{\"ev\":\"x\",\"t_ms\":1,\"a\":[1]}",
+        "{\"ev\":\"x\",\"t_ms\":\"not a number\"}",
+        "{\"ev\":42,\"t_ms\":1}",
+        "{\"ev\":\"x\",\"t_ms\":1,\"s\":\"\\u12\"}",
+        "{\"ev\":\"x\",\"t_ms\":1,\"s\":\"\\ud800\"}",
+    ] {
+        let err = parse_line(input).expect_err(input);
+        assert!(!err.is_empty(), "empty error for {input:?}");
+    }
+}

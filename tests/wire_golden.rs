@@ -160,6 +160,30 @@ fn fixture_responses() -> Vec<ResponseFrame> {
                 "unknown fleet preset \"atlantis\"",
             )),
         ),
+        // One pinned frame per remaining error code, so every variant's
+        // on-wire shape is golden (mgopt_lint's schema_drift rule keeps
+        // this list in sync with the enum).
+        mk(
+            "bad",
+            Response::Error(WireError::new(
+                ErrorCode::InvalidRequest,
+                "fleet has no members",
+            )),
+        ),
+        mk(
+            "",
+            Response::Error(WireError::new(
+                ErrorCode::Oversized,
+                "request line exceeds 1048576 bytes",
+            )),
+        ),
+        mk(
+            "r9",
+            Response::Error(WireError::new(
+                ErrorCode::Internal,
+                "study worker terminated unexpectedly",
+            )),
+        ),
     ]
 }
 
