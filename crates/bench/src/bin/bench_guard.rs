@@ -34,6 +34,11 @@ struct Baseline {
     /// 1.0 on a single-core runner, so this guards the concurrency layer
     /// against growing real overhead rather than promising a gain.
     server: BaselineEntry,
+    /// Floor for the multi-connection phase's throughput relative to the
+    /// sequential baseline — guards the acceptor pool, the process-wide
+    /// admission queue, and the cancellation path against growing real
+    /// overhead.
+    server_multi: BaselineEntry,
 }
 
 #[derive(Debug, Deserialize)]
@@ -122,6 +127,23 @@ struct ServerArtifact {
     prep_cache_hits: u64,
     prep_cache_misses: u64,
     prep_cache_hit_rate: f64,
+    agreement: bool,
+    multi_conn: MultiConnArtifact,
+}
+
+/// The multi-connection section of `BENCH_server.json`: one shared
+/// daemon, many concurrent sockets, a mid-flight cancellation.
+#[derive(Debug, Deserialize)]
+struct MultiConnArtifact {
+    connections: usize,
+    studies: usize,
+    max_concurrent: usize,
+    in_flight_peak: usize,
+    queue_depth_peak: usize,
+    ms_min: f64,
+    studies_per_sec: f64,
+    speedup: f64,
+    cancelled_done_frames: usize,
     agreement: bool,
 }
 
@@ -451,6 +473,62 @@ fn main() {
         check(
             (0.0..=1.0).contains(&a.prep_cache_hit_rate),
             format!("server: hit rate {} outside [0, 1]", a.prep_cache_hit_rate),
+        );
+
+        let m = &a.multi_conn;
+        let mf = floor(&baseline.server_multi);
+        check(
+            m.speedup >= mf,
+            format!(
+                "server multi_conn: speedup {:.2} below floor {mf:.2}",
+                m.speedup
+            ),
+        );
+        check(
+            m.agreement,
+            "server multi_conn: fronts diverged from standalone runs".into(),
+        );
+        check(
+            m.connections >= 8 && m.studies >= 2 * m.connections,
+            format!(
+                "server multi_conn: {} connections / {} studies — the phase \
+                 must drive at least 8 concurrent connections, 2 studies each",
+                m.connections, m.studies
+            ),
+        );
+        check(
+            m.in_flight_peak <= m.max_concurrent,
+            format!(
+                "server multi_conn: in-flight peak {} exceeds the process-wide \
+                 cap {} — the admission semaphore leaked",
+                m.in_flight_peak, m.max_concurrent
+            ),
+        );
+        check(
+            m.in_flight_peak >= m.max_concurrent,
+            format!(
+                "server multi_conn: in-flight peak {} never reached the cap {} — \
+                 the connections ran effectively sequentially",
+                m.in_flight_peak, m.max_concurrent
+            ),
+        );
+        check(
+            m.queue_depth_peak >= 1,
+            "server multi_conn: no study ever queued — the workload never \
+             saturated the admission cap"
+                .into(),
+        );
+        check(
+            m.cancelled_done_frames == 0,
+            format!(
+                "server multi_conn: cancelled study produced {} Done frame(s) — \
+                 a cancelled study's terminal frame must be Cancelled",
+                m.cancelled_done_frames
+            ),
+        );
+        check(
+            m.studies_per_sec > 0.0 && m.ms_min > 0.0 && m.ms_min.is_finite(),
+            "server multi_conn: non-positive timing".into(),
         );
     }
 

@@ -13,9 +13,15 @@
 //! checked bit-identical against a standalone `FleetProblem` + NSGA-II
 //! run with the same seed (`agreement`), and the Accepted frames surface
 //! the prepared-cache hit rate (one fleet → 2 misses, then hits only).
-//! `MGOPT_FAST=1` shrinks budgets for smoke runs; `bench_guard` enforces
-//! the committed floor on `speedup` plus the peak/agreement/cache
-//! invariants.
+//!
+//! A second, `multi_conn` record drives one shared daemon from 8
+//! concurrent connections (2 studies each, 16 total) past the
+//! process-wide `max_concurrent = 4` admission cap, plus one long
+//! streamed study that is cancelled after its first `Front` — recording
+//! queue depth, overlap, and that the cancelled study never produced a
+//! `Done` frame. `MGOPT_FAST=1` shrinks budgets for smoke runs;
+//! `bench_guard` enforces the committed floors on both `speedup` numbers
+//! plus the peak/queue/agreement/cancel invariants.
 
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
@@ -64,6 +70,39 @@ struct ServerBench {
     prep_cache_hit_rate: f64,
     /// `true` when every daemon front matched its standalone run bit for
     /// bit.
+    agreement: bool,
+    /// The multi-connection phase (shared daemon, many sockets).
+    multi_conn: MultiConnBench,
+}
+
+/// One shared daemon driven from many concurrent connections at once,
+/// past the process-wide admission cap, with a mid-flight cancellation.
+#[derive(Debug, Serialize)]
+struct MultiConnBench {
+    /// Concurrently connected clients.
+    connections: usize,
+    /// Completed (non-cancelled) studies across all connections.
+    studies: usize,
+    /// Process-wide in-flight study cap during the run.
+    max_concurrent: usize,
+    /// High-water mark of genuinely overlapping studies (can never
+    /// exceed `max_concurrent` — `bench_guard` checks it).
+    in_flight_peak: usize,
+    /// High-water mark of studies waiting behind the admission cap
+    /// (17 submissions against a cap of 4 must queue).
+    queue_depth_peak: usize,
+    /// Wall-clock of the batch, min over samples, ms.
+    ms_min: f64,
+    /// `studies / ms_min`, in studies per second.
+    studies_per_sec: f64,
+    /// Throughput relative to the single-connection sequential baseline
+    /// scaled to this batch size.
+    speedup: f64,
+    /// `Done` frames observed for the cancelled study — must be 0; the
+    /// cancelled study's terminal frame is `Cancelled`.
+    cancelled_done_frames: usize,
+    /// `true` when every completed front matched its standalone run bit
+    /// for bit, on every connection.
     agreement: bool,
 }
 
@@ -170,6 +209,9 @@ fn run_batch(studies: &[StudyRequest], max_concurrent: usize, sequential: bool) 
                     fronts[k] = Some(d.front);
                     done += 1;
                 }
+                // Past the process-wide cap the daemon reports queueing;
+                // harmless for throughput accounting.
+                Response::Queued(_) => {}
                 other => panic!("unexpected frame for {}: {other:?}", frame.id),
             }
         }
@@ -227,6 +269,127 @@ fn run_batch(studies: &[StudyRequest], max_concurrent: usize, sequential: bool) 
     }
 }
 
+/// Stats of one multi-connection batch through a shared daemon.
+struct MultiRun {
+    ms: f64,
+    in_flight_peak: usize,
+    queue_depth_peak: usize,
+    cancelled_done_frames: usize,
+    agreement: bool,
+}
+
+fn send_frame(writer: &mut pipe::PipeWriter, id: &str, req: Request) {
+    let frame = RequestFrame {
+        v: WIRE_VERSION,
+        id: id.into(),
+        req,
+    };
+    writeln!(writer, "{}", encode_request(&frame)).unwrap();
+}
+
+/// Drive a fresh shared daemon from `studies.len()` concurrent
+/// connections, each submitting its study twice. Connection 0
+/// additionally submits a long streamed `victim` study and cancels it
+/// after its first `Front` frame; both of connection 0's real studies
+/// are submitted *behind* the victim, so the cancellation must free a
+/// permit for them to finish.
+fn run_multi(
+    studies: &[StudyRequest],
+    expected: &[Vec<PlanPoint>],
+    max_concurrent: usize,
+    victim: &StudyRequest,
+) -> MultiRun {
+    let server = Arc::new(Server::new(ServerConfig {
+        max_concurrent,
+        ..ServerConfig::default()
+    }));
+    let t0 = Instant::now();
+    let clients: Vec<_> = studies
+        .iter()
+        .enumerate()
+        .map(|(i, study)| {
+            let server = Arc::clone(&server);
+            let study = study.clone();
+            let expect = expected[i].clone();
+            let victim = (i == 0).then(|| victim.clone());
+            thread::spawn(move || {
+                let (client, server_end) = pipe::duplex();
+                let serve = {
+                    let server = Arc::clone(&server);
+                    thread::spawn(move || {
+                        server.serve_connection(server_end.reader, server_end.writer)
+                    })
+                };
+                let mut writer = client.writer;
+                let mut reader = BufReader::new(client.reader);
+                let has_victim = victim.is_some();
+                if let Some(v) = victim {
+                    send_frame(&mut writer, "victim", Request::Study(v));
+                }
+                send_frame(&mut writer, "a", Request::Study(study.clone()));
+                send_frame(&mut writer, "b", Request::Study(study));
+
+                let mut agreement = true;
+                let mut cancelled_done = 0usize;
+                let mut done_needed = 2usize;
+                let mut victim_open = has_victim;
+                let mut sent_cancel = false;
+                while done_needed > 0 || victim_open {
+                    let mut line = String::new();
+                    assert!(reader.read_line(&mut line).unwrap() > 0, "daemon hung up");
+                    let frame: ResponseFrame = serde_json::from_str(line.trim_end()).unwrap();
+                    match frame.resp {
+                        Response::Accepted(_) | Response::Queued(_) => {}
+                        Response::Front(_) => {
+                            if frame.id == "victim" && !sent_cancel {
+                                send_frame(
+                                    &mut writer,
+                                    "cancel-1",
+                                    Request::Cancel("victim".into()),
+                                );
+                                sent_cancel = true;
+                            }
+                        }
+                        Response::Done(d) => {
+                            if frame.id == "victim" {
+                                cancelled_done += 1;
+                                victim_open = false;
+                            } else {
+                                agreement &= d.front == expect;
+                                done_needed -= 1;
+                            }
+                        }
+                        Response::Cancelled(_) => {
+                            assert_eq!(frame.id, "victim", "Cancelled for an uncancelled study");
+                            victim_open = false;
+                        }
+                        other => panic!("unexpected frame for {}: {other:?}", frame.id),
+                    }
+                }
+                drop(writer);
+                drop(reader);
+                serve.join().unwrap().unwrap();
+                (agreement, cancelled_done)
+            })
+        })
+        .collect();
+
+    let mut agreement = true;
+    let mut cancelled_done_frames = 0usize;
+    for client in clients {
+        let (ok, cancelled_done) = client.join().unwrap();
+        agreement &= ok;
+        cancelled_done_frames += cancelled_done;
+    }
+    MultiRun {
+        ms: t0.elapsed().as_secs_f64() * 1e3,
+        in_flight_peak: server.peak_in_flight(),
+        queue_depth_peak: server.queue_depth_peak(),
+        cancelled_done_frames,
+        agreement,
+    }
+}
+
 fn main() {
     let fast = mgopt_bench::fast_mode();
     let n_studies = 8usize;
@@ -263,6 +426,42 @@ fn main() {
         sites = conc.sites;
     }
 
+    // Multi-connection phase: same 8 studies, one shared daemon, one
+    // connection per study (each submitted twice), plus a long streamed
+    // victim study cancelled after its first generation.
+    let victim = {
+        let mut v = study(999, population, max_trials * 10);
+        v.stream = true;
+        v
+    };
+    let mut multi_ms = f64::INFINITY;
+    let mut multi_peak = 0usize;
+    let mut multi_queue_peak = 0usize;
+    let mut multi_cancelled_done = 0usize;
+    let mut multi_agreement = true;
+    for _ in 0..samples {
+        let run = run_multi(&studies, &expected, max_concurrent, &victim);
+        multi_ms = multi_ms.min(run.ms);
+        multi_peak = multi_peak.max(run.in_flight_peak);
+        multi_queue_peak = multi_queue_peak.max(run.queue_depth_peak);
+        multi_cancelled_done += run.cancelled_done_frames;
+        multi_agreement &= run.agreement;
+    }
+    let multi_studies = 2 * n_studies;
+    let multi_conn = MultiConnBench {
+        connections: n_studies,
+        studies: multi_studies,
+        max_concurrent,
+        in_flight_peak: multi_peak,
+        queue_depth_peak: multi_queue_peak,
+        ms_min: multi_ms,
+        studies_per_sec: multi_studies as f64 / (multi_ms / 1e3),
+        // Sequential baseline scaled from 8 studies to this batch size.
+        speedup: sequential_ms * (multi_studies as f64 / n_studies as f64) / multi_ms,
+        cancelled_done_frames: multi_cancelled_done,
+        agreement: multi_agreement,
+    };
+
     let bench = ServerBench {
         studies: n_studies,
         population,
@@ -283,6 +482,7 @@ fn main() {
             0.0
         },
         agreement,
+        multi_conn,
     };
 
     println!(
@@ -302,6 +502,25 @@ fn main() {
     println!(
         "  agreement with standalone runs: {}",
         if bench.agreement {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let mc = &bench.multi_conn;
+    println!(
+        "  multi-conn  {:9.1} ms   ({} connections, {} studies, {:.2} studies/s, \
+         speedup {:.2}x)",
+        mc.ms_min, mc.connections, mc.studies, mc.studies_per_sec, mc.speedup
+    );
+    println!(
+        "              peak {} in flight (cap {}), queue depth peak {}, \
+         cancelled-study Done frames {}, agreement: {}",
+        mc.in_flight_peak,
+        mc.max_concurrent,
+        mc.queue_depth_peak,
+        mc.cancelled_done_frames,
+        if mc.agreement {
             "bit-identical"
         } else {
             "DIVERGED"

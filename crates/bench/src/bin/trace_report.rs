@@ -53,10 +53,14 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         ],
         "rung" => &["rung", "fidelity", "cohort", "kept"],
         "sampler" => &["evals"],
-        // Daemon audit events (`mgopt-server`): one start/done pair per
-        // accepted study, one request_error per error frame.
+        // Daemon audit events (`mgopt-server`): one start per accepted
+        // study, exactly one of done/cancelled to close it, a queued event
+        // when the process-wide cap defers it, one request_error per error
+        // frame.
         "study_start" => &["sites", "plan_space", "prep_hits", "prep_misses"],
         "study_done" => &["generations", "sampled", "unique", "front", "wall_ms"],
+        "study_queued" => &["ahead"],
+        "study_cancelled" => &["generations", "sampled", "wall_ms"],
         "request_error" => &[],
         _ => &[],
     }
@@ -78,7 +82,7 @@ fn check_event(ev: &TraceEvent) -> Result<(), String> {
     // its code is unactionable.
     if matches!(
         ev.kind.as_str(),
-        "study_start" | "study_done" | "request_error"
+        "study_start" | "study_done" | "study_queued" | "study_cancelled" | "request_error"
     ) && ev.str("id").is_none()
     {
         return Err(format!("event `{}` missing string field `id`", ev.kind));
@@ -257,6 +261,14 @@ fn summarize(events: &[TraceEvent]) {
         if errors > 0 {
             println!("  plus {errors} request_error frame(s)");
         }
+    }
+    let queued = events.iter().filter(|e| e.kind == "study_queued").count();
+    let cancelled = events
+        .iter()
+        .filter(|e| e.kind == "study_cancelled")
+        .count();
+    if queued + cancelled > 0 {
+        println!("\ndaemon queueing: {queued} queued, {cancelled} cancelled");
     }
 
     // Plain samplers.

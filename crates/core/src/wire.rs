@@ -20,9 +20,24 @@
 //! ```
 //!
 //! `req` is externally tagged: `"Ping"` and `"Shutdown"` are bare strings,
-//! `Study` wraps a [`StudyRequest`]. Responses mirror the envelope
-//! (`{"v": 1, "id": ..., "resp": ...}`) and echo the request `id`, so
-//! clients can multiplex concurrent studies over one connection.
+//! `Study` wraps a [`StudyRequest`], and `Cancel` wraps the correlation
+//! id of an in-flight study (`{"Cancel": "job-7"}`). Responses mirror the
+//! envelope (`{"v": 1, "id": ..., "resp": ...}`) and echo the request
+//! `id`, so clients can multiplex concurrent studies over one connection.
+//!
+//! ## Study lifecycle: queueing and cancellation
+//!
+//! A validated study answers, in order: an optional [`Response::Queued`]
+//! (only when the daemon's process-wide concurrency cap is saturated and
+//! the study must wait for admission), then [`Response::Accepted`], zero
+//! or more [`Response::Front`] frames (when streaming), and exactly one
+//! terminal frame — [`Response::Done`], [`Response::Cancelled`], or
+//! [`Response::Error`]. A [`Request::Cancel`] naming an in-flight study
+//! stops it cooperatively at the next generation boundary; the
+//! acknowledgement is the `Cancelled` frame on the *target* id. A cancel
+//! naming nothing in flight (unknown id, or a study that already sent its
+//! terminal frame) answers [`ErrorCode::UnknownStudy`] on the cancel
+//! frame's own id. A cancelled study never also answers `Done`.
 //!
 //! ## Strict rejection and the versioning rule
 //!
@@ -33,6 +48,11 @@
 //! is [`ErrorCode::UnsupportedVersion`]. The flip side is the versioning
 //! rule: **any** field added to (or removed from) the envelope,
 //! [`StudyRequest`], or [`StudyBudget`] must bump [`WIRE_VERSION`].
+//! Adding a *new* externally tagged [`Request`] or [`Response`] variant
+//! is additive — every frame an old client could produce still parses
+//! byte-identically — so new variants (like `Cancel`) do not bump the
+//! version; old servers answer them with a structured unknown-variant
+//! error rather than misbehaving.
 //! Fields *inside* an inline [`FleetScenario`] follow ordinary serde
 //! semantics (they are config-layer types shared with files on disk), so
 //! scenario evolution does not force protocol bumps.
@@ -81,6 +101,10 @@ pub enum ErrorCode {
     Oversized,
     /// The server hit an internal failure running the study.
     Internal,
+    /// A [`Request::Cancel`] named a study that is not in flight on this
+    /// connection: the id is unknown, or the study already sent its
+    /// terminal frame (`Done`, `Cancelled`, or `Error`).
+    UnknownStudy,
 }
 
 /// A structured protocol error: stable [`ErrorCode`] plus human-readable
@@ -139,6 +163,11 @@ pub enum Request {
     Shutdown,
     /// Run an NSGA-II composition study.
     Study(StudyRequest),
+    /// Cooperatively cancel the in-flight study whose request id is the
+    /// payload. Acknowledged by [`Response::Cancelled`] on the *target*
+    /// id; answers [`ErrorCode::UnknownStudy`] on this frame's id when
+    /// nothing with that id is in flight.
+    Cancel(String),
 }
 
 /// Which fleet a study runs over.
@@ -314,11 +343,20 @@ pub enum Response {
     /// The study was validated, its fleet prepared (or fetched from the
     /// prepared cache), and a worker started.
     Accepted(StudyAccepted),
+    /// The study is valid but waits in the process-wide admission queue:
+    /// the daemon's global concurrency cap is saturated. Followed by the
+    /// normal `Accepted` lifecycle once a slot frees, or by `Cancelled`
+    /// if the client cancels while it is still queued.
+    Queued(StudyQueued),
     /// One generation's current first front (streamed when
     /// [`StudyRequest::stream`] is set).
     Front(FrontUpdate),
     /// Final study result.
     Done(StudyDone),
+    /// The study stopped at a generation boundary after a
+    /// [`Request::Cancel`] (or a client disconnect). Terminal for that
+    /// request `id`; a cancelled study never also answers `Done`.
+    Cancelled(StudyCancelled),
     /// Structured failure; terminal for that request `id`.
     Error(WireError),
 }
@@ -334,6 +372,25 @@ pub struct StudyAccepted {
     pub prep_cache_hits: u32,
     /// Members synthesized from scratch for this request.
     pub prep_cache_misses: u32,
+}
+
+/// Payload of [`Response::Queued`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyQueued {
+    /// Studies admitted or queued ahead of this one at enqueue time.
+    pub ahead: u64,
+}
+
+/// Payload of [`Response::Cancelled`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyCancelled {
+    /// Generations completed before the stop (including generation 0);
+    /// zero when the study was cancelled while still queued.
+    pub generations: u32,
+    /// Trials sampled before the stop.
+    pub sampled_trials: u64,
+    /// Wall time from admission to the stop, milliseconds.
+    pub wall_ms: u64,
 }
 
 /// Payload of [`Response::Front`]: one generation's snapshot.
@@ -445,6 +502,14 @@ fn validate_req_shape(req: &Value) -> Result<(), WireError> {
                     "field `req` must be a variant string or a single-variant object",
                 ));
             };
+            if tag == "Cancel" {
+                return match body {
+                    Value::Str(_) => Ok(()),
+                    _ => Err(WireError::malformed(
+                        "`Cancel` carries the target study id as a string",
+                    )),
+                };
+            }
             if tag != "Study" {
                 return Err(WireError::malformed(format!(
                     "unknown request variant `{tag}`"
@@ -562,6 +627,11 @@ mod tests {
                 id: "p".into(),
                 req: Request::Ping,
             },
+            RequestFrame {
+                v: WIRE_VERSION,
+                id: "c1".into(),
+                req: Request::Cancel("t1".into()),
+            },
             study_frame(),
         ] {
             let line = encode_request(&frame);
@@ -633,9 +703,42 @@ mod tests {
                 r#"{"v":1,"id":"x","req":{"Study":{"fleet":{"Sites":["paper"]},"budget":{"population_size":4,"max_trials":8,"seed":1}}}}"#,
                 ErrorCode::MalformedFrame,
             ),
+            (
+                r#"{"v":1,"id":"x","req":{"Cancel":5}}"#,
+                ErrorCode::MalformedFrame,
+            ),
+            (
+                r#"{"v":1,"id":"x","req":{"Cancel":{"target":"t1"}}}"#,
+                ErrorCode::MalformedFrame,
+            ),
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.code, want, "line {line}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn cancel_and_cancellation_responses_round_trip() {
+        let cancel = parse_request(r#"{"v":1,"id":"c1","req":{"Cancel":"job-7"}}"#).unwrap();
+        assert_eq!(cancel.req, Request::Cancel("job-7".into()));
+
+        for resp in [
+            Response::Queued(StudyQueued { ahead: 3 }),
+            Response::Cancelled(StudyCancelled {
+                generations: 2,
+                sampled_trials: 16,
+                wall_ms: 5,
+            }),
+            Response::Error(WireError::new(ErrorCode::UnknownStudy, "no such study")),
+        ] {
+            let frame = ResponseFrame {
+                v: WIRE_VERSION,
+                id: "c1".into(),
+                resp,
+            };
+            let line = encode_response(&frame);
+            let back: ResponseFrame = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, frame);
         }
     }
 

@@ -31,7 +31,7 @@ pub mod random_search;
 pub mod study;
 
 pub use exhaustive::exhaustive_search;
-pub use nsga2::{GenerationView, Nsga2Config, Nsga2Optimizer};
+pub use nsga2::{GenerationView, Nsga2Config, Nsga2Optimizer, SearchControl};
 pub use pareto::{
     constrained_dominates, constrained_non_dominated_sort, crowding_distance, dominates,
     fast_non_dominated_sort, non_dominated_indices,

@@ -78,6 +78,19 @@ pub struct GenerationView {
     pub front: Vec<(Genome, Evaluation)>,
 }
 
+/// Verdict returned by a [`Nsga2Optimizer::run_controlled`] observer
+/// after each generation: keep searching, or stop cooperatively at this
+/// generation boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchControl {
+    /// Keep running.
+    Continue,
+    /// Stop after this generation; the result covers the completed
+    /// generations only (its history is a prefix of the uncancelled
+    /// run's history).
+    Stop,
+}
+
 /// The NSGA-II optimizer.
 #[derive(Debug, Clone)]
 pub struct Nsga2Optimizer {
@@ -119,13 +132,35 @@ impl Nsga2Optimizer {
         problem: &dyn Problem,
         observer: &mut dyn FnMut(GenerationView),
     ) -> OptimizationResult {
+        self.run_inner(
+            problem,
+            Some(&mut |view| {
+                observer(view);
+                SearchControl::Continue
+            }),
+        )
+    }
+
+    /// Like [`run_observed`](Self::run_observed), but the observer's
+    /// return value can stop the search cooperatively at the current
+    /// generation boundary ([`SearchControl::Stop`]) — the hook the
+    /// optimization daemon uses for study cancellation.
+    ///
+    /// Completed generations are unaffected by the control channel: up to
+    /// the stopping point, the sampled history is bit-identical to the
+    /// same seed's uncancelled run.
+    pub fn run_controlled(
+        &self,
+        problem: &dyn Problem,
+        observer: &mut dyn FnMut(GenerationView) -> SearchControl,
+    ) -> OptimizationResult {
         self.run_inner(problem, Some(observer))
     }
 
     fn run_inner(
         &self,
         problem: &dyn Problem,
-        mut observer: Option<&mut dyn FnMut(GenerationView)>,
+        mut observer: Option<&mut dyn FnMut(GenerationView) -> SearchControl>,
     ) -> OptimizationResult {
         let cfg = &self.config;
         let dims = problem.dims().to_vec();
@@ -175,11 +210,13 @@ impl Nsga2Optimizer {
             });
         let mut generation = 0u64;
         emit_generation_event(generation, &population, &cache, hits, misses, hv_ref);
+        let mut stopped = false;
         if let Some(obs) = observer.as_deref_mut() {
-            obs(generation_view(generation, sampled, &population, &cache));
+            stopped = obs(generation_view(generation, sampled, &population, &cache))
+                == SearchControl::Stop;
         }
 
-        while sampled < cfg.max_trials {
+        while !stopped && sampled < cfg.max_trials {
             let obj: Vec<Vec<f64>> = population
                 .iter()
                 .map(|g| cache[g].objectives.clone())
@@ -232,7 +269,8 @@ impl Nsga2Optimizer {
             generation += 1;
             emit_generation_event(generation, &population, &cache, hits, misses, hv_ref);
             if let Some(obs) = observer.as_deref_mut() {
-                obs(generation_view(generation, sampled, &population, &cache));
+                stopped = obs(generation_view(generation, sampled, &population, &cache))
+                    == SearchControl::Stop;
             }
         }
 
@@ -747,6 +785,45 @@ mod tests {
                 .expect("front genome was sampled");
             assert_eq!(&t.objectives, &e.objectives);
         }
+    }
+
+    #[test]
+    fn controlled_stop_truncates_to_a_bit_identical_prefix() {
+        let problem = convex_problem();
+        let opt = Nsga2Optimizer::new(Nsga2Config {
+            population_size: 16,
+            max_trials: 96,
+            seed: 5,
+            ..Nsga2Config::default()
+        });
+        let full = opt.run(&problem);
+
+        // Stop after two generations (gen 0 + one offspring cohort).
+        let mut seen = 0u64;
+        let cancelled = opt.run_controlled(&problem, &mut |v| {
+            seen = v.generation + 1;
+            if v.generation >= 1 {
+                SearchControl::Stop
+            } else {
+                SearchControl::Continue
+            }
+        });
+        assert_eq!(seen, 2);
+        assert_eq!(cancelled.sampled_trials, 32);
+        assert_eq!(
+            cancelled.history.as_slice(),
+            &full.history[..32],
+            "cancelled run diverged from the uncancelled prefix"
+        );
+
+        // Stop at generation 0: only the initial population is sampled.
+        let immediate = opt.run_controlled(&problem, &mut |_| SearchControl::Stop);
+        assert_eq!(immediate.sampled_trials, 16);
+        assert_eq!(immediate.history.as_slice(), &full.history[..16]);
+
+        // A Continue-forever controller matches the plain run exactly.
+        let uncancelled = opt.run_controlled(&problem, &mut |_| SearchControl::Continue);
+        assert_eq!(uncancelled.history, full.history);
     }
 
     #[test]

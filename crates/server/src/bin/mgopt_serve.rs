@@ -3,8 +3,10 @@
 //! Serves the newline-delimited JSON study protocol (see the
 //! `mgopt_server` crate docs) over stdin/stdout by default, or over TCP
 //! when `MGOPT_SERVER_ADDR` is set (e.g. `127.0.0.1:7878`; port `0` picks
-//! a free port, printed on stderr as `listening on <addr>`). Tuning knobs:
-//! `MGOPT_SERVER_CONCURRENCY`, `MGOPT_SERVER_CACHE`,
+//! a free port, printed on stderr as `listening on <addr>`). TCP
+//! connections are served concurrently, up to `MGOPT_ACCEPTORS` at once.
+//! Tuning knobs: `MGOPT_ACCEPTORS`, `MGOPT_SERVER_CONCURRENCY` (the
+//! process-wide in-flight study cap), `MGOPT_SERVER_CACHE`,
 //! `MGOPT_SERVER_MAX_FRAME`; set `MGOPT_TRACE=<path>` for the per-study
 //! JSONL audit log.
 //!
@@ -19,8 +21,9 @@ fn usage_exit(msg: &str) -> ! {
     eprintln!("mgopt_serve: {msg}");
     eprintln!(
         "usage: mgopt_serve  (env: MGOPT_SERVER_ADDR=<host:port> for TCP, \
-         MGOPT_SERVER_CONCURRENCY=<n>, MGOPT_SERVER_CACHE=<n>, \
-         MGOPT_SERVER_MAX_FRAME=<bytes>, MGOPT_TRACE=<path>)"
+         MGOPT_ACCEPTORS=<n>, MGOPT_SERVER_CONCURRENCY=<n>, \
+         MGOPT_SERVER_CACHE=<n>, MGOPT_SERVER_MAX_FRAME=<bytes>, \
+         MGOPT_TRACE=<path>)"
     );
     exit(2)
 }

@@ -22,16 +22,30 @@
 //! * Every response echoes the request's `id`; frames belonging to
 //!   different studies interleave freely on the wire, so a client
 //!   multiplexes concurrent studies over one connection by `id`.
-//! * A study answers `Accepted` → zero or more `Front` updates (when
-//!   `stream` is set, one per NSGA-II generation) → `Done`. Any failure
-//!   instead answers a single `Error` frame for that `id` — malformed
-//!   requests, unknown presets, and infeasible caps are structured
-//!   errors, never a crash or disconnect.
+//! * A study answers an optional `Queued` (only when the process-wide
+//!   concurrency cap is saturated and the study waits for admission),
+//!   then `Accepted` → zero or more `Front` updates (when `stream` is
+//!   set, one per NSGA-II generation) → exactly one terminal frame:
+//!   `Done`, `Cancelled`, or `Error`. Malformed requests, unknown
+//!   presets, and infeasible caps are structured errors, never a crash
+//!   or disconnect.
+//! * `Cancel` names an in-flight study's request id; the study stops
+//!   cooperatively at its next generation boundary and answers
+//!   `Cancelled` on the *target* id (a study cancelled while still
+//!   queued answers `Cancelled` once it reaches the head of the queue,
+//!   without running). A cancelled study never also answers `Done`.
+//!   Cancelling an id nothing is in flight under (unknown, finished,
+//!   or already cancelled) answers an `UnknownStudy` error on the
+//!   cancel frame's own id. A client disconnect (EOF) cancels every
+//!   study still in flight on that connection — the daemon does not
+//!   compute fronts nobody will read.
 //! * **Versioning rule** (see [`mgopt_core::wire::WIRE_VERSION`]):
 //!   parsing is strict-reject, so any added or removed field in the
 //!   envelope, study body, or budget bumps the protocol version; frames
 //!   carrying any other version are answered with an
-//!   `UnsupportedVersion` error.
+//!   `UnsupportedVersion` error. New externally tagged request/response
+//!   variants (`Cancel`, `Queued`, `Cancelled`) are additive and do not
+//!   bump it — every old frame still parses byte-identically.
 //! * A request line longer than [`ServerConfig::max_frame_bytes`] is
 //!   answered with an `Oversized` error; the rest of the line is
 //!   discarded and the connection keeps serving from the next newline.
@@ -41,40 +55,51 @@
 //!
 //! ## Concurrency model
 //!
-//! Studies run on scoped worker threads, at most
-//! [`ServerConfig::max_concurrent`] in flight; further requests exert
-//! backpressure on the read loop. Prepared sites come from the shared
-//! [`PreparedCache`] keyed by the full scenario config, so concurrent
-//! studies over the same sites share one `Arc<PreparedScenario>` and
-//! never re-prepare. Search results depend only on `(fleet, budget,
-//! seed)` — never on interleaving — because evaluation is re-entrant
-//! over shared read-only data and every study owns its seeded RNG.
+//! [`Server::serve_tcp`] accepts connections concurrently — one thread
+//! per connection, at most [`ServerConfig::max_acceptors`] at once
+//! (further clients wait in the listen backlog). Studies run on scoped
+//! worker threads admitted by one **process-wide** semaphore: at most
+//! [`ServerConfig::max_concurrent`] studies are in flight across *all*
+//! connections, and a study that must wait is reported to its client
+//! with a `Queued` frame (carrying how many studies are ahead) instead
+//! of blocking the connection's read loop — so `Ping` and `Cancel`
+//! stay responsive while studies queue. Prepared sites come from the
+//! shared [`PreparedCache`] keyed by the full scenario config, so
+//! concurrent studies over the same sites share one
+//! `Arc<PreparedScenario>` and never re-prepare. Search results depend
+//! only on `(fleet, budget, seed)` — never on interleaving, queueing,
+//! or which connection carried the request — because evaluation is
+//! re-entrant over shared read-only data and every study owns its
+//! seeded RNG.
 //!
 //! ## Environment knobs
 //!
 //! | Variable | Effect |
 //! |---|---|
 //! | `MGOPT_SERVER_ADDR` | `mgopt_serve` binds this TCP address (e.g. `127.0.0.1:0`) instead of serving stdin/stdout. |
-//! | `MGOPT_SERVER_CONCURRENCY` | Max in-flight studies per connection (default 4). |
+//! | `MGOPT_ACCEPTORS` | Max concurrently served TCP connections (default 8). |
+//! | `MGOPT_SERVER_CONCURRENCY` | Max in-flight studies across all connections (default 4); studies beyond the cap queue and answer `Queued`. |
 //! | `MGOPT_SERVER_CACHE` | Prepared-scenario cache capacity (default 8). |
 //! | `MGOPT_SERVER_MAX_FRAME` | Max request-line bytes (default 1048576). |
-//! | `MGOPT_TRACE` | Per-study audit log: `server.study` spans, `study_start` / `study_done` / `request_error` events, `prep_cache.*` counters. |
+//! | `MGOPT_TRACE` | Per-study audit log: `server.study` spans, `study_start` / `study_queued` / `study_done` / `study_cancelled` / `request_error` events, `prep_cache.*` counters. |
 //!
 //! ## Audit log
 //!
 //! The daemon consumes `mgopt-telemetry` rather than inventing its own
 //! observability: each study runs under a `server.study` span, emits
-//! `study_start` / `study_done` events (plus `request_error` for every
-//! error frame), and the prepared cache bumps `prep_cache.hits` /
-//! `prep_cache.misses` — all on the `MGOPT_TRACE` JSONL stream, readable
-//! with `trace_report`.
+//! `study_start` / `study_done` events (plus `study_queued` when it
+//! waits for admission, `study_cancelled` when it stops early, and
+//! `request_error` for every error frame), and the prepared cache bumps
+//! `prep_cache.hits` / `prep_cache.misses` — all on the `MGOPT_TRACE`
+//! JSONL stream, readable with `trace_report`.
 
 pub mod pipe;
 
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, Read, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -82,20 +107,31 @@ use std::time::Instant;
 use mgopt_core::problem::FleetProblem;
 use mgopt_core::wire::{
     self, ErrorCode, FrontUpdate, PlanPoint, Request, RequestFrame, Response, ResponseFrame,
-    StudyAccepted, StudyDone, StudyRequest, WireError, WIRE_VERSION,
+    StudyAccepted, StudyCancelled, StudyDone, StudyQueued, StudyRequest, WireError, WIRE_VERSION,
 };
 use mgopt_core::{scenario_key_hash, PreparedCache, PreparedFleet};
-use mgopt_optimizer::{GenerationView, Nsga2Config, Nsga2Optimizer};
+use mgopt_optimizer::{GenerationView, Nsga2Config, Nsga2Optimizer, SearchControl};
 use mgopt_telemetry::{self as telemetry, Stage};
 use serde::Value;
+
+/// Per-connection map from in-flight study id to its cancel token. An
+/// entry exists from request admission until the study's terminal frame;
+/// `Cancel` flips the token, and retiring the entry and reading the token
+/// under one lock makes cancel-vs-completion race-free.
+type CancelRegistry = Mutex<BTreeMap<String, Arc<AtomicBool>>>;
 
 /// Daemon configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Maximum in-flight studies per connection (minimum 1). Additional
-    /// study requests block the connection's read loop until a worker
-    /// frees up — natural backpressure.
+    /// Maximum in-flight studies across **all** connections (minimum 1).
+    /// Additional study requests wait in the process-wide admission
+    /// queue; their clients are told with a `Queued` frame while the
+    /// connection's read loop stays responsive.
     pub max_concurrent: usize,
+    /// Maximum concurrently served TCP connections under
+    /// [`Server::serve_tcp`] (minimum 1). Further clients wait in the
+    /// listen backlog until a connection slot frees.
+    pub max_acceptors: usize,
     /// Prepared-scenario cache capacity (minimum 1).
     pub cache_capacity: usize,
     /// Maximum request-line length in bytes; longer lines are answered
@@ -107,6 +143,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             max_concurrent: 4,
+            max_acceptors: 8,
             cache_capacity: 8,
             max_frame_bytes: 1 << 20,
         }
@@ -114,12 +151,16 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    /// Read the `MGOPT_SERVER_*` knobs (see the crate docs), falling back
-    /// to defaults. Returns a usage-style message on an unparsable value.
+    /// Read the `MGOPT_SERVER_*` / `MGOPT_ACCEPTORS` knobs (see the crate
+    /// docs), falling back to defaults. Returns a usage-style message on
+    /// an unparsable value.
     pub fn from_env() -> Result<Self, String> {
         let mut cfg = Self::default();
         if let Some(v) = env_usize("MGOPT_SERVER_CONCURRENCY")? {
             cfg.max_concurrent = v;
+        }
+        if let Some(v) = env_usize("MGOPT_ACCEPTORS")? {
+            cfg.max_acceptors = v;
         }
         if let Some(v) = env_usize("MGOPT_SERVER_CACHE")? {
             cfg.cache_capacity = v;
@@ -160,6 +201,7 @@ pub struct Server {
     cache: Arc<PreparedCache>,
     limiter: Limiter,
     studies_done: AtomicU64,
+    studies_cancelled: AtomicU64,
 }
 
 impl Server {
@@ -177,6 +219,7 @@ impl Server {
             cache,
             limiter,
             studies_done: AtomicU64::new(0),
+            studies_cancelled: AtomicU64::new(0),
         }
     }
 
@@ -190,15 +233,28 @@ impl Server {
         &self.cache
     }
 
-    /// Total studies completed (successfully or with an error frame after
-    /// acceptance) across all connections.
+    /// Total studies that reached a terminal frame (`Done`, `Cancelled`,
+    /// or an error after admission) across all connections.
     pub fn studies_done(&self) -> u64 {
         self.studies_done.load(Ordering::Relaxed)
     }
 
-    /// High-water mark of concurrently in-flight studies.
+    /// Studies that ended with a `Cancelled` frame (explicit `Cancel` or
+    /// client disconnect) across all connections. Every cancelled study
+    /// also counts in [`studies_done`](Self::studies_done).
+    pub fn studies_cancelled(&self) -> u64 {
+        self.studies_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently in-flight studies (process-wide,
+    /// never above [`ServerConfig::max_concurrent`]).
     pub fn peak_in_flight(&self) -> usize {
         self.limiter.peak.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of studies waiting in the admission queue.
+    pub fn queue_depth_peak(&self) -> usize {
+        self.limiter.queue_peak.load(Ordering::Relaxed)
     }
 
     /// Serve one connection until EOF or `Shutdown`, blocking the calling
@@ -212,11 +268,21 @@ impl Server {
     {
         let mut reader = io::BufReader::new(reader);
         let writer = Mutex::new(writer);
+        let registry: CancelRegistry = Mutex::new(BTreeMap::new());
         let outcome = thread::scope(|s| -> io::Result<ConnectionOutcome> {
             let mut buf: Vec<u8> = Vec::new();
             loop {
                 match read_bounded_line(&mut reader, self.config.max_frame_bytes, &mut buf)? {
-                    LineRead::Eof => return Ok(ConnectionOutcome::Eof),
+                    LineRead::Eof => {
+                        // Disconnect cancels: nobody is left to read the
+                        // fronts, so in-flight studies stop at their next
+                        // generation boundary instead of running dry.
+                        let reg = registry.lock().unwrap_or_else(|e| e.into_inner());
+                        for token in reg.values() {
+                            token.store(true, Ordering::SeqCst);
+                        }
+                        return Ok(ConnectionOutcome::Eof);
+                    }
                     LineRead::Oversized => {
                         send_error(
                             &writer,
@@ -242,7 +308,10 @@ impl Server {
                                 Request::Ping => send(&writer, &id, Response::Pong),
                                 Request::Shutdown => return Ok(ConnectionOutcome::Shutdown),
                                 Request::Study(study) => {
-                                    self.spawn_study(s, id, study, &writer);
+                                    self.spawn_study(s, id, study, &writer, &registry);
+                                }
+                                Request::Cancel(target) => {
+                                    handle_cancel(&registry, &id, &target, &writer);
                                 }
                             },
                         }
@@ -257,34 +326,58 @@ impl Server {
         Ok(outcome)
     }
 
-    /// Accept loop: serves connections **sequentially** (studies within a
-    /// connection are concurrent) until a client sends `Shutdown`. For
-    /// concurrently-served connections, call
-    /// [`serve_connection`](Self::serve_connection) from one thread per
-    /// accepted stream — the daemon itself is re-entrant.
+    /// Accept loop: serves connections **concurrently** — one scoped
+    /// thread per accepted stream, at most
+    /// [`ServerConfig::max_acceptors`] at once (further clients wait in
+    /// the listen backlog) — until a client sends `Shutdown`. Study
+    /// admission stays process-wide: all connections share this daemon's
+    /// [`ServerConfig::max_concurrent`] cap. After a `Shutdown`, the
+    /// accept loop stops and every already-accepted connection drains
+    /// before this returns.
     pub fn serve_tcp(&self, listener: TcpListener) -> io::Result<()> {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            let reader = stream.try_clone()?;
-            match self.serve_connection(reader, stream) {
-                Ok(ConnectionOutcome::Shutdown) => return Ok(()),
-                Ok(ConnectionOutcome::Eof) => {}
-                // A torn-down connection must not kill the daemon.
-                Err(_) => {}
+        let local = listener.local_addr()?;
+        let shutdown = AtomicBool::new(false);
+        let gate = Limiter::new(self.config.max_acceptors.max(1));
+        thread::scope(|s| -> io::Result<()> {
+            for stream in listener.incoming() {
+                let stream = stream?;
+                if shutdown.load(Ordering::SeqCst) {
+                    // Either the self-connect wake-up or a late client;
+                    // drop it and stop accepting.
+                    return Ok(());
+                }
+                let permit = gate.acquire(|_| {});
+                let shutdown = &shutdown;
+                s.spawn(move || {
+                    let _permit = permit;
+                    let Ok(reader) = stream.try_clone() else {
+                        return;
+                    };
+                    if let Ok(ConnectionOutcome::Shutdown) = self.serve_connection(reader, stream) {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so it can observe the
+                        // flag; best-effort (a racing real client also
+                        // wakes it).
+                        let _ = TcpStream::connect(local);
+                    }
+                    // A torn-down connection must not kill the daemon.
+                });
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
-    /// Validate, prepare (through the shared cache), and launch one study
-    /// worker. Blocks for a concurrency permit *before* spawning — the
-    /// read loop is the backpressure point.
+    /// Validate, register a cancel token, and launch one study worker
+    /// immediately — admission against the process-wide concurrency cap
+    /// happens *inside* the worker (reporting `Queued` when it must
+    /// wait), so the read loop stays responsive to `Ping` and `Cancel`.
     fn spawn_study<'scope, 'env, W: Write + Send>(
         &'env self,
         scope: &'scope thread::Scope<'scope, 'env>,
         id: String,
         study: StudyRequest,
         writer: &'env Mutex<W>,
+        registry: &'env CancelRegistry,
     ) where
         'env: 'scope,
     {
@@ -295,14 +388,26 @@ impl Server {
                 return;
             }
         };
-        let permit = self.limiter.acquire();
+        let cancel = Arc::new(AtomicBool::new(false));
+        {
+            let mut reg = registry.lock().unwrap_or_else(|e| e.into_inner());
+            reg.insert(id.clone(), Arc::clone(&cancel));
+        }
         scope.spawn(move || {
+            let permit = self.limiter.acquire(|ahead| {
+                telemetry::Event::new("study_queued")
+                    .str("id", &id)
+                    .u64("ahead", ahead)
+                    .emit();
+                send(writer, &id, Response::Queued(StudyQueued { ahead }));
+            });
             let _permit = permit;
             let _span = telemetry::span(Stage::ServerStudy);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                self.run_study(&id, &study, &scenario, writer)
+                self.run_study(&id, &study, &scenario, writer, &cancel, registry)
             }));
             if outcome.is_err() {
+                retire(registry, &id, &cancel);
                 send_error(
                     writer,
                     &id,
@@ -314,15 +419,24 @@ impl Server {
     }
 
     /// The study body: cache-shared preparation, `Accepted`, the NSGA-II
-    /// run (streaming `Front` frames when asked), `Done`.
+    /// run (streaming `Front` frames when asked, stopping at a generation
+    /// boundary when cancelled), then the terminal `Done` or `Cancelled`.
     fn run_study<W: Write + Send>(
         &self,
         id: &str,
         study: &StudyRequest,
         scenario: &mgopt_core::FleetScenario,
         writer: &Mutex<W>,
+        cancel: &AtomicBool,
+        registry: &CancelRegistry,
     ) {
         let t0 = Instant::now();
+        // Cancelled while waiting in the admission queue: answer without
+        // preparing or running anything.
+        if cancel.load(Ordering::SeqCst) && retire(registry, id, cancel) {
+            self.finish_cancelled(id, 0, 0, t0, writer);
+            return;
+        }
         let (fleet, stats) = scenario.prepare_shared(&self.cache);
         let plan_space = fleet.members.iter().fold(1u64, |acc, m| {
             acc.saturating_mul(m.config.space.len() as u64)
@@ -366,7 +480,7 @@ impl Server {
         let stream = study.stream;
         let mut generations = 0u32;
         let mut last_front: Vec<PlanPoint> = Vec::new();
-        let result = optimizer.run_observed(&problem, &mut |view: GenerationView| {
+        let result = optimizer.run_controlled(&problem, &mut |view: GenerationView| {
             generations = view.generation as u32 + 1;
             last_front = view
                 .front
@@ -378,6 +492,11 @@ impl Server {
                     violation: eval.total_violation(),
                 })
                 .collect();
+            if cancel.load(Ordering::Relaxed) {
+                // Stop at this generation boundary; skip the front the
+                // client no longer wants.
+                return SearchControl::Stop;
+            }
             if stream {
                 send(
                     writer,
@@ -389,7 +508,18 @@ impl Server {
                     }),
                 );
             }
+            SearchControl::Continue
         });
+
+        // Retiring the registry entry and reading the token under one
+        // lock decides the race against a concurrent `Cancel`: either
+        // the cancel saw the entry (this study answers `Cancelled`), or
+        // it did not (it answered `UnknownStudy` and this study answers
+        // `Done`). Never both.
+        if retire(registry, id, cancel) {
+            self.finish_cancelled(id, generations, result.sampled_trials as u64, t0, writer);
+            return;
+        }
 
         telemetry::Event::new("study_done")
             .str("id", id)
@@ -413,6 +543,71 @@ impl Server {
             }),
         );
     }
+
+    /// Emit the audit event and the terminal `Cancelled` frame for a
+    /// study that stopped early.
+    fn finish_cancelled<W: Write>(
+        &self,
+        id: &str,
+        generations: u32,
+        sampled: u64,
+        t0: Instant,
+        writer: &Mutex<W>,
+    ) {
+        self.studies_cancelled.fetch_add(1, Ordering::Relaxed);
+        telemetry::Event::new("study_cancelled")
+            .str("id", id)
+            .u64("generations", u64::from(generations))
+            .u64("sampled", sampled)
+            .f64("wall_ms", t0.elapsed().as_secs_f64() * 1e3)
+            .emit();
+        send(
+            writer,
+            id,
+            Response::Cancelled(StudyCancelled {
+                generations,
+                sampled_trials: sampled,
+                wall_ms: t0.elapsed().as_millis() as u64,
+            }),
+        );
+    }
+}
+
+/// Handle a `Cancel` frame: flip the target's token if it is in flight
+/// (the acknowledgement is the eventual `Cancelled` frame on the target
+/// id), else answer `UnknownStudy` on the cancel frame's own id.
+fn handle_cancel<W: Write>(registry: &CancelRegistry, id: &str, target: &str, writer: &Mutex<W>) {
+    let found = {
+        let reg = registry.lock().unwrap_or_else(|e| e.into_inner());
+        match reg.get(target) {
+            Some(token) => {
+                token.store(true, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    };
+    if !found {
+        send_error(
+            writer,
+            id,
+            WireError::new(
+                ErrorCode::UnknownStudy,
+                format!("no in-flight study `{target}` on this connection"),
+            ),
+        );
+    }
+}
+
+/// Retire a study's registry entry and report whether it was cancelled.
+/// Removal and the token read happen under the registry lock, so a
+/// concurrent `Cancel` either saw the entry (this returns true) or will
+/// answer `UnknownStudy` — the client never sees `Cancelled` *and*
+/// `Done` for one id.
+fn retire(registry: &CancelRegistry, id: &str, cancel: &AtomicBool) -> bool {
+    let mut reg = registry.lock().unwrap_or_else(|e| e.into_inner());
+    reg.remove(id);
+    cancel.load(Ordering::SeqCst)
 }
 
 /// Decode one genome into its fleet plan.
@@ -509,12 +704,20 @@ fn drain_line<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>) -> io::Result<()> {
     }
 }
 
-/// A counting semaphore that records its high-water mark.
+/// A counting semaphore that records its high-water mark and the depth
+/// of its wait queue.
 struct Limiter {
     max: usize,
-    state: Mutex<usize>, // in-flight count
+    state: Mutex<LimiterState>,
     cv: Condvar,
     peak: AtomicUsize,
+    queue_peak: AtomicUsize,
+}
+
+#[derive(Default)]
+struct LimiterState {
+    in_flight: usize,
+    waiting: usize,
 }
 
 struct Permit<'a>(&'a Limiter);
@@ -523,29 +726,43 @@ impl Limiter {
     fn new(max: usize) -> Self {
         Self {
             max,
-            state: Mutex::new(0),
+            state: Mutex::new(LimiterState::default()),
             cv: Condvar::new(),
             peak: AtomicUsize::new(0),
+            queue_peak: AtomicUsize::new(0),
         }
     }
 
-    fn acquire(&self) -> Permit<'_> {
-        // The guarded state is a plain counter, valid even if a holder
-        // panicked — adopt poisoned locks rather than propagating.
-        let mut in_flight = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        while *in_flight >= self.max {
-            in_flight = self.cv.wait(in_flight).unwrap_or_else(|e| e.into_inner());
+    /// Acquire one slot. If the caller must wait (the cap is saturated,
+    /// or earlier arrivals are already waiting), `queued` is invoked
+    /// exactly once — outside the lock — with the number of holders and
+    /// waiters ahead, before blocking.
+    fn acquire(&self, queued: impl FnOnce(u64)) -> Permit<'_> {
+        // The guarded state is a plain counter pair, valid even if a
+        // holder panicked — adopt poisoned locks rather than propagating.
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.in_flight >= self.max || st.waiting > 0 {
+            let ahead = (st.in_flight + st.waiting) as u64;
+            st.waiting += 1;
+            self.queue_peak.fetch_max(st.waiting, Ordering::Relaxed);
+            drop(st);
+            queued(ahead);
+            st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            while st.in_flight >= self.max {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.waiting -= 1;
         }
-        *in_flight += 1;
-        self.peak.fetch_max(*in_flight, Ordering::Relaxed);
+        st.in_flight += 1;
+        self.peak.fetch_max(st.in_flight, Ordering::Relaxed);
         Permit(self)
     }
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        let mut in_flight = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
-        *in_flight -= 1;
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.in_flight -= 1;
         self.0.cv.notify_one();
     }
 }
@@ -557,15 +774,41 @@ mod tests {
     #[test]
     fn limiter_caps_and_records_peak() {
         let limiter = Limiter::new(2);
-        let a = limiter.acquire();
-        let b = limiter.acquire();
+        let a = limiter.acquire(|_| panic!("should not queue"));
+        let b = limiter.acquire(|_| panic!("should not queue"));
         assert_eq!(limiter.peak.load(Ordering::Relaxed), 2);
         drop(a);
-        let c = limiter.acquire();
+        let c = limiter.acquire(|_| panic!("should not queue"));
         assert_eq!(limiter.peak.load(Ordering::Relaxed), 2);
         drop(b);
         drop(c);
-        assert_eq!(*limiter.state.lock().unwrap(), 0);
+        assert_eq!(limiter.state.lock().unwrap().in_flight, 0);
+        assert_eq!(limiter.queue_peak.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn limiter_reports_queueing_and_queue_depth() {
+        let limiter = Limiter::new(1);
+        let held = limiter.acquire(|_| panic!("cap is free"));
+        let (queued_ahead, permit) = thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let mut ahead = None;
+                let permit = limiter.acquire(|a| ahead = Some(a));
+                (ahead, permit)
+            });
+            // Give the waiter time to announce itself, then free the slot.
+            while limiter.queue_peak.load(Ordering::Relaxed) == 0 {
+                thread::yield_now();
+            }
+            drop(held);
+            let (ahead, permit) = waiter.join().unwrap();
+            (ahead, permit)
+        });
+        assert_eq!(queued_ahead, Some(1), "one holder was ahead");
+        assert_eq!(limiter.queue_peak.load(Ordering::Relaxed), 1);
+        drop(permit);
+        assert_eq!(limiter.state.lock().unwrap().in_flight, 0);
+        assert_eq!(limiter.state.lock().unwrap().waiting, 0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Optimization-as-a-service, end to end: start the daemon on a loopback
 //! TCP port, act as a wire-protocol client, and multiplex three NSGA-II
-//! fleet studies over one connection — a streamed unconstrained study, a
+//! fleet studies over one connection — a long streamed exploratory study
+//! that is **cancelled mid-flight** after its first generation, a
 //! peak-capped study, and a second-seed replica — then shut the daemon
-//! down cleanly.
+//! down cleanly. The cancelled study's terminal frame is `Cancelled`
+//! (with the generations it completed); it never answers `Done`.
 //!
 //! Everything rides the real versioned wire format from `core::wire`
 //! (newline-delimited JSON frames, strict-reject parsing); the only
@@ -61,7 +63,19 @@ fn main() {
         stream: true,
     };
     let requests = vec![
-        ("unconstrained", base.clone()),
+        // A deliberately oversized streamed budget: this study is going
+        // to be cancelled after its first generation, demonstrating the
+        // cooperative-cancellation lifecycle.
+        (
+            "exploratory",
+            StudyRequest {
+                budget: StudyBudget {
+                    max_trials: max_trials * 4,
+                    ..budget(42)
+                },
+                ..base.clone()
+            },
+        ),
         (
             "peak-capped",
             StudyRequest {
@@ -79,6 +93,7 @@ fn main() {
             },
         ),
     ];
+    const VICTIM: &str = "exploratory";
 
     let stream = TcpStream::connect(addr).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
@@ -93,8 +108,11 @@ fn main() {
     }
     println!("sent {} studies, multiplexed by id\n", requests.len());
 
-    // -- Read the interleaved response stream until every study is done. -
+    // -- Read the interleaved response stream until every study is done
+    //    (or cancelled: the exploratory study is cancelled on its first
+    //    streamed front). -----------------------------------------------
     let mut remaining = requests.len();
+    let mut sent_cancel = false;
     let mut line = String::new();
     while remaining > 0 {
         line.clear();
@@ -109,14 +127,39 @@ fn main() {
                 "[{}] accepted: sites {:?}, plan space {}, prep cache {}h/{}m",
                 frame.id, a.sites, a.plan_space, a.prep_cache_hits, a.prep_cache_misses
             ),
-            Response::Front(f) => println!(
-                "[{}] generation {:>2}: {} trials sampled, front size {}",
-                frame.id,
-                f.generation,
-                f.sampled,
-                f.front.len()
+            Response::Queued(q) => println!(
+                "[{}] queued: {} studies ahead (process-wide cap saturated)",
+                frame.id, q.ahead
             ),
+            Response::Front(f) => {
+                println!(
+                    "[{}] generation {:>2}: {} trials sampled, front size {}",
+                    frame.id,
+                    f.generation,
+                    f.sampled,
+                    f.front.len()
+                );
+                if frame.id == VICTIM && !sent_cancel {
+                    let cancel = RequestFrame {
+                        v: WIRE_VERSION,
+                        id: "cancel-exploratory".into(),
+                        req: Request::Cancel(VICTIM.into()),
+                    };
+                    writeln!(writer, "{}", encode_request(&cancel)).expect("send cancel");
+                    println!("[{VICTIM}] >> cancel requested");
+                    sent_cancel = true;
+                }
+            }
+            Response::Cancelled(c) => {
+                assert_eq!(frame.id, VICTIM, "only the exploratory study was cancelled");
+                println!(
+                    "[{}] cancelled after {} generations ({} sampled, {} ms) — no Done frame",
+                    frame.id, c.generations, c.sampled_trials, c.wall_ms
+                );
+                remaining -= 1;
+            }
             Response::Done(d) => {
+                assert_ne!(frame.id, VICTIM, "cancelled study must never answer Done");
                 println!(
                     "[{}] done: {} generations, {} sampled ({} unique), {} ms",
                     frame.id, d.generations, d.sampled_trials, d.unique_evaluations, d.wall_ms
@@ -165,8 +208,9 @@ fn main() {
         .expect("daemon thread")
         .expect("accept loop clean");
     println!(
-        "\ndaemon shut down cleanly after {} studies (peak {} in flight)",
+        "\ndaemon shut down cleanly after {} studies, {} cancelled (peak {} in flight)",
         server.studies_done(),
+        server.studies_cancelled(),
         server.peak_in_flight()
     );
 }

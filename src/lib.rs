@@ -102,16 +102,32 @@
 //! [`server`] turns the batch research code into a long-lived service:
 //! the `mgopt_serve` daemon holds prepared sites hot in a shared
 //! `core::PreparedCache` (Arc-handout, LRU, `prep_cache.*` hit/miss
-//! counters), accepts newline-delimited JSON study requests over TCP,
+//! counters), accepts newline-delimited JSON study requests over TCP
+//! (connections served concurrently, up to `MGOPT_ACCEPTORS` at once),
 //! stdin/stdout, or an in-process pipe, and multiplexes concurrent
 //! NSGA-II studies over the shared SIMD batch engine — streaming per
 //! generation `Front` updates and a final `Done` frame per request. The
 //! versioned wire format with strict-reject parsing lives in
 //! `core::wire`; results depend only on `(fleet, budget, seed)`, never
-//! on how studies interleave (`tests/server_interleaving_props.rs` pins
-//! this, `tests/server_protocol.rs` drives the daemon through the real
+//! on how studies interleave — or on how many connections they arrive
+//! over, or whether a neighbouring study is cancelled mid-flight
+//! (`tests/server_interleaving_props.rs` pins all three,
+//! `tests/server_protocol.rs` drives the daemon through the real
 //! wire format including fault injection, and `tests/wire_golden.rs`
 //! pins the on-wire bytes against committed fixtures).
+//!
+//! A study's lifecycle: an optional `Queued` frame (sent only when the
+//! **process-wide** in-flight cap `MGOPT_SERVER_CONCURRENCY` is
+//! saturated across all connections; carries how many studies are
+//! ahead), then `Accepted`, zero or more `Front` updates, and exactly
+//! one terminal frame — `Done`, `Cancelled`, or `Error`. A `Cancel`
+//! request names an in-flight study's id; the target stops
+//! cooperatively at its next generation boundary and answers
+//! `Cancelled` (with the generations/trials it completed — the prefix
+//! it did run is bit-identical to an uncancelled run), never `Done`.
+//! Client disconnect mid-study cancels every study in flight on that
+//! connection. `Cancel` is an additive variant, so `WIRE_VERSION` is
+//! unchanged — old frames still parse byte-identically.
 //!
 //! Every rejection maps to one of the wire protocol's error codes —
 //! `MalformedFrame` (invalid JSON, unknown/missing/duplicate fields, bad
@@ -120,9 +136,11 @@
 //! server does not know), `InvalidRequest` (well-formed but semantically
 //! impossible studies: empty fleets, mismatched step clocks, spaces
 //! exceeding the u16 genome), `Oversized` (a request line longer than
-//! `MGOPT_SERVER_MAX_FRAME`), and `Internal` (the study panicked or its
-//! worker died; the connection survives). Each code is pinned byte-level
-//! by the golden fixtures.
+//! `MGOPT_SERVER_MAX_FRAME`), `UnknownStudy` (a `Cancel` naming an id
+//! that is not in flight on that connection — never seen, or already
+//! terminal), and `Internal` (the study panicked or its worker died; the
+//! connection survives). Each code is pinned byte-level by the golden
+//! fixtures.
 //!
 //! ## Invariants as code
 //!

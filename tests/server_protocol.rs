@@ -7,7 +7,13 @@
 //! * graceful degradation under fault injection — malformed frames,
 //!   unknown presets, infeasible caps, oversized lines, mid-stream
 //!   disconnects, and cache eviction under concurrent load never crash
-//!   the daemon or leak across request ids.
+//!   the daemon or leak across request ids;
+//! * the admission queue and cancellation lifecycle — `Queued` frames
+//!   past the process-wide cap, `Cancel` yielding `Cancelled` (never
+//!   `Done`) with the completed prefix bit-identical, `UnknownStudy`
+//!   errors for bad targets, and disconnects cancelling in-flight work;
+//! * genuinely concurrent connections, over in-process pipes sharing one
+//!   daemon and over real TCP.
 
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
@@ -146,6 +152,9 @@ impl Harness {
                 .position(|id| *id == frame.id)
                 .unwrap_or_else(|| panic!("frame for unknown id {:?}", frame.id));
             match frame.resp {
+                Response::Queued(_) => {
+                    assert!(!accepted[k], "Queued after Accepted for {}", frame.id);
+                }
                 Response::Accepted(a) => {
                     assert!(!accepted[k], "duplicate Accepted for {}", frame.id);
                     accepted[k] = true;
@@ -393,6 +402,246 @@ fn concurrent_cache_eviction_never_corrupts_results() {
     assert!(misses.unwrap() >= 1, "capacity 1 must have evicted a site");
     assert_eq!(redo.unwrap(), expected[0]);
     h.shutdown();
+}
+
+/// A study big enough that a `Cancel` sent after its first streamed
+/// `Front` always lands before it finishes (cancellation is checked at
+/// every generation boundary, and this budget spans ~50 generations).
+fn long_study(seed: u64) -> StudyRequest {
+    let mut s = tiny_study(seed);
+    s.budget.max_trials = 400;
+    s
+}
+
+#[test]
+fn queued_study_reports_position_then_cancel_frees_the_slot() {
+    // Cap 1: the second study must queue behind the first; cancelling
+    // the first lets the second through, bit-identical to standalone.
+    let mut h = Harness::start(ServerConfig {
+        max_concurrent: 1,
+        ..ServerConfig::default()
+    });
+    let expected = standalone_front(&tiny_study(21));
+    h.send(&frame("s1", Request::Study(long_study(20))));
+    // s1 is admitted before s2 is even sent, so the ordering below is
+    // deterministic: s1 Accepted, then s2 Queued with one study ahead.
+    let f = h.recv();
+    assert_eq!(f.id, "s1");
+    assert!(matches!(f.resp, Response::Accepted(_)), "got {f:?}");
+    h.send(&frame("s2", Request::Study(tiny_study(21))));
+    let mut queued_ahead = None;
+    // Frames from s1 (Fronts) interleave until s2's Queued arrives.
+    while queued_ahead.is_none() {
+        let f = h.recv();
+        match (f.id.as_str(), f.resp) {
+            ("s1", Response::Front(_)) => {}
+            ("s2", Response::Queued(q)) => queued_ahead = Some(q.ahead),
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert_eq!(queued_ahead, Some(1), "one study ran ahead of s2");
+
+    h.send(&frame("c", Request::Cancel("s1".into())));
+    let mut s1_open = true;
+    let mut s2_front = None;
+    while s2_front.is_none() {
+        let f = h.recv();
+        match (f.id.as_str(), f.resp) {
+            ("s1", Response::Front(_)) if s1_open => {}
+            ("s1", Response::Cancelled(c)) => {
+                assert!(s1_open, "duplicate terminal frame for s1");
+                assert!(c.sampled_trials < 400, "cancel landed after the budget");
+                s1_open = false;
+            }
+            ("s1", Response::Done(_)) => panic!("cancelled study answered Done"),
+            ("s2", Response::Accepted(_) | Response::Front(_)) => {}
+            ("s2", Response::Done(d)) => s2_front = Some(d.front),
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert!(!s1_open, "s1 never Cancelled");
+    assert_eq!(s2_front.unwrap(), expected, "queued study diverged");
+    let server = Arc::clone(&h.server);
+    h.shutdown();
+    assert_eq!(server.studies_cancelled(), 1);
+    assert!(server.queue_depth_peak() >= 1, "s2 never actually queued");
+}
+
+#[test]
+fn cancel_of_unknown_or_finished_study_is_a_structured_error() {
+    let mut h = Harness::start(ServerConfig::default());
+
+    // Never-seen target.
+    h.send(&frame("c1", Request::Cancel("nope".into())));
+    let f = h.recv();
+    assert_eq!(f.id, "c1");
+    let Response::Error(e) = f.resp else {
+        panic!("want error, got {f:?}")
+    };
+    assert_eq!(e.code, ErrorCode::UnknownStudy);
+
+    // Already-finished target: the registry entry is retired with the
+    // terminal frame, so a late Cancel gets the same structured error.
+    h.send(&frame("s1", Request::Study(tiny_study(31))));
+    h.collect_done(&["s1"]);
+    h.send(&frame("c2", Request::Cancel("s1".into())));
+    let f = h.recv();
+    assert_eq!(f.id, "c2");
+    let Response::Error(e) = f.resp else {
+        panic!("want error, got {f:?}")
+    };
+    assert_eq!(e.code, ErrorCode::UnknownStudy);
+
+    // The connection is still healthy.
+    h.send(&frame("alive", Request::Ping));
+    let f = h.recv();
+    assert_eq!((f.id.as_str(), f.resp), ("alive", Response::Pong));
+    h.shutdown();
+}
+
+#[test]
+fn multiple_connections_share_one_daemon_bit_identically() {
+    // Three pipe connections against one Server, two studies each, all
+    // in flight together past the process-wide cap of 2.
+    let server = Arc::new(Server::new(ServerConfig {
+        max_concurrent: 2,
+        ..ServerConfig::default()
+    }));
+    let seeds: [[u64; 2]; 3] = [[40, 41], [42, 43], [44, 45]];
+    let clients: Vec<_> = seeds
+        .iter()
+        .map(|&pair| {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                let (client, server_end) = pipe::duplex();
+                let serve = {
+                    let server = Arc::clone(&server);
+                    thread::spawn(move || {
+                        server.serve_connection(server_end.reader, server_end.writer)
+                    })
+                };
+                let mut writer = client.writer;
+                let mut reader = BufReader::new(client.reader);
+                for (k, &seed) in pair.iter().enumerate() {
+                    writeln!(
+                        writer,
+                        "{}",
+                        encode_request(&frame(&format!("s{k}"), Request::Study(tiny_study(seed))))
+                    )
+                    .unwrap();
+                }
+                let mut fronts: [Option<Vec<PlanPoint>>; 2] = [None, None];
+                while fronts.iter().any(Option::is_none) {
+                    let mut line = String::new();
+                    assert!(reader.read_line(&mut line).unwrap() > 0, "daemon hung up");
+                    let f: ResponseFrame = serde_json::from_str(line.trim_end()).unwrap();
+                    let k: usize = f.id[1..].parse().unwrap();
+                    match f.resp {
+                        Response::Queued(_) | Response::Accepted(_) | Response::Front(_) => {}
+                        Response::Done(d) => fronts[k] = Some(d.front),
+                        other => panic!("unexpected frame for {}: {other:?}", f.id),
+                    }
+                }
+                drop(writer);
+                drop(reader);
+                assert_eq!(serve.join().unwrap().unwrap(), ConnectionOutcome::Eof);
+                fronts.map(Option::unwrap)
+            })
+        })
+        .collect();
+    for (client, pair) in clients.into_iter().zip(&seeds) {
+        let fronts = client.join().unwrap();
+        for (front, &seed) in fronts.iter().zip(pair) {
+            assert_eq!(
+                front,
+                &standalone_front(&tiny_study(seed)),
+                "seed {seed} diverged across connections"
+            );
+        }
+    }
+    assert_eq!(server.studies_done(), 6);
+    assert!(
+        server.peak_in_flight() <= 2,
+        "process-wide cap leaked across connections"
+    );
+}
+
+#[test]
+fn disconnect_mid_study_cancels_it() {
+    let server = Arc::new(Server::new(ServerConfig::default()));
+    let (client, server_end) = pipe::duplex();
+    let join = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.serve_connection(server_end.reader, server_end.writer))
+    };
+    let mut writer = client.writer;
+    let mut reader = BufReader::new(client.reader);
+    writeln!(
+        writer,
+        "{}",
+        encode_request(&frame("gone", Request::Study(long_study(50))))
+    )
+    .unwrap();
+    // Wait for the first streamed front so the study is mid-search...
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0);
+        let f: ResponseFrame = serde_json::from_str(line.trim_end()).unwrap();
+        if matches!(f.resp, Response::Front(_)) {
+            break;
+        }
+    }
+    // ...then vanish. The disconnect must cancel the study at the next
+    // generation boundary instead of burning the remaining ~47
+    // generations into a closed pipe.
+    drop(reader);
+    drop(writer);
+    assert_eq!(join.join().unwrap().unwrap(), ConnectionOutcome::Eof);
+    assert_eq!(server.studies_cancelled(), 1);
+    assert_eq!(server.studies_done(), 1, "cancelled still counts as done");
+}
+
+#[test]
+fn tcp_connections_are_served_concurrently() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = Arc::new(Server::new(ServerConfig::default()));
+    let join = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.serve_tcp(listener))
+    };
+
+    let ping = |stream: &mut std::net::TcpStream, id: &str| {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        writeln!(stream, "{}", encode_request(&frame(id, Request::Ping))).unwrap();
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).unwrap() > 0);
+        let f: ResponseFrame = serde_json::from_str(line.trim_end()).unwrap();
+        assert_eq!((f.id.as_str(), f.resp), (id, Response::Pong));
+    };
+
+    // With the old sequential accept loop, B's Ping would hang until A
+    // hung up; a concurrent acceptor answers both while both are open.
+    let mut a = std::net::TcpStream::connect(addr).unwrap();
+    let mut b = std::net::TcpStream::connect(addr).unwrap();
+    ping(&mut a, "a");
+    ping(&mut b, "b");
+
+    // Shutdown drains already-accepted connections, so close A first.
+    drop(a);
+    let mut reader = BufReader::new(b.try_clone().unwrap());
+    writeln!(b, "{}", encode_request(&frame("q", Request::Shutdown))).unwrap();
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap() > 0 {
+        let f: ResponseFrame = serde_json::from_str(line.trim_end()).unwrap();
+        if matches!(f.resp, Response::Bye) {
+            break;
+        }
+        line.clear();
+    }
+    drop(reader);
+    drop(b);
+    join.join().unwrap().unwrap();
 }
 
 #[test]

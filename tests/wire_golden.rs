@@ -20,8 +20,8 @@ use std::path::PathBuf;
 
 use microgrid_opt::core::wire::{
     encode_request, encode_response, parse_request, ErrorCode, FleetSpec, FrontUpdate, PlanPoint,
-    Request, RequestFrame, Response, ResponseFrame, StudyAccepted, StudyBudget, StudyDone,
-    StudyRequest, WireError, WIRE_VERSION,
+    Request, RequestFrame, Response, ResponseFrame, StudyAccepted, StudyBudget, StudyCancelled,
+    StudyDone, StudyQueued, StudyRequest, WireError, WIRE_VERSION,
 };
 use microgrid_opt::core::FleetScenario;
 use microgrid_opt::prelude::{Composition, CompositionSpace};
@@ -102,6 +102,11 @@ fn fixture_requests() -> Vec<RequestFrame> {
                 stream: false,
             }),
         ),
+        // Cancellation: the body is the target study's correlation id.
+        // Appended after the original five so the committed prefix stays
+        // byte-identical — `Cancel` is an additive variant, no version
+        // bump (see `core::wire`'s versioning rule).
+        frame("r6", Request::Cancel("r4".into())),
     ]
 }
 
@@ -182,6 +187,24 @@ fn fixture_responses() -> Vec<ResponseFrame> {
             Response::Error(WireError::new(
                 ErrorCode::Internal,
                 "study worker terminated unexpectedly",
+            )),
+        ),
+        // Queueing + cancellation lifecycle frames (appended after the
+        // original nine so the committed prefix stays byte-identical).
+        mk("r4", Response::Queued(StudyQueued { ahead: 3 })),
+        mk(
+            "r4",
+            Response::Cancelled(StudyCancelled {
+                generations: 2,
+                sampled_trials: 150,
+                wall_ms: 48,
+            }),
+        ),
+        mk(
+            "r6",
+            Response::Error(WireError::new(
+                ErrorCode::UnknownStudy,
+                "no in-flight study `r4` on this connection",
             )),
         ),
     ]
@@ -283,6 +306,12 @@ fn rejected_requests_produce_the_documented_error_codes() {
         // Fleet: not a single-variant map.
         (
             r#"{"v":1,"id":"x","req":{"Study":{"fleet":"paper","budget":{"population_size":8,"max_trials":24,"seed":1}}}}"#,
+            MalformedFrame,
+        ),
+        // Cancel: the body must be the target id as a plain string.
+        (r#"{"v":1,"id":"x","req":{"Cancel":5}}"#, MalformedFrame),
+        (
+            r#"{"v":1,"id":"x","req":{"Cancel":{"target":"t1"}}}"#,
             MalformedFrame,
         ),
     ];

@@ -2,14 +2,26 @@
 //!
 //! Implements the surface this workspace uses — `par_iter()` /
 //! `into_par_iter()` followed by `map(...).collect()`, plus `for_each` and
-//! `sum` — with real parallelism: `std::thread::scope` workers pulling item
-//! indices from a shared atomic counter (dynamic load balancing, which
-//! matters because composition evaluation cost varies with battery size).
-//! Results are reassembled in input order, so `collect()` is deterministic
-//! exactly like upstream rayon's indexed parallel iterators.
+//! `sum` — with real parallelism: workers pull item indices from a shared
+//! atomic counter (dynamic load balancing, which matters because
+//! composition evaluation cost varies with battery size). Results are
+//! reassembled in input order, so `collect()` is deterministic exactly
+//! like upstream rayon's indexed parallel iterators.
+//!
+//! Like upstream rayon, worker threads live in a **persistent global
+//! pool**, spawned once on the first multi-worker call and reused across
+//! calls (an always-on daemon runs thousands of parallel batches; paying
+//! thread spawn/join per batch is measurable overhead). The submitting
+//! thread always participates in its own job, so nested parallel calls
+//! and a saturated pool cannot deadlock, and a 1-effective-worker call
+//! never touches the pool at all (it runs inline, exactly the sequential
+//! path). [`set_num_threads`] still takes effect per call: it caps how
+//! many pool workers may *join* a job, not how many threads exist.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Process-wide worker-count override set by [`set_num_threads`];
 /// `0` means "no override" (use every available core).
@@ -41,15 +53,183 @@ pub fn current_num_threads() -> usize {
 /// beyond the machine's available parallelism are clamped, so callers can
 /// ask for a 4-thread scaling point on a 1-core runner and
 /// [`current_num_threads`] reports what will actually run. Used by the
-/// benchmark bins' `MGOPT_THREADS` scaling sweeps; unlike upstream rayon's
-/// global pool this takes effect immediately (workers are spawned per
-/// call, not pooled).
+/// benchmark bins' `MGOPT_THREADS` scaling sweeps; unlike upstream rayon
+/// this takes effect for the very next call (the cap bounds how many
+/// persistent pool workers may join each job, so no pool rebuild is
+/// needed).
 pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
-/// Run `f(i)` for every index in `0..n` on a worker pool, collecting
-/// results in index order.
+/// One type-erased job on the shared pool. Participants (the submitting
+/// thread plus at most `cap` pool workers) pull item indices from `next`
+/// and run `exec(data, i)`; `done == n` releases the submitter.
+struct Job {
+    /// Borrow of the submitting call's typed task closure. Only ever
+    /// dereferenced by `exec` for indices `< n`, all of which complete
+    /// before the submitter returns, so the pointee outlives every use.
+    data: *const (),
+    /// Monomorphized trampoline that casts `data` back to the task type.
+    exec: fn(*const (), usize),
+    /// Item count.
+    n: usize,
+    /// Next unclaimed item index (may run past `n`; that just means the
+    /// dispenser is dry).
+    next: AtomicUsize,
+    /// Completed items (panicked ones included, so the latch always
+    /// trips). `AcqRel` on the counter orders every participant's item
+    /// writes before the final completion.
+    done: AtomicUsize,
+    /// How many pool workers may join (the per-call thread cap minus the
+    /// submitting thread). Enforced under the pool queue lock.
+    cap: usize,
+    /// Pool workers that have joined this job so far.
+    joined: AtomicUsize,
+    /// Completion latch plus the first caught panic payload.
+    state: Mutex<JobState>,
+    /// Signals the submitter when `state.finished` flips.
+    cv: Condvar,
+}
+
+struct JobState {
+    finished: bool,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+// SAFETY: `data` is only dereferenced through `exec`, whose pointee the
+// submitter keeps borrowed until `done == n` — i.e. until every
+// dereference has completed. `exec` is instantiated only for `Sync` task
+// types, and every other field is a thread-safe primitive.
+unsafe impl Send for Job {}
+// SAFETY: same argument as the `Send` impl above.
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Pull and run items until the dispenser runs dry. Panicking items
+    /// still count toward `done` (the payload is stashed for the
+    /// submitter to resume), so the completion latch always trips.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| (self.exec)(self.data, i)));
+            if let Err(payload) = result {
+                let mut st = self.state.lock().unwrap();
+                st.panic.get_or_insert(payload);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                let mut st = self.state.lock().unwrap();
+                st.finished = true;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Can a pool worker still usefully join this job?
+    fn joinable(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.n && self.joined.load(Ordering::Relaxed) < self.cap
+    }
+}
+
+/// The persistent worker pool: a queue of in-flight jobs and the condvar
+/// idle workers park on.
+struct Pool {
+    queue: Mutex<Vec<Arc<Job>>>,
+    work_available: Condvar,
+}
+
+/// The process-wide pool, spawning its worker threads exactly once (one
+/// per available core beyond the submitting thread — submitters always
+/// work their own jobs, so `available_parallelism` threads participate in
+/// a saturating call, same as the per-call spawning this replaces).
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .saturating_sub(1)
+            .max(1);
+        for k in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("mgopt-rayon-{k}"))
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+        Pool {
+            queue: Mutex::new(Vec::new()),
+            work_available: Condvar::new(),
+        }
+    })
+}
+
+/// Body of one persistent pool worker: join the first joinable queued
+/// job, work it dry, repeat; park when the queue has nothing to offer.
+fn worker_loop() {
+    let pool = pool();
+    let mut queue = pool.queue.lock().unwrap();
+    loop {
+        // `joined` is bumped under the queue lock so a job never admits
+        // more than `cap` workers.
+        let job = queue.iter().find(|j| j.joinable()).cloned();
+        match job {
+            Some(job) => {
+                job.joined.fetch_add(1, Ordering::Relaxed);
+                drop(queue);
+                job.work();
+                queue = pool.queue.lock().unwrap();
+            }
+            None => queue = pool.work_available.wait(queue).unwrap(),
+        }
+    }
+}
+
+/// Run `task(i)` for every `i in 0..n` with the submitting thread plus up
+/// to `extra` pool workers, blocking until all items complete. Re-raises
+/// the first panic any item produced.
+fn run_on_pool<F: Fn(usize) + Sync>(n: usize, extra: usize, task: &F) {
+    fn trampoline<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+        // SAFETY: `data` was cast from `&F` by `run_on_pool`, which keeps
+        // that borrow alive until the job's completion latch trips.
+        let f = unsafe { &*data.cast::<F>() };
+        f(i);
+    }
+    let job = Arc::new(Job {
+        data: (task as *const F).cast(),
+        exec: trampoline::<F>,
+        n,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        cap: extra,
+        joined: AtomicUsize::new(0),
+        state: Mutex::new(JobState {
+            finished: false,
+            panic: None,
+        }),
+        cv: Condvar::new(),
+    });
+    let pool = pool();
+    pool.queue.lock().unwrap().push(Arc::clone(&job));
+    pool.work_available.notify_all();
+    job.work();
+    let mut st = job.state.lock().unwrap();
+    while !st.finished {
+        st = job.cv.wait(st).unwrap();
+    }
+    let panic = st.panic.take();
+    drop(st);
+    pool.queue.lock().unwrap().retain(|j| !Arc::ptr_eq(j, &job));
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Run `f(i)` for every index in `0..n` on the shared worker pool,
+/// collecting results in index order. Calls whose effective worker count
+/// is 1 (single core, `set_num_threads(1)`, or a single item) run inline
+/// without touching the pool.
 fn parallel_indexed<R, F>(n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -62,26 +242,20 @@ where
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(i)));
-                }
-                results.lock().unwrap().extend(local);
-            });
-        }
-    });
-    let mut pairs = results.into_inner().unwrap();
-    pairs.sort_unstable_by_key(|(i, _)| *i);
-    pairs.into_iter().map(|(_, r)| r).collect()
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let task = |i: usize| {
+        let r = f(i);
+        *slots[i].lock().unwrap() = Some(r);
+    };
+    run_on_pool(n, workers - 1, &task);
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("pool completed every item")
+        })
+        .collect()
 }
 
 /// A materialized parallel iterator: items are known up front.
@@ -302,6 +476,78 @@ mod tests {
         let n = crate::current_num_threads();
         assert!(n >= 1);
         assert_eq!(n, crate::current_num_threads());
+    }
+
+    #[test]
+    fn pool_threads_persist_across_calls() {
+        let _guard = THREADING.lock().unwrap();
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // single-core runner: parallel calls run inline
+        }
+        let main = std::thread::current().id();
+        let batch = || -> std::collections::HashSet<std::thread::ThreadId> {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    std::thread::current().id()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .filter(|&id| id != main)
+                .collect()
+        };
+        let first = batch();
+        let second = batch();
+        assert!(!first.is_empty(), "no pool worker joined the first batch");
+        assert!(
+            first.intersection(&second).next().is_some(),
+            "pool workers were not reused across calls: {first:?} vs {second:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let results: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|k| {
+                    s.spawn(move || {
+                        (0..200usize)
+                            .into_par_iter()
+                            .map(move |i| i * 3 + k)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (k, got) in results.into_iter().enumerate() {
+            let want: Vec<usize> = (0..200).map(|i| i * 3 + k).collect();
+            assert_eq!(got, want, "submitter {k} saw corrupted results");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (0..32usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 17 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .collect::<Vec<_>>()
+        }));
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool survives a panicked job: later calls still work.
+        let ok: Vec<usize> = (0..16usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(ok, (1..=16).collect::<Vec<_>>());
     }
 
     #[test]
